@@ -1,0 +1,131 @@
+// Fig. 3 — Reduce vs fixed-policy retraining over a fleet of faulty chips.
+//
+// Panels (a)-(e): per-chip scatter of (final accuracy, epochs spent) for
+//   (a) Reduce with the MAX statistic   (the paper's recommendation)
+//   (b) Reduce with the MEAN statistic  (under-trains; more misses)
+//   (c)(d)(e) fixed-epoch policies (low / mid / high)
+// Panel (f): summary — % of chips meeting the accuracy constraint vs the
+// average number of retraining epochs per chip. Reduce-max falls on the
+// Pareto front: fewer average epochs for at least the robustness of the
+// larger fixed policies.
+//
+// Output: per-policy CSV scatter sections, then the panel-(f) summary CSV.
+// Options:
+//   --chips N        fleet size               (default 100, as the paper)
+//   --constraint A   accuracy constraint in % (default 91)
+//   --fixed a,b,c    fixed policies (epochs)  (default 0.25,0.5,1.0)
+//   --rate-lo/--rate-hi   fleet fault-rate range (default 0.01..0.3)
+//   --budget E       resilience budget        (default 6)
+//   --repeats N      resilience repeats       (default 5)
+//   --paper-scale    synonyms for the defaults (kept for symmetry)
+
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "core/workload.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+using namespace reduce;
+
+namespace {
+
+void print_scatter(const policy_outcome& outcome, const char* panel) {
+    csv_table out({"policy", "chip_id", "nominal_fault_rate", "effective_fault_rate",
+                   "epochs_allocated", "epochs_run", "accuracy_before", "final_accuracy",
+                   "meets_constraint"});
+    out.set_precision(4);
+    for (const chip_outcome& c : outcome.chips) {
+        out.add_row({outcome.policy_name, static_cast<long long>(c.chip_id),
+                     c.nominal_fault_rate, c.effective_fault_rate, c.epochs_allocated,
+                     c.epochs_run, c.accuracy_before * 100.0, c.final_accuracy * 100.0,
+                     static_cast<long long>(c.meets_constraint ? 1 : 0)});
+    }
+    std::cout << "# Fig 3" << panel << ": per-chip scatter for policy '"
+              << outcome.policy_name << "'\n";
+    out.write(std::cout);
+    std::cout << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const cli_args args(argc, argv);
+        set_log_level(args.get_flag("verbose") ? log_level::info : log_level::warn);
+        stopwatch timer;
+
+        const std::size_t num_chips = static_cast<std::size_t>(args.get_int("chips", 100));
+        const double constraint = args.get_double("constraint", 91.0) / 100.0;
+        const std::vector<double> fixed_levels =
+            args.get_double_list("fixed", {0.25, 0.5, 1.0});
+        const double rate_lo = args.get_double("rate-lo", 0.01);
+        const double rate_hi = args.get_double("rate-hi", 0.30);
+        const double budget = args.get_double("budget", 6.0);
+        const std::size_t repeats = static_cast<std::size_t>(args.get_int("repeats", 5));
+        const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20230309));
+
+        workload w = make_standard_workload();
+        std::cerr << "[fig3] workload ready: clean accuracy " << w.clean_accuracy * 100.0
+                  << "%\n";
+
+        reduce_pipeline pipeline(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
+                                 w.trainer_cfg);
+
+        // Step 1 (shared by both Reduce variants).
+        resilience_config rc;
+        rc.fault_rates = {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3};
+        rc.repeats = repeats;
+        rc.max_epochs = budget;
+        rc.seed = seed;
+        const resilience_table table = pipeline.analyze(rc);
+        std::cerr << "[fig3] resilience analysis done (" << timer.seconds() << " s)\n";
+
+        // The fleet of faulty chips.
+        fleet_config fc;
+        fc.num_chips = num_chips;
+        fc.rate_lo = rate_lo;
+        fc.rate_hi = rate_hi;
+        fc.seed = seed + 1;
+        const std::vector<chip> fleet = make_fleet(w.array, fc);
+
+        std::vector<policy_outcome> outcomes;
+        selector_config sel;
+        sel.accuracy_target = constraint;
+        sel.stat = statistic::max;
+        outcomes.push_back(pipeline.run_reduce(fleet, table, sel, "reduce-max"));
+        std::cerr << "[fig3] reduce-max done (" << timer.seconds() << " s)\n";
+        sel.stat = statistic::mean;
+        outcomes.push_back(pipeline.run_reduce(fleet, table, sel, "reduce-mean"));
+        std::cerr << "[fig3] reduce-mean done (" << timer.seconds() << " s)\n";
+        for (const double epochs : fixed_levels) {
+            const std::string name = "fixed-" + std::to_string(epochs).substr(0, 4);
+            outcomes.push_back(pipeline.run_fixed(fleet, epochs, constraint, name));
+            std::cerr << "[fig3] " << name << " done (" << timer.seconds() << " s)\n";
+        }
+
+        const char* panels[] = {"a", "b", "c", "d", "e", "?", "?", "?"};
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            print_scatter(outcomes[i], panels[std::min<std::size_t>(i, 7)]);
+        }
+
+        csv_table summary({"policy", "avg_epochs_per_chip", "total_epochs",
+                           "pct_meeting_constraint"});
+        summary.set_precision(4);
+        for (const policy_outcome& outcome : outcomes) {
+            summary.add_row({outcome.policy_name, outcome.mean_epochs(),
+                             outcome.total_epochs(), outcome.fraction_meeting() * 100.0});
+        }
+        std::cout << "# Fig 3f: % of " << num_chips
+                  << " chips with accuracy >= " << constraint * 100.0
+                  << "% vs average retraining epochs per chip\n";
+        summary.write(std::cout);
+        std::cerr << "[fig3] done in " << timer.seconds() << " s\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks for the accelerator substrate: fault-map sampling,
+// mask construction, functional systolic execution, FAM assignment, and
+// the analytic performance model.
+#include <benchmark/benchmark.h>
+
+#include "accel/systolic_array.h"
+#include "fault/fam.h"
+#include "fault/mask_builder.h"
+#include "fault/models.h"
+#include "nn/layers.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+array_config sized_array(std::size_t n) {
+    array_config cfg;
+    cfg.rows = n;
+    cfg.cols = n;
+    return cfg;
+}
+
+void bm_fault_injection_exact(benchmark::State& state) {
+    const array_config cfg = sized_array(static_cast<std::size_t>(state.range(0)));
+    random_fault_config fc;
+    fc.fault_rate = 0.1;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generate_random_faults(cfg, fc, seed++));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(cfg.pe_count()));
+}
+BENCHMARK(bm_fault_injection_exact)->Arg(64)->Arg(256);
+
+void bm_fault_injection_bernoulli(benchmark::State& state) {
+    const array_config cfg = sized_array(static_cast<std::size_t>(state.range(0)));
+    random_fault_config fc;
+    fc.fault_rate = 0.1;
+    fc.count_mode = fault_count_mode::bernoulli;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generate_random_faults(cfg, fc, seed++));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(cfg.pe_count()));
+}
+BENCHMARK(bm_fault_injection_bernoulli)->Arg(256);
+
+void bm_mask_build(benchmark::State& state) {
+    const array_config cfg = sized_array(256);
+    random_fault_config fc;
+    fc.fault_rate = 0.1;
+    const fault_grid faults = generate_random_faults(cfg, fc, 7);
+    const std::size_t fan = static_cast<std::size_t>(state.range(0));
+    const gemm_mapping mapping(cfg, fan, fan);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(build_weight_mask(mapping, faults));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(fan * fan));
+}
+BENCHMARK(bm_mask_build)->Arg(64)->Arg(512);
+
+void bm_systolic_gemm(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const array_config cfg = sized_array(64);
+    random_fault_config fc;
+    fc.fault_rate = 0.1;
+    const systolic_array array(cfg, generate_random_faults(cfg, fc, 9));
+    rng gen(5);
+    tensor x({16, n});
+    tensor w({n, n});
+    uniform_init(x, -1.0f, 1.0f, gen);
+    uniform_init(w, -1.0f, 1.0f, gen);
+    const gemm_mapping mapping(cfg, n, n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.run_gemm(x, w, mapping, 1.0f));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                            static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(bm_systolic_gemm)->Arg(64)->Arg(128);
+
+void bm_perf_model(benchmark::State& state) {
+    const array_config cfg = sized_array(256);
+    random_fault_config fc;
+    fc.fault_rate = 0.1;
+    const fault_grid faults = generate_random_faults(cfg, fc, 11);
+    const gemm_mapping mapping(cfg, 1024, 512);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(estimate_gemm_perf(cfg, mapping, 64, &faults));
+    }
+}
+BENCHMARK(bm_perf_model);
+
+void bm_fam_assignment(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const array_config cfg = sized_array(n);
+    random_fault_config fc;
+    fc.fault_rate = 0.1;
+    const fault_grid faults = generate_random_faults(cfg, fc, 13);
+    rng gen(3);
+    sequential model;
+    model.emplace<linear>(n, n, gen);
+    const mapped_layer layer = collect_mapped_layers(model)[0];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fam_column_permutation(layer, cfg, faults));
+    }
+}
+BENCHMARK(bm_fam_assignment)->Arg(32)->Arg(128);
+
+void bm_effective_rate(benchmark::State& state) {
+    const array_config cfg = sized_array(256);
+    random_fault_config fc;
+    fc.fault_rate = 0.1;
+    const fault_grid faults = generate_random_faults(cfg, fc, 17);
+    rng gen(4);
+    sequential model;
+    model.emplace<linear>(32, 64, gen);
+    model.emplace<relu_layer>();
+    model.emplace<linear>(64, 10, gen);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(effective_fault_rate(
+            model, cfg, faults, effective_rate_kind::weight_weighted));
+    }
+}
+BENCHMARK(bm_effective_rate);
+
+}  // namespace
+}  // namespace reduce
+
+BENCHMARK_MAIN();

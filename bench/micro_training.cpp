@@ -1,0 +1,137 @@
+// Micro-benchmarks for the training substrate: the per-step costs that the
+// fleet-level retraining budgets are built from (forward, backward, masked
+// SGD step, full evaluation).
+#include <benchmark/benchmark.h>
+
+#include "core/fat_trainer.h"
+#include "core/workload.h"
+#include "data/loader.h"
+#include "fault/mask_builder.h"
+#include "fault/models.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "util/log.h"
+
+namespace reduce {
+namespace {
+
+/// Shared workload across benchmarks (built once; ~0.5 s).
+workload& shared_workload() {
+    static workload w = [] {
+        set_log_level(log_level::warn);
+        return make_standard_workload();
+    }();
+    return w;
+}
+
+void bm_forward(benchmark::State& state) {
+    workload& w = shared_workload();
+    data_loader loader(w.train_data, 64, 1);
+    const batch b = loader.next_batch();
+    w.model->set_training(false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(w.model->forward(b.features));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(bm_forward);
+
+void bm_train_step(benchmark::State& state) {
+    workload& w = shared_workload();
+    restore_parameters(w.model->parameters(), w.pretrained);
+    data_loader loader(w.train_data, 64, 2);
+    sgd opt(w.model->parameters(), {.learning_rate = 0.05, .momentum = 0.9});
+    w.model->set_training(true);
+    for (auto _ : state) {
+        const batch b = loader.next_batch();
+        const loss_result loss = cross_entropy_loss(w.model->forward(b.features), b.labels);
+        opt.zero_grad();
+        w.model->backward(loss.grad);
+        opt.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+    restore_parameters(w.model->parameters(), w.pretrained);
+}
+BENCHMARK(bm_train_step);
+
+void bm_masked_train_step(benchmark::State& state) {
+    workload& w = shared_workload();
+    restore_parameters(w.model->parameters(), w.pretrained);
+    random_fault_config fc;
+    fc.fault_rate = 0.15;
+    attach_fault_masks(*w.model, w.array, generate_random_faults(w.array, fc, 3));
+    data_loader loader(w.train_data, 64, 3);
+    sgd opt(w.model->parameters(), {.learning_rate = 0.05, .momentum = 0.9});
+    w.model->set_training(true);
+    for (auto _ : state) {
+        const batch b = loader.next_batch();
+        const loss_result loss = cross_entropy_loss(w.model->forward(b.features), b.labels);
+        opt.zero_grad();
+        w.model->backward(loss.grad);
+        opt.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+    clear_fault_masks(*w.model);
+    restore_parameters(w.model->parameters(), w.pretrained);
+}
+BENCHMARK(bm_masked_train_step);
+
+void bm_full_evaluation(benchmark::State& state) {
+    workload& w = shared_workload();
+    restore_parameters(w.model->parameters(), w.pretrained);
+    fault_aware_trainer trainer(*w.model, w.train_data, w.test_data, w.trainer_cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trainer.evaluate());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(w.test_data.size()));
+}
+BENCHMARK(bm_full_evaluation);
+
+void bm_mask_attach_full_model(benchmark::State& state) {
+    workload& w = shared_workload();
+    restore_parameters(w.model->parameters(), w.pretrained);
+    random_fault_config fc;
+    fc.fault_rate = 0.15;
+    const fault_grid faults = generate_random_faults(w.array, fc, 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(attach_fault_masks(*w.model, w.array, faults));
+        clear_fault_masks(*w.model);
+    }
+    restore_parameters(w.model->parameters(), w.pretrained);
+}
+BENCHMARK(bm_mask_attach_full_model);
+
+void bm_snapshot_restore(benchmark::State& state) {
+    workload& w = shared_workload();
+    for (auto _ : state) {
+        restore_parameters(w.model->parameters(), w.pretrained);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(bm_snapshot_restore);
+
+void bm_one_fat_epoch(benchmark::State& state) {
+    // The unit the entire Fig. 3 cost axis is measured in.
+    workload& w = shared_workload();
+    fault_aware_trainer trainer(*w.model, w.train_data, w.test_data, w.trainer_cfg);
+    random_fault_config fc;
+    fc.fault_rate = 0.15;
+    for (auto _ : state) {
+        state.PauseTiming();
+        restore_parameters(w.model->parameters(), w.pretrained);
+        attach_fault_masks(*w.model, w.array, generate_random_faults(w.array, fc, 6));
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(trainer.train(1.0));
+        state.PauseTiming();
+        clear_fault_masks(*w.model);
+        state.ResumeTiming();
+    }
+    restore_parameters(w.model->parameters(), w.pretrained);
+}
+BENCHMARK(bm_one_fat_epoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace reduce
+
+BENCHMARK_MAIN();

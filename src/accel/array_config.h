@@ -1,0 +1,27 @@
+// Systolic-array geometry and technology parameters.
+#pragma once
+
+#include <cstddef>
+
+namespace reduce {
+
+/// Geometry + (coarse) technology constants of the accelerator's PE array.
+///
+/// The paper evaluates a 256x256 weight-stationary array (TPU-like, with the
+/// FAP bypass circuitry of Zhang et al. VTS'18). Energy/latency constants
+/// are order-of-magnitude values used by the performance model; they only
+/// feed relative comparisons, never the functional path.
+struct array_config {
+    std::size_t rows = 256;  ///< one input (fan-in) element per row
+    std::size_t cols = 256;  ///< one output (fan-out) element per column
+
+    double clock_ghz = 0.7;         ///< nominal clock
+    double energy_per_mac_pj = 0.2; ///< dynamic energy per useful MAC
+    double energy_per_weight_load_pj = 1.0;  ///< SRAM→PE weight fill
+    double energy_per_act_stream_pj = 0.4;   ///< activation injection per row
+
+    /// Total PEs in the array.
+    std::size_t pe_count() const { return rows * cols; }
+};
+
+}  // namespace reduce

@@ -1,0 +1,39 @@
+// Processing-element behaviour model, including permanent-fault modes.
+#pragma once
+
+#include <string>
+
+namespace reduce {
+
+/// Permanent-fault behaviour of one PE's MAC datapath.
+///
+/// `bypassed` is the FAP repair state (Zhang et al. VTS'18): the PE's
+/// partial-sum mux forwards the incoming value unchanged, so the weight
+/// mapped there is effectively pruned. The stuck_* kinds model what happens
+/// WITHOUT mitigation: the weight register is stuck, so the MAC multiplies
+/// the activation by a wrong constant.
+enum class pe_fault {
+    healthy,            ///< psum_out = psum_in + w * x
+    bypassed,           ///< psum_out = psum_in              (FAP repair)
+    stuck_weight_zero,  ///< psum_out = psum_in + 0 * x      (benign corruption)
+    stuck_weight_max,   ///< psum_out = psum_in + (+w_max) * x
+    stuck_weight_min,   ///< psum_out = psum_in + (-w_max) * x
+};
+
+/// True for any non-healthy state.
+bool is_faulty(pe_fault fault);
+
+/// Short name for serialization ("healthy", "bypassed", ...).
+std::string to_string(pe_fault fault);
+
+/// Inverse of to_string; throws invalid_argument_error on unknown names.
+pe_fault pe_fault_from_string(const std::string& name);
+
+/// One multiply-accumulate through a PE in the given fault state.
+///
+/// `w_max` is the magnitude used by the stuck-at-extreme models (callers
+/// pass the per-layer weight range, mirroring a stuck sign/magnitude
+/// register in a quantized datapath).
+float pe_mac(pe_fault fault, float psum_in, float weight, float activation, float w_max);
+
+}  // namespace reduce

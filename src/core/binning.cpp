@@ -1,0 +1,82 @@
+#include "core/binning.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace reduce {
+
+binning_result bin_retraining_amounts(const std::vector<double>& selected_epochs,
+                                      std::size_t num_bins) {
+    REDUCE_CHECK(!selected_epochs.empty(), "binning needs at least one selection");
+    REDUCE_CHECK(num_bins >= 1, "binning needs at least one bin");
+    for (const double e : selected_epochs) {
+        REDUCE_CHECK(e >= 0.0, "selections must be non-negative, got " << e);
+    }
+
+    const std::size_t n = selected_epochs.size();
+    const std::size_t k = std::min(num_bins, n);
+
+    // Sort once; bins are contiguous ranges of the sorted sequence (an
+    // optimal partition never interleaves, since bin cost depends only on
+    // the max).
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return selected_epochs[a] < selected_epochs[b];
+    });
+    std::vector<double> sorted(n);
+    for (std::size_t i = 0; i < n; ++i) { sorted[i] = selected_epochs[order[i]]; }
+
+    // DP over prefixes: best[b][j] = min total allocation covering the
+    // first j chips with b bins; bin (i..j] costs sorted[j-1] * (j - i).
+    constexpr double k_inf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> best(k + 1, std::vector<double>(n + 1, k_inf));
+    std::vector<std::vector<std::size_t>> cut(k + 1, std::vector<std::size_t>(n + 1, 0));
+    best[0][0] = 0.0;
+    for (std::size_t b = 1; b <= k; ++b) {
+        for (std::size_t j = 1; j <= n; ++j) {
+            for (std::size_t i = b - 1; i < j; ++i) {
+                if (best[b - 1][i] == k_inf) { continue; }
+                const double cost =
+                    best[b - 1][i] + sorted[j - 1] * static_cast<double>(j - i);
+                if (cost < best[b][j]) {
+                    best[b][j] = cost;
+                    cut[b][j] = i;
+                }
+            }
+        }
+    }
+
+    // Using fewer bins can never help; pick the best bin count <= k.
+    std::size_t used_bins = k;
+    for (std::size_t b = 1; b <= k; ++b) {
+        if (best[b][n] < best[used_bins][n]) { used_bins = b; }
+    }
+
+    binning_result result;
+    result.per_chip_total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+    result.binned_total = best[used_bins][n];
+
+    // Reconstruct the partition back-to-front.
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    std::size_t j = n;
+    for (std::size_t b = used_bins; b >= 1; --b) {
+        const std::size_t i = cut[b][j];
+        ranges.emplace_back(i, j);
+        j = i;
+    }
+    std::reverse(ranges.begin(), ranges.end());
+    for (const auto& [lo, hi] : ranges) {
+        epoch_bin bin;
+        bin.epochs = sorted[hi - 1];
+        for (std::size_t idx = lo; idx < hi; ++idx) { bin.members.push_back(order[idx]); }
+        std::sort(bin.members.begin(), bin.members.end());
+        result.bins.push_back(std::move(bin));
+    }
+    return result;
+}
+
+}  // namespace reduce

@@ -1,0 +1,46 @@
+// Extension: retraining-amount binning for production scheduling.
+//
+// Reduce selects a per-chip retraining amount; a production line, however,
+// may prefer a handful of standard retraining jobs over N distinct ones
+// (simpler scheduling, batched data staging). Binning rounds each chip's
+// selected amount UP to its bin's allocation, so every chip still receives
+// at least the epochs the resilience analysis asked for — robustness is
+// preserved by construction and the price is a bounded epoch overhead.
+//
+// The partition is optimal: a dynamic program over the sorted amounts
+// minimizes the total allocated epochs for the given bin count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace reduce {
+
+/// One retraining job class.
+struct epoch_bin {
+    double epochs = 0.0;                 ///< allocation every member receives
+    std::vector<std::size_t> members;    ///< indices into the input vector
+};
+
+/// Result of binning a set of per-chip selections.
+struct binning_result {
+    std::vector<epoch_bin> bins;
+    double per_chip_total = 0.0;  ///< sum of the original selections
+    double binned_total = 0.0;    ///< sum of the binned allocations
+
+    /// Fractional extra epochs paid for the scheduling simplification
+    /// (0 when every chip got exactly its selection).
+    double overhead() const {
+        return per_chip_total > 0.0 ? binned_total / per_chip_total - 1.0 : 0.0;
+    }
+};
+
+/// Partitions `selected_epochs` (one entry per chip, any order) into at
+/// most `num_bins` bins minimizing the total allocated epochs. Each bin's
+/// allocation is the maximum selection among its members, so no chip is
+/// under-trained. Requires num_bins >= 1; fewer bins than chips collapses
+/// allocations upward.
+binning_result bin_retraining_amounts(const std::vector<double>& selected_epochs,
+                                      std::size_t num_bins);
+
+}  // namespace reduce

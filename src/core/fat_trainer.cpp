@@ -1,0 +1,140 @@
+#include "core/fat_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/metrics.h"
+#include "util/error.h"
+#include "util/stopwatch.h"
+
+namespace reduce {
+
+std::vector<double> make_eval_grid(double max_epochs, double fine_until, double fine_step,
+                                   double coarse_step) {
+    REDUCE_CHECK(max_epochs > 0.0, "eval grid needs positive max_epochs");
+    REDUCE_CHECK(fine_step > 0.0 && coarse_step > 0.0, "eval grid steps must be positive");
+    REDUCE_CHECK(fine_until >= 0.0, "fine_until must be non-negative");
+    std::vector<double> grid;
+    const double eps = 1e-9;
+    double e = fine_step;
+    while (e <= std::min(fine_until, max_epochs) + eps) {
+        grid.push_back(e);
+        e += fine_step;
+    }
+    double start = grid.empty() ? coarse_step : grid.back() + coarse_step;
+    for (double c = start; c <= max_epochs + eps; c += coarse_step) { grid.push_back(c); }
+    if (grid.empty() || grid.back() < max_epochs - eps) { grid.push_back(max_epochs); }
+    return grid;
+}
+
+std::optional<double> epochs_to_reach(const std::vector<training_point>& trajectory,
+                                      double target) {
+    for (const training_point& point : trajectory) {
+        if (point.test_accuracy >= target) { return point.epochs; }
+    }
+    return std::nullopt;
+}
+
+double accuracy_at_epochs(const std::vector<training_point>& trajectory, double epochs) {
+    REDUCE_CHECK(!trajectory.empty(), "empty trajectory");
+    REDUCE_CHECK(trajectory.front().epochs == 0.0, "trajectory must start at epoch 0");
+    double acc = trajectory.front().test_accuracy;
+    for (const training_point& point : trajectory) {
+        if (point.epochs <= epochs + 1e-9) {
+            acc = point.test_accuracy;
+        } else {
+            break;
+        }
+    }
+    return acc;
+}
+
+fault_aware_trainer::fault_aware_trainer(sequential& model, const dataset& train_data,
+                                         const dataset& test_data, fat_config cfg)
+    : model_(model), train_data_(train_data), test_data_(test_data), cfg_(cfg) {
+    train_data_.validate();
+    test_data_.validate();
+    REDUCE_CHECK(cfg_.batch_size > 0, "batch size must be positive");
+    REDUCE_CHECK(cfg_.learning_rate > 0.0, "learning rate must be positive");
+}
+
+double fault_aware_trainer::evaluate() {
+    model_.set_training(false);
+    // Evaluate in batches to bound activation memory on large test sets.
+    const std::size_t eval_batch = std::max<std::size_t>(cfg_.batch_size, 256);
+    std::size_t correct = 0;
+    std::size_t index = 0;
+    while (index < test_data_.size()) {
+        const std::size_t count = std::min(eval_batch, test_data_.size() - index);
+        std::vector<std::size_t> indices(count);
+        for (std::size_t i = 0; i < count; ++i) { indices[i] = index + i; }
+        const batch b = gather_batch(test_data_, indices);
+        const tensor logits = model_.forward(b.features);
+        correct += correct_count(logits, b.labels);
+        index += count;
+    }
+    model_.set_training(true);
+    return static_cast<double>(correct) / static_cast<double>(test_data_.size());
+}
+
+fat_result fault_aware_trainer::train(double epoch_budget, const std::vector<double>& eval_grid) {
+    REDUCE_CHECK(epoch_budget >= 0.0, "epoch budget must be non-negative");
+    stopwatch timer;
+
+    // Checkpoints: strictly increasing, <= budget, always ending at budget.
+    std::vector<double> checkpoints;
+    for (const double e : eval_grid) {
+        if (e > 0.0 && e < epoch_budget - 1e-9) { checkpoints.push_back(e); }
+    }
+    std::sort(checkpoints.begin(), checkpoints.end());
+    checkpoints.erase(std::unique(checkpoints.begin(), checkpoints.end()), checkpoints.end());
+    if (epoch_budget > 0.0) { checkpoints.push_back(epoch_budget); }
+
+    fat_result result;
+    result.trajectory.push_back({0.0, evaluate()});
+
+    data_loader loader(train_data_, cfg_.batch_size, cfg_.shuffle_seed);
+    sgd::config opt_cfg;
+    opt_cfg.learning_rate = cfg_.learning_rate;
+    opt_cfg.momentum = cfg_.momentum;
+    opt_cfg.weight_decay = cfg_.weight_decay;
+    sgd optimizer(model_.parameters(), opt_cfg);
+
+    model_.set_training(true);
+    apply_all_masks(optimizer.params());
+
+    std::size_t steps_done = 0;
+    for (const double checkpoint : checkpoints) {
+        const std::size_t target_steps = loader.steps_for_epochs(checkpoint);
+        while (steps_done < target_steps) {
+            const batch b = loader.next_batch();
+            const tensor logits = model_.forward(b.features);
+            const loss_result loss = cross_entropy_loss(logits, b.labels);
+            optimizer.zero_grad();
+            model_.backward(loss.grad);
+            if (cfg_.grad_clip > 0.0) { clip_grad_norm(optimizer.params(), cfg_.grad_clip); }
+            optimizer.step();
+            ++steps_done;
+        }
+        // Label the point with the REQUESTED checkpoint, not the
+        // step-quantized epoch count: queries (accuracy_at, epochs_to_reach)
+        // are phrased on the checkpoint grid, and the quantization always
+        // rounds the actual steps UP (ceil), so the label understates the
+        // training done — the conservative direction.
+        result.trajectory.push_back({checkpoint, evaluate()});
+    }
+
+    result.final_accuracy = result.trajectory.back().test_accuracy;
+    result.steps_run = steps_done;
+    result.epochs_run =
+        static_cast<double>(steps_done) / static_cast<double>(loader.steps_per_epoch());
+    result.train_seconds = timer.seconds();
+    return result;
+}
+
+fat_result fault_aware_trainer::train(double epoch_budget) {
+    return train(epoch_budget, {});
+}
+
+}  // namespace reduce

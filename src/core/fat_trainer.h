@@ -1,0 +1,87 @@
+// Fault-Aware Training (FAT) — Step 3 of the Reduce framework.
+//
+// Retrains a masked model for an exact (possibly fractional) number of
+// epochs, evaluating test accuracy at a grid of epoch checkpoints. The
+// trainer assumes fault masks are already attached (attach_fault_masks);
+// the mask-aware optimizer keeps pruned weights at zero, so the network
+// being trained is exactly the function the damaged chip computes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "data/loader.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+
+namespace reduce {
+
+/// Hyper-parameters of one retraining run.
+struct fat_config {
+    std::size_t batch_size = 64;
+    double learning_rate = 0.05;
+    double momentum = 0.9;
+    double weight_decay = 0.0;
+    double grad_clip = 0.0;        ///< 0 disables clipping
+    std::uint64_t shuffle_seed = 99;
+};
+
+/// One point of a retraining trajectory.
+struct training_point {
+    double epochs = 0.0;         ///< epochs completed when evaluated
+    double test_accuracy = 0.0;  ///< in [0, 1]
+};
+
+/// Outcome of a retraining run.
+struct fat_result {
+    std::vector<training_point> trajectory;  ///< includes the epoch-0 point
+    double final_accuracy = 0.0;
+    double epochs_run = 0.0;
+    std::size_t steps_run = 0;
+    double train_seconds = 0.0;
+};
+
+/// Builds an epoch-checkpoint grid: `fine_step` spacing up to `fine_until`,
+/// then `coarse_step` spacing up to `max_epochs` (inclusive). All harnesses
+/// share this so trajectories are comparable.
+std::vector<double> make_eval_grid(double max_epochs, double fine_until, double fine_step,
+                                   double coarse_step);
+
+/// First trajectory epoch value whose accuracy meets `target`; nullopt when
+/// the run never reaches it (censored).
+std::optional<double> epochs_to_reach(const std::vector<training_point>& trajectory,
+                                      double target);
+
+/// Accuracy at the largest checkpoint <= `epochs` (trajectory must start at
+/// epoch 0).
+double accuracy_at_epochs(const std::vector<training_point>& trajectory, double epochs);
+
+/// Retraining engine bound to one model + datasets.
+class fault_aware_trainer {
+public:
+    /// The trainer keeps references; all must outlive it.
+    fault_aware_trainer(sequential& model, const dataset& train_data, const dataset& test_data,
+                        fat_config cfg);
+
+    /// Test-set accuracy of the model as-is (eval mode, full test set).
+    double evaluate();
+
+    /// Trains for `epoch_budget` epochs (0 allowed → just the epoch-0 eval),
+    /// evaluating at every checkpoint of `eval_grid` that is <= budget and
+    /// at the budget itself. A fresh optimizer and reshuffled loader are
+    /// used per call, so runs are independent given the config seed.
+    fat_result train(double epoch_budget, const std::vector<double>& eval_grid);
+
+    /// Convenience: train for the budget with a single final evaluation.
+    fat_result train(double epoch_budget);
+
+    const fat_config& config() const { return cfg_; }
+
+private:
+    sequential& model_;
+    const dataset& train_data_;
+    const dataset& test_data_;
+    fat_config cfg_;
+};
+
+}  // namespace reduce

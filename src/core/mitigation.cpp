@@ -1,0 +1,107 @@
+#include "core/mitigation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/mapping.h"
+#include "fault/fam.h"
+#include "fault/mask_builder.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace reduce {
+
+void corrupt_weights_for_faults(sequential& model, const array_config& array,
+                                const fault_grid& faults) {
+    REDUCE_CHECK(faults.rows() == array.rows && faults.cols() == array.cols,
+                 "fault grid does not match array");
+    for (const mapped_layer& layer : collect_mapped_layers(model)) {
+        tensor& w = layer.weight->value;
+        float* pw = w.raw();
+        float w_max = 0.0f;
+        for (const float v : w.data()) { w_max = std::max(w_max, std::abs(v)); }
+        const gemm_mapping mapping(array, layer.rows, layer.cols);
+        for (std::size_t o = 0; o < layer.cols; ++o) {
+            for (std::size_t i = 0; i < layer.rows; ++i) {
+                const pe_coordinate pe = mapping.pe_for_weight(i, o);
+                const pe_fault f = faults.at(pe.row, pe.col);
+                if (!is_faulty(f)) { continue; }
+                float& weight = pw[o * layer.rows + i];
+                switch (f) {
+                    case pe_fault::bypassed:
+                    case pe_fault::stuck_weight_zero:
+                        weight = 0.0f;
+                        break;
+                    case pe_fault::stuck_weight_max:
+                        weight = w_max;
+                        break;
+                    case pe_fault::stuck_weight_min:
+                        weight = -w_max;
+                        break;
+                    case pe_fault::healthy:
+                        break;
+                }
+            }
+        }
+    }
+}
+
+std::vector<mitigation_outcome> compare_mitigations(
+    sequential& model, const model_snapshot& pretrained, const dataset& train_data,
+    const dataset& test_data, const array_config& array, const fat_config& trainer_cfg,
+    const mitigation_config& cfg) {
+    REDUCE_CHECK(!cfg.fault_rates.empty(), "mitigation sweep needs fault rates");
+    fault_aware_trainer trainer(model, train_data, test_data, trainer_cfg);
+    std::vector<mitigation_outcome> outcomes;
+
+    for (std::size_t idx = 0; idx < cfg.fault_rates.size(); ++idx) {
+        const double rate = cfg.fault_rates[idx];
+        const std::uint64_t seed = mix_seed(cfg.seed, idx);
+
+        // Unmitigated: stuck weight registers, worst-case random kinds.
+        {
+            random_fault_config fc;
+            fc.fault_rate = rate;
+            fc.kind_mix = fault_kind_mix::random_stuck;
+            const fault_grid faults = generate_random_faults(array, fc, seed);
+            restore_parameters(model.parameters(), pretrained);
+            corrupt_weights_for_faults(model, array, faults);
+            outcomes.push_back({"unmitigated", rate, trainer.evaluate(), 0.0});
+        }
+
+        // The same physical defects, repaired by FAP (bypass = prune).
+        random_fault_config fc;
+        fc.fault_rate = rate;
+        fc.kind_mix = fault_kind_mix::all_bypassed;
+        const fault_grid faults = generate_random_faults(array, fc, seed);
+
+        {
+            restore_parameters(model.parameters(), pretrained);
+            attach_fault_masks(model, array, faults);
+            outcomes.push_back({"fap", rate, trainer.evaluate(), 0.0});
+            clear_fault_masks(model);
+        }
+
+        // FAM: saliency-driven column permutation, still training-free.
+        {
+            restore_parameters(model.parameters(), pretrained);
+            const auto perms = fam_permutations(model, array, faults);
+            attach_fault_masks_permuted(model, array, faults, perms);
+            outcomes.push_back({"fam", rate, trainer.evaluate(), 0.0});
+            clear_fault_masks(model);
+        }
+
+        // FAP + T: prune then retrain.
+        {
+            restore_parameters(model.parameters(), pretrained);
+            attach_fault_masks(model, array, faults);
+            const fat_result result = trainer.train(cfg.fat_epochs);
+            outcomes.push_back({"fat", rate, result.final_accuracy, result.epochs_run});
+            clear_fault_masks(model);
+        }
+    }
+    restore_parameters(model.parameters(), pretrained);
+    return outcomes;
+}
+
+}  // namespace reduce

@@ -1,0 +1,48 @@
+// Mitigation-technique comparison (the paper's §I motivation):
+// unmitigated stuck-at faults vs FAP vs FAM vs FAP+T (FAT).
+//
+// Each technique is evaluated as the function the damaged chip would
+// compute: unmitigated faults corrupt the stored weights (stuck weight
+// registers), FAP prunes them, FAM permutes columns before pruning, FAT
+// prunes and retrains. Used by bench/ablation_mitigation_baselines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fat_trainer.h"
+#include "fault/chip.h"
+#include "nn/serialize.h"
+
+namespace reduce {
+
+/// Result of evaluating one technique at one fault rate.
+struct mitigation_outcome {
+    std::string technique;
+    double fault_rate = 0.0;
+    double accuracy = 0.0;
+    double retraining_epochs = 0.0;  ///< 0 for training-free techniques
+};
+
+/// Overwrites mapped-layer weights with their stuck values under `faults`
+/// (stuck_weight_zero → 0, stuck_weight_max/min → ±max|W| of the layer).
+/// Bypassed PEs also zero their weights (FAP view). Call
+/// restore_parameters afterwards to undo.
+void corrupt_weights_for_faults(sequential& model, const array_config& array,
+                                const fault_grid& faults);
+
+/// Configuration of the comparison sweep.
+struct mitigation_config {
+    std::vector<double> fault_rates{0.01, 0.05, 0.1, 0.2, 0.4};
+    double fat_epochs = 2.0;     ///< retraining amount for the FAT row
+    std::uint64_t seed = 555;
+};
+
+/// Runs the four techniques at every fault rate; deterministic given the
+/// seed. The model is restored to `pretrained` after each evaluation.
+std::vector<mitigation_outcome> compare_mitigations(
+    sequential& model, const model_snapshot& pretrained, const dataset& train_data,
+    const dataset& test_data, const array_config& array, const fat_config& trainer_cfg,
+    const mitigation_config& cfg);
+
+}  // namespace reduce

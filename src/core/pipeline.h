@@ -1,0 +1,97 @@
+// End-to-end Reduce pipeline (Steps 1–3) and the fixed-policy baseline.
+//
+// run_reduce() is the paper's proposal: per chip, select the retraining
+// amount from the resilience table, then run FAT for exactly that amount.
+// run_fixed() is the state-of-the-art baseline (Zhang et al. VTS'18): every
+// chip gets the same pre-specified number of epochs. Fig. 3 compares the
+// two on a 100-chip fleet.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/resilience.h"
+#include "core/selector.h"
+#include "fault/chip.h"
+
+namespace reduce {
+
+/// Per-chip result of a retraining policy.
+struct chip_outcome {
+    std::size_t chip_id = 0;
+    double nominal_fault_rate = 0.0;
+    double effective_fault_rate = 0.0;
+    double masked_weight_fraction = 0.0;
+    double epochs_allocated = 0.0;
+    double epochs_run = 0.0;
+    double accuracy_before = 0.0;  ///< after FAP, before retraining
+    double final_accuracy = 0.0;
+    bool meets_constraint = false;
+    bool selection_failed = false;  ///< table deemed the target unreachable
+};
+
+/// Fleet-level summary of a policy run (one panel of Fig. 3).
+struct policy_outcome {
+    std::string policy_name;
+    double accuracy_constraint = 0.0;
+    std::vector<chip_outcome> chips;
+
+    /// Average retraining epochs per chip (x-axis of Fig. 3f).
+    double mean_epochs() const;
+
+    /// Total epochs across the fleet (the aggregate cost Reduce minimizes).
+    double total_epochs() const;
+
+    /// Fraction of chips with final accuracy >= constraint (y-axis of
+    /// Fig. 3f), in [0, 1].
+    double fraction_meeting() const;
+};
+
+/// Optional hook invoked after each chip is tuned — the "distribute the
+/// fault-aware DNN to its chip" step. Receives the chip and the tuned
+/// weights.
+using model_sink = std::function<void(const chip&, const model_snapshot&)>;
+
+/// Orchestrates resilience analysis and per-chip retraining for one
+/// (model, dataset, accelerator) triple.
+class reduce_pipeline {
+public:
+    /// References must outlive the pipeline; `pretrained` is the golden
+    /// snapshot every chip's retraining starts from.
+    reduce_pipeline(sequential& model, const model_snapshot& pretrained,
+                    const dataset& train_data, const dataset& test_data,
+                    const array_config& array, fat_config trainer_cfg);
+
+    /// Step 1 convenience wrapper.
+    resilience_table analyze(const resilience_config& cfg);
+
+    /// Steps 2+3: Reduce policy over a fleet. `constraint` is a fraction
+    /// (e.g. 0.91). Chips whose selection fails get the full table budget
+    /// (the conservative fallback).
+    policy_outcome run_reduce(const std::vector<chip>& fleet, const resilience_table& table,
+                              const selector_config& sel_cfg, const std::string& name);
+
+    /// Baseline: fixed `epochs` of FAT per chip.
+    policy_outcome run_fixed(const std::vector<chip>& fleet, double epochs, double constraint,
+                             const std::string& name);
+
+    /// Installs the tuned-model hook (pass nullptr to remove).
+    void set_model_sink(model_sink sink) { sink_ = std::move(sink); }
+
+private:
+    /// Restores weights, masks for the chip's faults, trains `epochs`, and
+    /// reports the outcome.
+    chip_outcome tune_chip(const chip& c, double epochs, double constraint,
+                           double effective_rate, bool selection_failed);
+
+    sequential& model_;
+    const model_snapshot& pretrained_;
+    const dataset& train_data_;
+    const dataset& test_data_;
+    array_config array_;
+    fat_config trainer_cfg_;
+    model_sink sink_;
+};
+
+}  // namespace reduce

@@ -1,0 +1,210 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/mask_builder.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace reduce {
+
+resilience_table::resilience_table(std::vector<resilience_run> runs, double max_epochs)
+    : runs_(std::move(runs)), max_epochs_(max_epochs) {
+    REDUCE_CHECK(!runs_.empty(), "resilience table needs at least one run");
+    REDUCE_CHECK(max_epochs_ > 0.0, "max_epochs must be positive");
+    for (const resilience_run& run : runs_) {
+        REDUCE_CHECK(!run.trajectory.empty() && run.trajectory.front().epochs == 0.0,
+                     "every run needs a trajectory starting at epoch 0");
+        rates_.push_back(run.fault_rate);
+    }
+    std::sort(rates_.begin(), rates_.end());
+    rates_.erase(std::unique(rates_.begin(), rates_.end(),
+                             [](double a, double b) { return std::abs(a - b) < 1e-12; }),
+                 rates_.end());
+}
+
+namespace {
+
+bool same_rate(double a, double b) { return std::abs(a - b) < 1e-9; }
+
+}  // namespace
+
+std::size_t resilience_table::repeats_at(double fault_rate) const {
+    std::size_t count = 0;
+    for (const resilience_run& run : runs_) {
+        if (same_rate(run.fault_rate, fault_rate)) { ++count; }
+    }
+    return count;
+}
+
+double resilience_table::accuracy_at(double fault_rate, double epochs, statistic stat) const {
+    std::vector<double> accs;
+    for (const resilience_run& run : runs_) {
+        if (same_rate(run.fault_rate, fault_rate)) {
+            accs.push_back(accuracy_at_epochs(run.trajectory, epochs));
+        }
+    }
+    REDUCE_CHECK(!accs.empty(), "fault rate " << fault_rate << " not in resilience grid");
+    return select_statistic(summarize(accs), stat);
+}
+
+summary_stats resilience_table::target_sample::stats() const {
+    REDUCE_CHECK(!epochs.empty(), "target_sample is empty");
+    return summarize(epochs);
+}
+
+resilience_table::target_sample resilience_table::epochs_to_target_at(
+    double fault_rate, double target_accuracy) const {
+    target_sample sample;
+    bool found_rate = false;
+    for (const resilience_run& run : runs_) {
+        if (!same_rate(run.fault_rate, fault_rate)) { continue; }
+        found_rate = true;
+        const std::optional<double> needed = epochs_to_reach(run.trajectory, target_accuracy);
+        if (needed.has_value()) {
+            sample.epochs.push_back(*needed);
+        } else {
+            sample.epochs.push_back(max_epochs_);
+            ++sample.censored;
+        }
+    }
+    REDUCE_CHECK(found_rate, "fault rate " << fault_rate << " not in resilience grid");
+    return sample;
+}
+
+std::optional<double> resilience_table::epochs_for(double fault_rate, double target_accuracy,
+                                                   statistic stat, interpolation mode) const {
+    REDUCE_CHECK(fault_rate >= 0.0, "fault rate must be non-negative");
+    // Clamp outside the grid; interpolate between bracketing grid points.
+    const double lo_rate = rates_.front();
+    const double hi_rate = rates_.back();
+    const double r = std::clamp(fault_rate, lo_rate, hi_rate);
+
+    const auto value_at = [&](double grid_rate) -> std::optional<double> {
+        const target_sample sample = epochs_to_target_at(grid_rate, target_accuracy);
+        if (sample.censored == sample.epochs.size()) { return std::nullopt; }
+        return select_statistic(sample.stats(), stat);
+    };
+
+    // Find bracketing grid rates.
+    std::size_t hi = 0;
+    while (hi < rates_.size() && rates_[hi] < r - 1e-12) { ++hi; }
+    if (hi == 0 || same_rate(rates_[std::min(hi, rates_.size() - 1)], r)) {
+        return value_at(rates_[std::min(hi, rates_.size() - 1)]);
+    }
+    const double r0 = rates_[hi - 1];
+    const double r1 = rates_[hi];
+    const std::optional<double> v0 = value_at(r0);
+    const std::optional<double> v1 = value_at(r1);
+    if (!v1.has_value()) { return std::nullopt; }          // upper end unreachable
+    if (!v0.has_value() || mode == interpolation::upper) { return v1; }
+    const double t = (r - r0) / (r1 - r0);
+    return *v0 + t * (*v1 - *v0);
+}
+
+json_value resilience_table::to_json() const {
+    json_object root;
+    root.set("max_epochs", json_value(max_epochs_));
+    json_array runs;
+    for (const resilience_run& run : runs_) {
+        json_object entry;
+        entry.set("fault_rate", json_value(run.fault_rate));
+        entry.set("repeat", json_value(run.repeat));
+        entry.set("map_seed", json_value(static_cast<double>(run.map_seed)));
+        entry.set("masked_weight_fraction", json_value(run.masked_weight_fraction));
+        json_array traj;
+        for (const training_point& p : run.trajectory) {
+            json_object point;
+            point.set("epochs", json_value(p.epochs));
+            point.set("accuracy", json_value(p.test_accuracy));
+            traj.push_back(json_value(std::move(point)));
+        }
+        entry.set("trajectory", json_value(std::move(traj)));
+        runs.push_back(json_value(std::move(entry)));
+    }
+    root.set("runs", json_value(std::move(runs)));
+    return json_value(std::move(root));
+}
+
+resilience_table resilience_table::from_json(const json_value& value) {
+    const json_object& root = value.as_object();
+    std::vector<resilience_run> runs;
+    for (const json_value& entry : root.at("runs").as_array()) {
+        const json_object& obj = entry.as_object();
+        resilience_run run;
+        run.fault_rate = obj.at("fault_rate").as_number();
+        run.repeat = static_cast<std::size_t>(obj.at("repeat").as_int());
+        run.map_seed = static_cast<std::uint64_t>(obj.at("map_seed").as_number());
+        run.masked_weight_fraction = obj.at("masked_weight_fraction").as_number();
+        for (const json_value& p : obj.at("trajectory").as_array()) {
+            const json_object& point = p.as_object();
+            run.trajectory.push_back(
+                {point.at("epochs").as_number(), point.at("accuracy").as_number()});
+        }
+        runs.push_back(std::move(run));
+    }
+    return resilience_table(std::move(runs), root.at("max_epochs").as_number());
+}
+
+resilience_analyzer::resilience_analyzer(sequential& model, const model_snapshot& pretrained,
+                                         const dataset& train_data, const dataset& test_data,
+                                         const array_config& array, fat_config trainer_cfg)
+    : model_(model),
+      pretrained_(pretrained),
+      train_data_(train_data),
+      test_data_(test_data),
+      array_(array),
+      trainer_cfg_(trainer_cfg) {}
+
+resilience_table resilience_analyzer::analyze(const resilience_config& cfg) {
+    REDUCE_CHECK(!cfg.fault_rates.empty(), "resilience sweep needs fault rates");
+    REDUCE_CHECK(cfg.repeats > 0, "resilience sweep needs repeats >= 1");
+    REDUCE_CHECK(cfg.max_epochs > 0.0, "resilience sweep needs a positive epoch budget");
+
+    const std::vector<double> eval_grid =
+        cfg.eval_grid.empty() ? make_eval_grid(cfg.max_epochs, 1.0, 0.05, 0.5) : cfg.eval_grid;
+
+    std::vector<resilience_run> runs;
+    runs.reserve(cfg.fault_rates.size() * cfg.repeats);
+    fault_aware_trainer trainer(model_, train_data_, test_data_, trainer_cfg_);
+
+    for (std::size_t rate_idx = 0; rate_idx < cfg.fault_rates.size(); ++rate_idx) {
+        const double rate = cfg.fault_rates[rate_idx];
+        REDUCE_CHECK(rate >= 0.0 && rate <= 1.0, "fault rate out of range: " << rate);
+        // Rate 0 is deterministic: no faults → a single repeat suffices, but
+        // keep the repeat count uniform so downstream stats stay simple.
+        for (std::size_t rep = 0; rep < cfg.repeats; ++rep) {
+            const std::uint64_t map_seed = mix_seed(cfg.seed, rate_idx * 1000 + rep);
+            random_fault_config fault_cfg = cfg.fault_model;
+            fault_cfg.fault_rate = rate;
+            const fault_grid faults = generate_random_faults(array_, fault_cfg, map_seed);
+
+            restore_parameters(model_.parameters(), pretrained_);
+            const mask_stats stats = attach_fault_masks(model_, array_, faults);
+
+            fat_result fat = trainer.train(cfg.max_epochs, eval_grid);
+
+            resilience_run run;
+            run.fault_rate = rate;
+            run.repeat = rep;
+            run.map_seed = map_seed;
+            run.masked_weight_fraction = stats.masked_fraction();
+            run.trajectory = std::move(fat.trajectory);
+            runs.push_back(std::move(run));
+
+            LOG_DEBUG << "resilience: rate=" << rate << " rep=" << rep
+                      << " masked=" << stats.masked_fraction()
+                      << " final_acc=" << runs.back().trajectory.back().test_accuracy;
+        }
+        LOG_INFO << "resilience: fault rate " << rate << " done (" << cfg.repeats
+                 << " repeats)";
+    }
+    // Leave the model clean for the caller.
+    clear_fault_masks(model_);
+    restore_parameters(model_.parameters(), pretrained_);
+    return resilience_table(std::move(runs), cfg.max_epochs);
+}
+
+}  // namespace reduce

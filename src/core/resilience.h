@@ -1,0 +1,127 @@
+// Step 1 of Reduce: resilience analysis.
+//
+// Fault-injection experiments over a grid of fault rates, each repeated R
+// times with independent fault maps, each trained up to an epoch budget
+// while recording the test-accuracy trajectory. The distilled artifact is a
+// resilience_table answering two queries:
+//   * accuracy_at(rate, epochs)      — the curves of Fig. 2a, and
+//   * epochs_for(rate, target, stat) — the curves of Fig. 2b, with
+//     min/mean/max over repeats (the paper recommends max: mean
+//     under-trains, cf. the error bars of Fig. 2b).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/array_config.h"
+#include "core/fat_trainer.h"
+#include "fault/models.h"
+#include "nn/serialize.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace reduce {
+
+/// One fault-injection + retraining experiment.
+struct resilience_run {
+    double fault_rate = 0.0;
+    std::size_t repeat = 0;
+    std::uint64_t map_seed = 0;
+    double masked_weight_fraction = 0.0;  ///< network weights pruned by this map
+    std::vector<training_point> trajectory;
+};
+
+/// Distilled resilience characteristics of (model, dataset, fault model).
+class resilience_table {
+public:
+    /// Builds from raw runs; `max_epochs` is the training budget that
+    /// censored runs were cut at.
+    resilience_table(std::vector<resilience_run> runs, double max_epochs);
+
+    /// Fault rates present in the grid (sorted ascending, unique).
+    const std::vector<double>& fault_rates() const { return rates_; }
+
+    /// Training budget (censoring point).
+    double max_epochs() const { return max_epochs_; }
+
+    /// Number of repeats at a grid rate.
+    std::size_t repeats_at(double fault_rate) const;
+
+    /// Accuracy after `epochs` of FAT at a grid fault rate, reduced over
+    /// repeats by `stat` (default mean — matches how Fig. 2a curves are
+    /// read). Rate must be a grid point.
+    double accuracy_at(double fault_rate, double epochs,
+                       statistic stat = statistic::mean) const;
+
+    /// Epoch counts that reached `target_accuracy` at the grid rate, one
+    /// entry per repeat; censored repeats count as max_epochs. Returns the
+    /// per-repeat sample (for error bars) plus the censored count.
+    struct target_sample {
+        std::vector<double> epochs;  ///< one per repeat
+        std::size_t censored = 0;    ///< repeats that never reached target
+        summary_stats stats() const;
+    };
+    target_sample epochs_to_target_at(double fault_rate, double target_accuracy) const;
+
+    /// How epochs_for treats rates between grid points.
+    enum class interpolation {
+        linear,  ///< linear between the bracketing grid rates
+        upper,   ///< value at the upper bracketing rate (conservative)
+    };
+
+    /// The Step-2 query: retraining amount for an arbitrary fault rate via
+    /// interpolation of the chosen statistic between grid rates (clamped at
+    /// the grid ends). Returns nullopt when the target is unreachable
+    /// (censored) at every relevant grid point.
+    std::optional<double> epochs_for(double fault_rate, double target_accuracy,
+                                     statistic stat,
+                                     interpolation mode = interpolation::linear) const;
+
+    /// Raw runs (benches re-plot trajectories directly).
+    const std::vector<resilience_run>& runs() const { return runs_; }
+
+    /// JSON round-trip for caching the (expensive) Step-1 artifact.
+    json_value to_json() const;
+    static resilience_table from_json(const json_value& value);
+
+private:
+    std::vector<resilience_run> runs_;
+    std::vector<double> rates_;
+    double max_epochs_;
+};
+
+/// Configuration of the resilience sweep.
+struct resilience_config {
+    std::vector<double> fault_rates{0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
+    std::size_t repeats = 5;
+    double max_epochs = 10.0;
+    std::vector<double> eval_grid;  ///< empty → make_eval_grid(max,1,0.05,0.5)
+    random_fault_config fault_model{};
+    std::uint64_t seed = 20230305;
+};
+
+/// Runs Step 1: for each (rate, repeat), restores the pre-trained weights,
+/// injects a fresh fault map, attaches masks, retrains up to the budget,
+/// and records the trajectory.
+class resilience_analyzer {
+public:
+    /// References must outlive the analyzer. `pretrained` is the snapshot
+    /// every run starts from.
+    resilience_analyzer(sequential& model, const model_snapshot& pretrained,
+                        const dataset& train_data, const dataset& test_data,
+                        const array_config& array, fat_config trainer_cfg);
+
+    /// Executes the sweep (deterministic given cfg.seed).
+    resilience_table analyze(const resilience_config& cfg);
+
+private:
+    sequential& model_;
+    const model_snapshot& pretrained_;
+    const dataset& train_data_;
+    const dataset& test_data_;
+    array_config array_;
+    fat_config trainer_cfg_;
+};
+
+}  // namespace reduce

@@ -1,0 +1,63 @@
+// Step 2 of Reduce: resilience-driven retraining-amount selection.
+//
+// Given a chip's fault map, estimate its effective fault rate, look up the
+// resilience table for the epochs needed to meet the accuracy constraint,
+// and apply the policy knobs (which statistic over repeats, safety margin,
+// rounding). The paper's recommended configuration is statistic::max with
+// no margin; statistic::mean reproduces the under-training the error bars
+// of Fig. 2b warn about.
+#pragma once
+
+#include <optional>
+
+#include "core/resilience.h"
+#include "fault/mask_builder.h"
+
+namespace reduce {
+
+/// Policy knobs of the selector.
+struct selector_config {
+    statistic stat = statistic::max;
+    effective_rate_kind rate_kind = effective_rate_kind::used_subarray;
+    /// Between-grid-rate lookup: linear interpolation (default) or the
+    /// upper bracketing grid point (more conservative, more epochs).
+    resilience_table::interpolation interp = resilience_table::interpolation::linear;
+    double accuracy_target = 0.91;
+    /// Multiplies the looked-up epochs (1.0 = none). Ablation knob.
+    double safety_factor = 1.0;
+    /// Additive epochs on top (0 = none). Ablation knob.
+    double safety_margin = 0.0;
+    /// Snap the selected amount up to a multiple of this granularity so the
+    /// trainer's checkpoint grid can realize it exactly (0 = no rounding).
+    double rounding_quantum = 0.05;
+};
+
+/// Outcome of the selection for one chip.
+struct selection {
+    double effective_fault_rate = 0.0;
+    std::optional<double> epochs;  ///< nullopt → constraint deemed unreachable
+    bool clamped_to_budget = false;
+};
+
+/// Computes the retraining amount for one chip's fault map.
+class retraining_selector {
+public:
+    /// Keeps references to the table; it must outlive the selector.
+    retraining_selector(const resilience_table& table, selector_config cfg);
+
+    /// Select for a model/array/fault-map triple (the model determines the
+    /// used array footprint under `rate_kind`).
+    selection select(sequential& model, const array_config& array,
+                     const fault_grid& faults) const;
+
+    /// Select directly from a precomputed effective fault rate.
+    selection select_for_rate(double effective_rate) const;
+
+    const selector_config& config() const { return cfg_; }
+
+private:
+    const resilience_table& table_;
+    selector_config cfg_;
+};
+
+}  // namespace reduce

@@ -1,0 +1,77 @@
+#include "core/workload.h"
+
+#include "util/error.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace reduce {
+
+workload make_standard_workload(const workload_config& cfg) {
+    REDUCE_CHECK(cfg.pretrain_epochs > 0.0, "workload needs positive pretraining epochs");
+    workload w;
+    w.array = cfg.array;
+    w.trainer_cfg = cfg.trainer;
+
+    const dataset full = make_gaussian_mixture(cfg.data);
+    dataset_split split = split_dataset(full, cfg.train_fraction, mix_seed(cfg.seed, 1));
+    const feature_stats stats = compute_feature_stats(split.train);
+    standardize(split.train, stats);
+    standardize(split.test, stats);
+    w.train_data = std::move(split.train);
+    w.test_data = std::move(split.test);
+
+    std::vector<std::size_t> dims;
+    dims.push_back(cfg.data.dim);
+    dims.insert(dims.end(), cfg.hidden.begin(), cfg.hidden.end());
+    dims.push_back(cfg.data.num_classes);
+    rng init_gen(mix_seed(cfg.seed, 2));
+    w.model = make_mlp(dims, init_gen);
+
+    fault_aware_trainer trainer(*w.model, w.train_data, w.test_data, cfg.trainer);
+    const fat_result result = trainer.train(cfg.pretrain_epochs);
+    w.clean_accuracy = result.final_accuracy;
+    w.pretrained = snapshot_parameters(w.model->parameters());
+    LOG_INFO << "workload ready: clean accuracy " << w.clean_accuracy * 100.0 << "% after "
+             << result.epochs_run << " epochs";
+    return w;
+}
+
+workload make_image_workload(const image_workload_config& cfg) {
+    REDUCE_CHECK(cfg.pretrain_epochs > 0.0, "workload needs positive pretraining epochs");
+    workload w;
+    w.array = cfg.array;
+    w.trainer_cfg = cfg.trainer;
+
+    const dataset full = make_synthetic_images(cfg.data);
+    dataset_split split = split_dataset(full, cfg.train_fraction, mix_seed(cfg.seed, 1));
+    w.train_data = std::move(split.train);
+    w.test_data = std::move(split.test);
+
+    rng init_gen(mix_seed(cfg.seed, 2));
+    w.model = make_tiny_cnn(cfg.data.shape, cfg.data.num_classes, init_gen,
+                            cfg.base_channels);
+
+    fault_aware_trainer trainer(*w.model, w.train_data, w.test_data, cfg.trainer);
+    const fat_result result = trainer.train(cfg.pretrain_epochs);
+    w.clean_accuracy = result.final_accuracy;
+    w.pretrained = snapshot_parameters(w.model->parameters());
+    LOG_INFO << "image workload ready: clean accuracy " << w.clean_accuracy * 100.0
+             << "% after " << result.epochs_run << " epochs";
+    return w;
+}
+
+workload_config make_test_workload_config() {
+    workload_config cfg;
+    cfg.data.num_classes = 4;
+    cfg.data.dim = 16;
+    cfg.data.samples_per_class = 120;
+    cfg.data.seed = 77;
+    cfg.hidden = {32};
+    cfg.pretrain_epochs = 8.0;
+    cfg.array.rows = 32;
+    cfg.array.cols = 32;
+    cfg.trainer.batch_size = 32;
+    return cfg;
+}
+
+}  // namespace reduce

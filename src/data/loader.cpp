@@ -1,0 +1,50 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace reduce {
+
+data_loader::data_loader(const dataset& data, std::size_t batch_size, std::uint64_t seed)
+    : data_(data), batch_size_(batch_size), seed_(seed), gen_(seed) {
+    data_.validate();
+    REDUCE_CHECK(batch_size > 0, "batch size must be positive");
+    steps_per_epoch_ = (data_.size() + batch_size_ - 1) / batch_size_;
+    start_epoch();
+}
+
+double data_loader::epochs_elapsed() const {
+    return static_cast<double>(steps_taken_) / static_cast<double>(steps_per_epoch_);
+}
+
+void data_loader::start_epoch() {
+    order_ = gen_.permutation(data_.size());
+    cursor_ = 0;
+}
+
+batch data_loader::next_batch() {
+    if (cursor_ >= order_.size()) { start_epoch(); }
+    const std::size_t count = std::min(batch_size_, order_.size() - cursor_);
+    std::vector<std::size_t> indices(order_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                                     order_.begin() + static_cast<std::ptrdiff_t>(cursor_ + count));
+    cursor_ += count;
+    ++steps_taken_;
+    return gather_batch(data_, indices);
+}
+
+std::size_t data_loader::steps_for_epochs(double epochs) const {
+    REDUCE_CHECK(epochs >= 0.0, "epoch amount must be non-negative, got " << epochs);
+    if (epochs == 0.0) { return 0; }
+    const double steps = epochs * static_cast<double>(steps_per_epoch_);
+    return std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(steps - 1e-9)));
+}
+
+void data_loader::reset() {
+    gen_ = rng(seed_);
+    steps_taken_ = 0;
+    start_epoch();
+}
+
+}  // namespace reduce

@@ -1,0 +1,48 @@
+#include "fault/chip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace reduce {
+
+std::vector<chip> make_fleet(const array_config& array, const fleet_config& cfg) {
+    REDUCE_CHECK(cfg.num_chips > 0, "fleet needs at least one chip");
+    REDUCE_CHECK(cfg.rate_lo >= 0.0 && cfg.rate_hi <= 1.0 && cfg.rate_lo <= cfg.rate_hi,
+                 "fleet rate range invalid: [" << cfg.rate_lo << ", " << cfg.rate_hi << "]");
+    rng rate_gen(mix_seed(cfg.seed, 0xf1ee7));
+    std::vector<chip> fleet;
+    fleet.reserve(cfg.num_chips);
+    for (std::size_t i = 0; i < cfg.num_chips; ++i) {
+        double rate = cfg.rate_lo;
+        switch (cfg.distribution) {
+            case rate_distribution::uniform:
+                rate = rate_gen.uniform(cfg.rate_lo, cfg.rate_hi);
+                break;
+            case rate_distribution::lognormal:
+                rate = std::clamp(std::exp(rate_gen.normal(cfg.lognormal_mu, cfg.lognormal_sigma)),
+                                  cfg.rate_lo, cfg.rate_hi);
+                break;
+            case rate_distribution::fixed:
+                rate = cfg.rate_lo;
+                break;
+        }
+        random_fault_config fault_cfg = cfg.fault_model;
+        fault_cfg.fault_rate = rate;
+        const std::uint64_t chip_seed = mix_seed(cfg.seed, i + 1);
+        fleet.push_back(chip{i, chip_seed, rate,
+                             generate_random_faults(array, fault_cfg, chip_seed)});
+    }
+    return fleet;
+}
+
+rate_distribution rate_distribution_from_string(const std::string& name) {
+    if (name == "uniform") { return rate_distribution::uniform; }
+    if (name == "lognormal") { return rate_distribution::lognormal; }
+    if (name == "fixed") { return rate_distribution::fixed; }
+    throw invalid_argument_error("unknown rate distribution: " + name);
+}
+
+}  // namespace reduce

@@ -1,0 +1,55 @@
+// Simulated fabricated chips and fleet generation.
+//
+// Each chip carries its unique permanent-fault map — the per-chip input of
+// the Reduce framework. A fleet models a production lot: many chips whose
+// fault rates are drawn from a yield distribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/array_config.h"
+#include "accel/fault_grid.h"
+#include "fault/models.h"
+
+namespace reduce {
+
+/// One fabricated accelerator die.
+struct chip {
+    std::size_t id = 0;
+    std::uint64_t seed = 0;        ///< seed that generated the map (provenance)
+    double nominal_fault_rate = 0; ///< rate requested from the generator
+    fault_grid faults;
+
+    /// Actual faulty fraction of this die's array.
+    double measured_fault_rate() const { return faults.fault_rate(); }
+};
+
+/// How per-chip fault rates are drawn across a lot.
+enum class rate_distribution {
+    uniform,    ///< U(rate_lo, rate_hi)
+    lognormal,  ///< exp(N(mu, sigma)) clipped to [rate_lo, rate_hi]
+    fixed,      ///< every chip at rate_lo
+};
+
+/// Production-lot model.
+struct fleet_config {
+    std::size_t num_chips = 100;
+    rate_distribution distribution = rate_distribution::uniform;
+    double rate_lo = 0.01;
+    double rate_hi = 0.30;
+    /// lognormal parameters (only used by that distribution).
+    double lognormal_mu = -2.5;
+    double lognormal_sigma = 0.6;
+    random_fault_config fault_model{};  ///< fault_rate field is overridden per chip
+    std::uint64_t seed = 2024;
+};
+
+/// Generates a deterministic fleet: chip i uses mix_seed(cfg.seed, i).
+std::vector<chip> make_fleet(const array_config& array, const fleet_config& cfg);
+
+/// Parses a distribution name ("uniform", "lognormal", "fixed").
+rate_distribution rate_distribution_from_string(const std::string& name);
+
+}  // namespace reduce

@@ -1,0 +1,145 @@
+#include "fault/fam.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "accel/mapping.h"
+#include "util/error.h"
+
+namespace reduce {
+
+namespace {
+
+/// S[j][r] = total |w| of weights whose logical column-slot is j (output
+/// o ≡ j mod C) and whose array row is r (input i ≡ r mod R). The FAM cost
+/// of putting slot j on physical column c is then Σ_{r faulty in c} S[j][r].
+std::vector<std::vector<double>> slot_row_saliency(const mapped_layer& layer,
+                                                   const array_config& array) {
+    REDUCE_CHECK(layer.weight != nullptr, "mapped layer has no weight");
+    const std::size_t rows = array.rows;
+    const std::size_t cols = array.cols;
+    std::vector<std::vector<double>> s(cols, std::vector<double>(rows, 0.0));
+    const tensor& w = layer.weight->value;
+    REDUCE_CHECK(w.numel() == layer.rows * layer.cols,
+                 "mapped layer dims do not match weight tensor");
+    const float* pw = w.raw();
+    for (std::size_t o = 0; o < layer.cols; ++o) {
+        const std::size_t slot = o % cols;
+        const float* wrow = pw + o * layer.rows;
+        auto& srow = s[slot];
+        for (std::size_t i = 0; i < layer.rows; ++i) {
+            srow[i % rows] += std::abs(static_cast<double>(wrow[i]));
+        }
+    }
+    return s;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> fam_cost_matrix(const mapped_layer& layer,
+                                                 const array_config& array,
+                                                 const fault_grid& faults) {
+    REDUCE_CHECK(faults.rows() == array.rows && faults.cols() == array.cols,
+                 "fault grid does not match array");
+    const std::size_t rows = array.rows;
+    const std::size_t cols = array.cols;
+    const std::vector<std::vector<double>> s = slot_row_saliency(layer, array);
+
+    // Faulty rows per physical column (sparse in practice).
+    std::vector<std::vector<std::size_t>> faulty_rows(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (is_faulty(faults.at(r, c))) { faulty_rows[c].push_back(r); }
+        }
+    }
+
+    std::vector<std::vector<double>> cost(cols, std::vector<double>(cols, 0.0));
+    for (std::size_t j = 0; j < cols; ++j) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            double acc = 0.0;
+            for (const std::size_t r : faulty_rows[c]) { acc += s[j][r]; }
+            cost[j][c] = acc;
+        }
+    }
+    return cost;
+}
+
+std::vector<std::size_t> fam_column_permutation(const mapped_layer& layer,
+                                                const array_config& array,
+                                                const fault_grid& faults) {
+    const std::size_t cols = array.cols;
+    const std::vector<std::vector<double>> cost = fam_cost_matrix(layer, array, faults);
+
+    // Process the most vulnerable slots first (largest worst-case loss), so
+    // they get first pick of clean columns — the SalvageDNN greedy order.
+    std::vector<std::size_t> slot_order(cols);
+    std::iota(slot_order.begin(), slot_order.end(), 0);
+    std::vector<double> slot_exposure(cols, 0.0);
+    for (std::size_t j = 0; j < cols; ++j) {
+        slot_exposure[j] = *std::max_element(cost[j].begin(), cost[j].end());
+    }
+    std::stable_sort(slot_order.begin(), slot_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return slot_exposure[a] > slot_exposure[b];
+                     });
+
+    std::vector<std::size_t> perm(cols, 0);
+    std::vector<bool> taken(cols, false);
+    for (const std::size_t j : slot_order) {
+        std::size_t best_col = cols;  // sentinel
+        double best_cost = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (taken[c]) { continue; }
+            if (best_col == cols || cost[j][c] < best_cost) {
+                best_col = c;
+                best_cost = cost[j][c];
+            }
+        }
+        REDUCE_CHECK(best_col < cols, "FAM assignment ran out of columns");
+        perm[j] = best_col;
+        taken[best_col] = true;
+    }
+
+    // Greedy is a heuristic; guarantee it never regresses below the
+    // identity mapping by comparing total pruned saliency.
+    double greedy_total = 0.0;
+    double identity_total = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+        greedy_total += cost[j][perm[j]];
+        identity_total += cost[j][j];
+    }
+    if (identity_total < greedy_total) {
+        for (std::size_t j = 0; j < cols; ++j) { perm[j] = j; }
+    }
+    return perm;
+}
+
+std::vector<std::vector<std::size_t>> fam_permutations(sequential& model,
+                                                       const array_config& array,
+                                                       const fault_grid& faults) {
+    std::vector<std::vector<std::size_t>> perms;
+    for (const mapped_layer& layer : collect_mapped_layers(model)) {
+        perms.push_back(fam_column_permutation(layer, array, faults));
+    }
+    return perms;
+}
+
+double pruned_saliency(const mapped_layer& layer, const array_config& array,
+                       const fault_grid& faults, const std::vector<std::size_t>& perm) {
+    const gemm_mapping mapping(array, layer.rows, layer.cols, perm);
+    const tensor& w = layer.weight->value;
+    const float* pw = w.raw();
+    double total = 0.0;
+    for (std::size_t o = 0; o < layer.cols; ++o) {
+        for (std::size_t i = 0; i < layer.rows; ++i) {
+            const pe_coordinate pe = mapping.pe_for_weight(i, o);
+            if (is_faulty(faults.at(pe.row, pe.col))) {
+                total += std::abs(static_cast<double>(pw[o * layer.rows + i]));
+            }
+        }
+    }
+    return total;
+}
+
+}  // namespace reduce

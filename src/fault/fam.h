@@ -1,0 +1,44 @@
+// Fault-Aware Mapping (FAM) baseline — SalvageDNN-style saliency-driven
+// column assignment (Hanif & Shafique, Phil. Trans. R. Soc. A 2020).
+//
+// Idea: the array's column permutation is a free knob; route each logical
+// output neuron/filter to the physical column where the weights it would
+// lose matter least. This recovers accuracy WITHOUT retraining, and serves
+// as the mitigation baseline between plain FAP and full FAT in the
+// motivation experiments.
+#pragma once
+
+#include <vector>
+
+#include "accel/array_config.h"
+#include "accel/fault_grid.h"
+#include "nn/models.h"
+
+namespace reduce {
+
+/// Saliency of one (logical output, physical column) pairing: the summed
+/// |w| the output would lose if executed on that column.
+/// Returned matrix is [fan_out chunk-of-cols] indexed cost[o][c].
+std::vector<std::vector<double>> fam_cost_matrix(const mapped_layer& layer,
+                                                 const array_config& array,
+                                                 const fault_grid& faults);
+
+/// Greedy saliency-driven assignment for one layer: logical outputs are
+/// processed in decreasing total-saliency order; each takes the cheapest
+/// remaining physical column. Returns perm with perm[logical % cols] =
+/// physical column (size array.cols).
+std::vector<std::size_t> fam_column_permutation(const mapped_layer& layer,
+                                                const array_config& array,
+                                                const fault_grid& faults);
+
+/// Permutations for every mapped layer of a model, in collect_mapped_layers
+/// order — feed directly into attach_fault_masks_permuted.
+std::vector<std::vector<std::size_t>> fam_permutations(sequential& model,
+                                                       const array_config& array,
+                                                       const fault_grid& faults);
+
+/// Total |w| pruned by a mask assignment (lower = better FAM objective).
+double pruned_saliency(const mapped_layer& layer, const array_config& array,
+                       const fault_grid& faults, const std::vector<std::size_t>& perm);
+
+}  // namespace reduce

@@ -1,0 +1,67 @@
+// Fault map × mapping → per-layer weight masks (the FAP transformation).
+//
+// On a weight-stationary array with FAP bypass, a faulty PE contributes
+// nothing to the partial sum — mathematically, every weight mapped onto it
+// is pruned. build_weight_mask materializes that pruning as a {0,1} tensor
+// shaped like the layer's weight; attach_fault_masks installs masks on all
+// accelerator-mapped layers of a model so training (FAT) and inference see
+// exactly the damaged hardware's function.
+#pragma once
+
+#include <vector>
+
+#include "accel/array_config.h"
+#include "accel/fault_grid.h"
+#include "accel/mapping.h"
+#include "nn/models.h"
+#include "tensor/tensor.h"
+
+namespace reduce {
+
+/// {0,1} mask for a GEMM weight of logical shape [fan_out, fan_in]
+/// (row-major), 0 where the hosting PE is faulty.
+tensor build_weight_mask(const gemm_mapping& mapping, const fault_grid& faults);
+
+/// Per-layer masking statistics from attach_fault_masks.
+struct mask_stats {
+    std::size_t layers = 0;
+    std::size_t total_weights = 0;
+    std::size_t masked_weights = 0;
+
+    /// Overall fraction of network weights pruned by FAP.
+    double masked_fraction() const {
+        return total_weights == 0
+                   ? 0.0
+                   : static_cast<double>(masked_weights) / static_cast<double>(total_weights);
+    }
+};
+
+/// Builds and attaches a mask to every accelerator-mapped layer of `model`
+/// (linear and conv2d), using the identity column mapping. Weights are
+/// immediately re-masked (zeroed where pruned). Returns statistics.
+mask_stats attach_fault_masks(sequential& model, const array_config& array,
+                              const fault_grid& faults);
+
+/// Same, with a per-layer column permutation (FAM); `perms[k]` applies to
+/// the k-th mapped layer and must have array.cols entries.
+mask_stats attach_fault_masks_permuted(sequential& model, const array_config& array,
+                                       const fault_grid& faults,
+                                       const std::vector<std::vector<std::size_t>>& perms);
+
+/// Removes masks from every parameter of the model (weights keep their
+/// current values; call restore_parameters to undo pruning).
+void clear_fault_masks(sequential& model);
+
+/// Effective fault-rate estimators for Step 2 of Reduce (ablation knobs).
+enum class effective_rate_kind {
+    whole_array,     ///< faulty PEs / all PEs
+    used_subarray,   ///< faulty fraction of the union footprint of all layers
+    weight_weighted, ///< fraction of network *weights* that get masked
+};
+
+/// Computes the scalar "fault rate" of a chip as seen by a given model —
+/// the x-axis of the resilience table lookup.
+double effective_fault_rate(sequential& model, const array_config& array,
+                            const fault_grid& faults, effective_rate_kind kind);
+
+}  // namespace reduce

@@ -1,0 +1,107 @@
+#include "fault/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace reduce {
+
+namespace {
+
+pe_fault sample_kind(fault_kind_mix mix, rng& gen) {
+    switch (mix) {
+        case fault_kind_mix::all_bypassed: return pe_fault::bypassed;
+        case fault_kind_mix::all_stuck_zero: return pe_fault::stuck_weight_zero;
+        case fault_kind_mix::random_stuck: {
+            const std::uint64_t pick = gen.uniform_index(3);
+            if (pick == 0) { return pe_fault::stuck_weight_zero; }
+            if (pick == 1) { return pe_fault::stuck_weight_max; }
+            return pe_fault::stuck_weight_min;
+        }
+    }
+    throw invalid_argument_error("unknown fault_kind_mix");
+}
+
+}  // namespace
+
+fault_grid generate_random_faults(const array_config& array, const random_fault_config& cfg,
+                                  std::uint64_t seed) {
+    REDUCE_CHECK(cfg.fault_rate >= 0.0 && cfg.fault_rate <= 1.0,
+                 "fault rate must be in [0,1], got " << cfg.fault_rate);
+    fault_grid grid(array.rows, array.cols);
+    rng gen(seed);
+    if (cfg.count_mode == fault_count_mode::exact) {
+        const std::size_t target = static_cast<std::size_t>(
+            std::llround(cfg.fault_rate * static_cast<double>(array.pe_count())));
+        const std::vector<std::size_t> picks =
+            gen.sample_without_replacement(array.pe_count(), target);
+        for (const std::size_t flat : picks) {
+            grid.set(flat / array.cols, flat % array.cols, sample_kind(cfg.kind_mix, gen));
+        }
+    } else {
+        for (std::size_t r = 0; r < array.rows; ++r) {
+            for (std::size_t c = 0; c < array.cols; ++c) {
+                if (gen.bernoulli(cfg.fault_rate)) {
+                    grid.set(r, c, sample_kind(cfg.kind_mix, gen));
+                }
+            }
+        }
+    }
+    return grid;
+}
+
+fault_grid generate_clustered_faults(const array_config& array,
+                                     const clustered_fault_config& cfg, std::uint64_t seed) {
+    REDUCE_CHECK(cfg.fault_rate >= 0.0 && cfg.fault_rate <= 1.0,
+                 "fault rate must be in [0,1], got " << cfg.fault_rate);
+    REDUCE_CHECK(cfg.cluster_count > 0, "need at least one cluster");
+    REDUCE_CHECK(cfg.spread > 0.0, "cluster spread must be positive");
+    fault_grid grid(array.rows, array.cols);
+    rng gen(seed);
+    const std::size_t target = static_cast<std::size_t>(
+        std::llround(cfg.fault_rate * static_cast<double>(array.pe_count())));
+    if (target == 0) { return grid; }
+
+    // Cluster centers, then Gaussian-distributed defects around them until
+    // the target count of distinct faulty PEs is reached.
+    std::vector<std::pair<double, double>> centers;
+    centers.reserve(cfg.cluster_count);
+    for (std::size_t k = 0; k < cfg.cluster_count; ++k) {
+        centers.emplace_back(gen.uniform(0.0, static_cast<double>(array.rows)),
+                             gen.uniform(0.0, static_cast<double>(array.cols)));
+    }
+    std::size_t placed = 0;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 100 * target + 1000;
+    while (placed < target && attempts < max_attempts) {
+        ++attempts;
+        const auto& center = centers[gen.uniform_index(centers.size())];
+        const double dr = gen.normal(0.0, cfg.spread);
+        const double dc = gen.normal(0.0, cfg.spread);
+        const auto r = static_cast<std::ptrdiff_t>(std::llround(center.first + dr));
+        const auto c = static_cast<std::ptrdiff_t>(std::llround(center.second + dc));
+        if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(array.rows) ||
+            c >= static_cast<std::ptrdiff_t>(array.cols)) {
+            continue;
+        }
+        const auto row = static_cast<std::size_t>(r);
+        const auto col = static_cast<std::size_t>(c);
+        if (is_faulty(grid.at(row, col))) { continue; }
+        grid.set(row, col, sample_kind(cfg.kind_mix, gen));
+        ++placed;
+    }
+    // Dense clusters can saturate: fall back to uniform fill for the rest.
+    while (placed < target) {
+        const std::size_t flat = static_cast<std::size_t>(gen.uniform_index(array.pe_count()));
+        const std::size_t row = flat / array.cols;
+        const std::size_t col = flat % array.cols;
+        if (is_faulty(grid.at(row, col))) { continue; }
+        grid.set(row, col, sample_kind(cfg.kind_mix, gen));
+        ++placed;
+    }
+    return grid;
+}
+
+}  // namespace reduce

@@ -1,0 +1,55 @@
+// Permanent-fault injection models.
+//
+// The paper uses "a random fault injection model for generating fault maps"
+// (following Zhang et al. VTS'18). Two samplers are provided: exact-count
+// (deterministic faulty-PE count — the controlled variable of the resilience
+// sweep) and Bernoulli (i.i.d. per PE — what a yield model produces). A
+// clustered model approximates the spatial correlation of real
+// manufacturing defects as an extension/ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/array_config.h"
+#include "accel/fault_grid.h"
+
+namespace reduce {
+
+/// How the number of faulty PEs is decided.
+enum class fault_count_mode {
+    exact,      ///< round(rate * PEs) faulty PEs, sampled without replacement
+    bernoulli,  ///< each PE faulty independently with probability rate
+};
+
+/// Which fault behaviour injected PEs get.
+enum class fault_kind_mix {
+    all_bypassed,     ///< chips already repaired by FAP (paper's setting)
+    all_stuck_zero,   ///< unrepaired, benign stuck-at-zero weights
+    random_stuck,     ///< unrepaired, random stuck kind per PE (worst case)
+};
+
+/// Uniform random fault-map model.
+struct random_fault_config {
+    double fault_rate = 0.05;  ///< target faulty fraction in [0, 1]
+    fault_count_mode count_mode = fault_count_mode::exact;
+    fault_kind_mix kind_mix = fault_kind_mix::all_bypassed;
+};
+
+/// Samples a fault map; deterministic given `seed`.
+fault_grid generate_random_faults(const array_config& array, const random_fault_config& cfg,
+                                  std::uint64_t seed);
+
+/// Clustered fault-map model: `cluster_count` seeds grow into roughly
+/// circular defect clusters until the target rate is met.
+struct clustered_fault_config {
+    double fault_rate = 0.05;
+    std::size_t cluster_count = 4;
+    double spread = 2.0;  ///< cluster radius scale (PE pitches)
+    fault_kind_mix kind_mix = fault_kind_mix::all_bypassed;
+};
+
+/// Samples a clustered fault map; deterministic given `seed`.
+fault_grid generate_clustered_faults(const array_config& array,
+                                     const clustered_fault_config& cfg, std::uint64_t seed);
+
+}  // namespace reduce

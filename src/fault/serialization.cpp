@@ -1,0 +1,92 @@
+#include "fault/serialization.h"
+
+#include "util/error.h"
+
+namespace reduce {
+
+json_value fault_grid_to_json(const fault_grid& grid) {
+    json_object root;
+    root.set("rows", json_value(grid.rows()));
+    root.set("cols", json_value(grid.cols()));
+    json_array faults;
+    for (std::size_t r = 0; r < grid.rows(); ++r) {
+        for (std::size_t c = 0; c < grid.cols(); ++c) {
+            const pe_fault f = grid.at(r, c);
+            if (!is_faulty(f)) { continue; }
+            json_object entry;
+            entry.set("r", json_value(r));
+            entry.set("c", json_value(c));
+            entry.set("kind", json_value(to_string(f)));
+            faults.push_back(json_value(std::move(entry)));
+        }
+    }
+    root.set("faults", json_value(std::move(faults)));
+    return json_value(std::move(root));
+}
+
+fault_grid fault_grid_from_json(const json_value& value) {
+    const json_object& root = value.as_object();
+    const auto rows = static_cast<std::size_t>(root.at("rows").as_int());
+    const auto cols = static_cast<std::size_t>(root.at("cols").as_int());
+    fault_grid grid(rows, cols);
+    for (const json_value& entry : root.at("faults").as_array()) {
+        const json_object& obj = entry.as_object();
+        const auto r = static_cast<std::size_t>(obj.at("r").as_int());
+        const auto c = static_cast<std::size_t>(obj.at("c").as_int());
+        grid.set(r, c, pe_fault_from_string(obj.at("kind").as_string()));
+    }
+    return grid;
+}
+
+json_value chip_to_json(const chip& c) {
+    json_object root;
+    root.set("id", json_value(c.id));
+    // Seeds use the full 64-bit range; JSON numbers (doubles) would lose the
+    // low bits, so serialize as a decimal string.
+    root.set("seed", json_value(std::to_string(c.seed)));
+    root.set("nominal_fault_rate", json_value(c.nominal_fault_rate));
+    root.set("fault_map", fault_grid_to_json(c.faults));
+    return json_value(std::move(root));
+}
+
+chip chip_from_json(const json_value& value) {
+    const json_object& root = value.as_object();
+    const std::string& seed_text = root.at("seed").as_string();
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(seed_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || seed_text.empty()) {
+        throw io_error("chip seed is not a decimal string: '" + seed_text + "'");
+    }
+    chip c{static_cast<std::size_t>(root.at("id").as_int()), seed,
+           root.at("nominal_fault_rate").as_number(),
+           fault_grid_from_json(root.at("fault_map"))};
+    return c;
+}
+
+json_value fleet_to_json(const std::vector<chip>& fleet) {
+    json_array chips;
+    chips.reserve(fleet.size());
+    for (const chip& c : fleet) { chips.push_back(chip_to_json(c)); }
+    json_object root;
+    root.set("chips", json_value(std::move(chips)));
+    return json_value(std::move(root));
+}
+
+std::vector<chip> fleet_from_json(const json_value& value) {
+    const json_object& root = value.as_object();
+    std::vector<chip> fleet;
+    for (const json_value& entry : root.at("chips").as_array()) {
+        fleet.push_back(chip_from_json(entry));
+    }
+    return fleet;
+}
+
+void save_fleet(const std::string& path, const std::vector<chip>& fleet) {
+    json_save_file(path, fleet_to_json(fleet));
+}
+
+std::vector<chip> load_fleet(const std::string& path) {
+    return fleet_from_json(json_load_file(path));
+}
+
+}  // namespace reduce

@@ -1,0 +1,37 @@
+// JSON (de)serialization of fault maps and chips.
+//
+// Fault maps are the per-chip artifact that travels between fab test and the
+// retraining service in the paper's flow, so they get a stable,
+// human-inspectable on-disk form. Faulty PEs are stored sparsely.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/fault_grid.h"
+#include "fault/chip.h"
+#include "util/json.h"
+
+namespace reduce {
+
+/// fault_grid → JSON: {"rows": R, "cols": C, "faults": [{"r","c","kind"}...]}.
+json_value fault_grid_to_json(const fault_grid& grid);
+
+/// JSON → fault_grid; throws io_error on malformed documents.
+fault_grid fault_grid_from_json(const json_value& value);
+
+/// chip → JSON (id, seed, nominal rate + embedded fault map).
+json_value chip_to_json(const chip& c);
+
+/// JSON → chip.
+chip chip_from_json(const json_value& value);
+
+/// Fleet convenience wrappers.
+json_value fleet_to_json(const std::vector<chip>& fleet);
+std::vector<chip> fleet_from_json(const json_value& value);
+
+/// File round-trips.
+void save_fleet(const std::string& path, const std::vector<chip>& fleet);
+std::vector<chip> load_fleet(const std::string& path);
+
+}  // namespace reduce

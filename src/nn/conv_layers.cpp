@@ -1,0 +1,63 @@
+#include "nn/conv_layers.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/error.h"
+
+namespace reduce {
+
+conv2d_layer::conv2d_layer(conv2d_spec spec, rng& gen) : spec_(spec) {
+    REDUCE_CHECK(spec_.in_channels > 0 && spec_.out_channels > 0 && spec_.kernel_h > 0 &&
+                     spec_.kernel_w > 0,
+                 "conv2d spec has zero-sized field");
+    weight_.name = "weight";
+    weight_.value = tensor({spec_.out_channels, spec_.in_channels, spec_.kernel_h, spec_.kernel_w});
+    weight_.grad = tensor(weight_.value.shape());
+    he_normal(weight_.value, spec_.patch_size(), gen);
+    bias_.name = "bias";
+    bias_.value = tensor({spec_.out_channels});
+    bias_.grad = tensor({spec_.out_channels});
+}
+
+tensor conv2d_layer::forward(const tensor& input) {
+    cached_input_ = input;
+    return conv2d_forward(input, weight_.value, bias_.value, spec_);
+}
+
+tensor conv2d_layer::backward(const tensor& grad_output) {
+    REDUCE_CHECK(cached_input_.numel() > 0, "conv2d backward before forward");
+    conv2d_grads grads = conv2d_backward(cached_input_, weight_.value, grad_output, spec_);
+    add_inplace(weight_.grad, grads.grad_weight);
+    add_inplace(bias_.grad, grads.grad_bias);
+    return std::move(grads.grad_input);
+}
+
+std::vector<parameter*> conv2d_layer::parameters() { return {&weight_, &bias_}; }
+
+max_pool2d_layer::max_pool2d_layer(pool2d_spec spec) : spec_(spec) {
+    REDUCE_CHECK(spec_.kernel > 0 && spec_.stride > 0, "pool spec must be positive");
+}
+
+tensor max_pool2d_layer::forward(const tensor& input) {
+    cached_input_shape_ = input.shape();
+    pool2d_result result = max_pool2d_forward(input, spec_);
+    cached_argmax_ = std::move(result.argmax);
+    return std::move(result.output);
+}
+
+tensor max_pool2d_layer::backward(const tensor& grad_output) {
+    REDUCE_CHECK(!cached_argmax_.empty(), "max_pool2d backward before forward");
+    return max_pool2d_backward(grad_output, cached_argmax_, cached_input_shape_);
+}
+
+tensor global_avg_pool_layer::forward(const tensor& input) {
+    cached_input_shape_ = input.shape();
+    return global_avg_pool_forward(input);
+}
+
+tensor global_avg_pool_layer::backward(const tensor& grad_output) {
+    REDUCE_CHECK(!cached_input_shape_.empty(), "global_avg_pool backward before forward");
+    return global_avg_pool_backward(grad_output, cached_input_shape_);
+}
+
+}  // namespace reduce

@@ -1,0 +1,119 @@
+// Layer/module abstraction for the training substrate.
+//
+// The framework is layer-based rather than tape-based: each module caches
+// what it needs during forward() and consumes an upstream gradient in
+// backward(). This keeps the hot loop allocation-light and makes the
+// fault-masking semantics (FAP/FAT) explicit — a mask lives next to the
+// parameter it gates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace reduce {
+
+/// A trainable tensor with its gradient and an optional fault mask.
+///
+/// When `mask` is non-empty it has the same shape as `value`; entries equal
+/// to 0 mark weights mapped onto faulty (bypassed) PEs. Fault-aware training
+/// keeps masked weights at exactly zero: apply_mask() after every optimizer
+/// step and mask_grad() after every backward pass.
+struct parameter {
+    std::string name;
+    tensor value;
+    tensor grad;
+    tensor mask;  ///< empty → no mask
+
+    /// Zeroes the gradient buffer.
+    void zero_grad() { grad.zero(); }
+
+    /// True when a fault mask is attached.
+    bool has_mask() const { return !mask.empty(); }
+
+    /// Multiplies the value by the mask (no-op without a mask).
+    void apply_mask();
+
+    /// Multiplies the gradient by the mask (no-op without a mask).
+    void mask_grad();
+
+    /// Removes the mask (weights stay at their current values).
+    void clear_mask() { mask = tensor(); }
+};
+
+/// Base class for all layers.
+class module {
+public:
+    module() = default;
+    module(const module&) = delete;
+    module& operator=(const module&) = delete;
+    virtual ~module() = default;
+
+    /// Computes the layer output; caches whatever backward() needs.
+    virtual tensor forward(const tensor& input) = 0;
+
+    /// Propagates the upstream gradient; accumulates parameter gradients.
+    /// Must be called after forward() on the same batch.
+    virtual tensor backward(const tensor& grad_output) = 0;
+
+    /// Trainable parameters of this module (possibly empty).
+    virtual std::vector<parameter*> parameters() { return {}; }
+
+    /// Switches train/eval behaviour (dropout, batch norm).
+    virtual void set_training(bool training) { training_ = training; }
+
+    /// Current mode.
+    bool is_training() const { return training_; }
+
+    /// Short layer name for diagnostics and serialization ("linear", ...).
+    virtual std::string name() const = 0;
+
+protected:
+    bool training_ = true;
+};
+
+/// Owning container that runs layers in sequence.
+class sequential : public module {
+public:
+    sequential() = default;
+
+    /// Appends a layer; returns a reference for further configuration.
+    module& add(std::unique_ptr<module> layer);
+
+    /// Convenience: constructs the layer in place.
+    template <typename Layer, typename... Args>
+    Layer& emplace(Args&&... args) {
+        auto layer = std::make_unique<Layer>(std::forward<Args>(args)...);
+        Layer& ref = *layer;
+        add(std::move(layer));
+        return ref;
+    }
+
+    tensor forward(const tensor& input) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override;
+    void set_training(bool training) override;
+    std::string name() const override { return "sequential"; }
+
+    /// Number of child layers.
+    std::size_t size() const { return layers_.size(); }
+
+    /// Access to a child layer by position.
+    module& layer(std::size_t index);
+
+private:
+    std::vector<std::unique_ptr<module>> layers_;
+};
+
+/// Total number of scalar weights across parameters.
+std::size_t parameter_count(const std::vector<parameter*>& params);
+
+/// Applies every attached mask to its parameter value.
+void apply_all_masks(const std::vector<parameter*>& params);
+
+/// Zeroes gradients of all parameters.
+void zero_all_grads(const std::vector<parameter*>& params);
+
+}  // namespace reduce

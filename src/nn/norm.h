@@ -1,0 +1,66 @@
+// Batch normalization layers (1d over features, 2d over channels).
+#pragma once
+
+#include "nn/module.h"
+
+namespace reduce {
+
+/// Batch norm over [N, F] features.
+///
+/// Train mode normalizes with batch statistics and updates running
+/// estimates; eval mode uses the running estimates. gamma/beta are
+/// trainable.
+class batch_norm1d : public module {
+public:
+    explicit batch_norm1d(std::size_t features, double momentum = 0.1, double eps = 1e-5);
+
+    tensor forward(const tensor& input) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override;
+    std::string name() const override { return "batch_norm1d"; }
+
+    /// Running statistics (exposed for serialization and tests).
+    const tensor& running_mean() const { return running_mean_; }
+    const tensor& running_var() const { return running_var_; }
+
+private:
+    std::size_t features_;
+    double momentum_;
+    double eps_;
+    parameter gamma_;
+    parameter beta_;
+    tensor running_mean_;
+    tensor running_var_;
+    // Forward cache for backward.
+    tensor cached_normalized_;
+    tensor cached_inv_std_;
+    std::size_t cached_batch_ = 0;
+};
+
+/// Batch norm over channels of [N, C, H, W].
+class batch_norm2d : public module {
+public:
+    explicit batch_norm2d(std::size_t channels, double momentum = 0.1, double eps = 1e-5);
+
+    tensor forward(const tensor& input) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override;
+    std::string name() const override { return "batch_norm2d"; }
+
+    const tensor& running_mean() const { return running_mean_; }
+    const tensor& running_var() const { return running_var_; }
+
+private:
+    std::size_t channels_;
+    double momentum_;
+    double eps_;
+    parameter gamma_;
+    parameter beta_;
+    tensor running_mean_;
+    tensor running_var_;
+    tensor cached_normalized_;
+    tensor cached_inv_std_;
+    std::size_t cached_count_ = 0;  ///< N*H*W of the last training batch
+};
+
+}  // namespace reduce

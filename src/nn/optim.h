@@ -1,0 +1,132 @@
+// Optimizers and learning-rate schedules.
+//
+// Optimizers are mask-aware: when a parameter carries a fault mask, the
+// gradient is masked before the update and the value is re-masked after it,
+// so weights mapped to bypassed PEs stay exactly zero throughout fault-aware
+// retraining (the FAP+T invariant from Zhang et al., VTS'18).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace reduce {
+
+/// Base optimizer interface over a fixed parameter set.
+class optimizer {
+public:
+    explicit optimizer(std::vector<parameter*> params);
+    optimizer(const optimizer&) = delete;
+    optimizer& operator=(const optimizer&) = delete;
+    virtual ~optimizer() = default;
+
+    /// Applies one update from the accumulated gradients.
+    virtual void step() = 0;
+
+    /// Zeroes all gradients.
+    void zero_grad();
+
+    /// Current learning rate.
+    double learning_rate() const { return lr_; }
+
+    /// Sets the learning rate (used by schedulers).
+    void set_learning_rate(double lr);
+
+    /// The parameters this optimizer updates.
+    const std::vector<parameter*>& params() const { return params_; }
+
+protected:
+    std::vector<parameter*> params_;
+    double lr_ = 0.01;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class sgd : public optimizer {
+public:
+    struct config {
+        double learning_rate = 0.01;
+        double momentum = 0.0;       ///< 0 disables the velocity buffer
+        double weight_decay = 0.0;   ///< L2 coefficient added to the gradient
+        bool nesterov = false;
+    };
+
+    sgd(std::vector<parameter*> params, config cfg);
+
+    void step() override;
+
+private:
+    config cfg_;
+    std::vector<tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class adam : public optimizer {
+public:
+    struct config {
+        double learning_rate = 1e-3;
+        double beta1 = 0.9;
+        double beta2 = 0.999;
+        double eps = 1e-8;
+        double weight_decay = 0.0;
+    };
+
+    adam(std::vector<parameter*> params, config cfg);
+
+    void step() override;
+
+private:
+    config cfg_;
+    std::vector<tensor> m_;
+    std::vector<tensor> v_;
+    std::size_t t_ = 0;
+};
+
+/// Learning-rate schedule interface: maps a completed-step counter to a rate.
+class lr_schedule {
+public:
+    virtual ~lr_schedule() = default;
+
+    /// Learning rate to use at the given zero-based step index.
+    virtual double rate_at(std::size_t step) const = 0;
+};
+
+/// Constant rate.
+class constant_lr : public lr_schedule {
+public:
+    explicit constant_lr(double rate);
+    double rate_at(std::size_t step) const override;
+
+private:
+    double rate_;
+};
+
+/// Step decay: rate * gamma^(step / period).
+class step_decay_lr : public lr_schedule {
+public:
+    step_decay_lr(double initial, double gamma, std::size_t period);
+    double rate_at(std::size_t step) const override;
+
+private:
+    double initial_;
+    double gamma_;
+    std::size_t period_;
+};
+
+/// Cosine decay from `initial` to `floor` over `total_steps`.
+class cosine_lr : public lr_schedule {
+public:
+    cosine_lr(double initial, double floor, std::size_t total_steps);
+    double rate_at(std::size_t step) const override;
+
+private:
+    double initial_;
+    double floor_;
+    std::size_t total_steps_;
+};
+
+/// Global gradient-norm clipping; returns the pre-clip norm.
+double clip_grad_norm(const std::vector<parameter*>& params, double max_norm);
+
+}  // namespace reduce

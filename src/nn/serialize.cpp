@@ -1,0 +1,109 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace reduce {
+
+model_snapshot snapshot_parameters(const std::vector<parameter*>& params) {
+    model_snapshot snap;
+    snap.names.reserve(params.size());
+    snap.values.reserve(params.size());
+    for (const parameter* p : params) {
+        REDUCE_CHECK(p != nullptr, "snapshot received a null parameter");
+        snap.names.push_back(p->name);
+        snap.values.push_back(p->value);
+    }
+    return snap;
+}
+
+void restore_parameters(const std::vector<parameter*>& params, const model_snapshot& snapshot) {
+    if (params.size() != snapshot.size()) {
+        throw io_error("snapshot has " + std::to_string(snapshot.size()) +
+                       " parameters, model has " + std::to_string(params.size()));
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        if (params[i]->value.shape() != snapshot.values[i].shape()) {
+            throw io_error("snapshot parameter " + std::to_string(i) + " shape " +
+                           snapshot.values[i].describe() + " does not match model " +
+                           params[i]->value.describe());
+        }
+        params[i]->value = snapshot.values[i];
+    }
+}
+
+namespace {
+
+constexpr char k_magic[] = "RDNN1\n";
+constexpr std::size_t k_magic_len = 6;
+
+template <typename T>
+void write_pod(std::ofstream& os, T value) {
+    os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+    T value{};
+    is.read(reinterpret_cast<char*>(&value), sizeof value);
+    if (!is) { throw io_error("unexpected end of snapshot file"); }
+    return value;
+}
+
+}  // namespace
+
+void save_snapshot(const std::string& path, const model_snapshot& snapshot) {
+    std::ofstream file(path, std::ios::binary);
+    if (!file) { throw io_error("cannot open snapshot file for writing: " + path); }
+    file.write(k_magic, k_magic_len);
+    write_pod<std::uint64_t>(file, snapshot.size());
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        const std::string& name = snapshot.names[i];
+        const tensor& value = snapshot.values[i];
+        write_pod<std::uint32_t>(file, static_cast<std::uint32_t>(name.size()));
+        file.write(name.data(), static_cast<std::streamsize>(name.size()));
+        write_pod<std::uint32_t>(file, static_cast<std::uint32_t>(value.dim()));
+        for (const std::size_t extent : value.shape()) {
+            write_pod<std::uint64_t>(file, extent);
+        }
+        file.write(reinterpret_cast<const char*>(value.raw()),
+                   static_cast<std::streamsize>(value.numel() * sizeof(float)));
+    }
+    if (!file) { throw io_error("failed while writing snapshot: " + path); }
+}
+
+model_snapshot load_snapshot(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) { throw io_error("cannot open snapshot file: " + path); }
+    char magic[k_magic_len] = {};
+    file.read(magic, k_magic_len);
+    if (!file || std::string(magic, k_magic_len) != std::string(k_magic, k_magic_len)) {
+        throw io_error("not a model snapshot file: " + path);
+    }
+    const auto count = read_pod<std::uint64_t>(file);
+    model_snapshot snap;
+    snap.names.reserve(count);
+    snap.values.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto name_len = read_pod<std::uint32_t>(file);
+        std::string name(name_len, '\0');
+        file.read(name.data(), name_len);
+        if (!file) { throw io_error("unexpected end of snapshot file"); }
+        const auto rank = read_pod<std::uint32_t>(file);
+        shape_t shape(rank);
+        for (auto& extent : shape) {
+            extent = static_cast<std::size_t>(read_pod<std::uint64_t>(file));
+        }
+        tensor value(shape);
+        file.read(reinterpret_cast<char*>(value.raw()),
+                  static_cast<std::streamsize>(value.numel() * sizeof(float)));
+        if (!file) { throw io_error("unexpected end of snapshot file"); }
+        snap.names.push_back(std::move(name));
+        snap.values.push_back(std::move(value));
+    }
+    return snap;
+}
+
+}  // namespace reduce

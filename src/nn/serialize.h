@@ -1,0 +1,43 @@
+// Parameter snapshot (de)serialization.
+//
+// Two uses in the Reduce pipeline:
+//  * snapshotting the pre-trained model so every per-chip retraining run
+//    starts from identical weights (the paper retrains the *given* DNN per
+//    chip, not a chain), and
+//  * persisting tuned models for distribution to their chips.
+//
+// The binary format is: magic "RDNN1\n", u64 parameter count, then per
+// parameter: u32 name length + name bytes, u32 rank, u64 extents, f32 data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace reduce {
+
+/// In-memory snapshot of parameter values (weights only, no masks/grads).
+struct model_snapshot {
+    std::vector<std::string> names;
+    std::vector<tensor> values;
+
+    /// Number of parameters captured.
+    std::size_t size() const { return values.size(); }
+};
+
+/// Captures the current values of all parameters.
+model_snapshot snapshot_parameters(const std::vector<parameter*>& params);
+
+/// Restores values captured by snapshot_parameters into the same model
+/// (shapes and order must match; throws io_error otherwise). Masks and
+/// gradients are left untouched.
+void restore_parameters(const std::vector<parameter*>& params, const model_snapshot& snapshot);
+
+/// Writes a snapshot to a binary file; throws io_error on failure.
+void save_snapshot(const std::string& path, const model_snapshot& snapshot);
+
+/// Reads a snapshot from a binary file; throws io_error on malformed files.
+model_snapshot load_snapshot(const std::string& path);
+
+}  // namespace reduce

@@ -1,0 +1,308 @@
+#include "tensor/conv.h"
+
+#include <limits>
+
+#include "tensor/ops.h"
+#include "util/error.h"
+
+namespace reduce {
+
+std::size_t conv2d_spec::out_h(std::size_t in_h) const {
+    REDUCE_CHECK(in_h + 2 * padding >= kernel_h,
+                 "conv2d kernel_h " << kernel_h << " larger than padded input " << in_h);
+    REDUCE_CHECK(stride > 0, "conv2d stride must be positive");
+    return (in_h + 2 * padding - kernel_h) / stride + 1;
+}
+
+std::size_t conv2d_spec::out_w(std::size_t in_w) const {
+    REDUCE_CHECK(in_w + 2 * padding >= kernel_w,
+                 "conv2d kernel_w " << kernel_w << " larger than padded input " << in_w);
+    REDUCE_CHECK(stride > 0, "conv2d stride must be positive");
+    return (in_w + 2 * padding - kernel_w) / stride + 1;
+}
+
+tensor im2col(const tensor& image, const conv2d_spec& spec) {
+    REDUCE_CHECK(image.dim() == 3, "im2col expects [C,H,W], got " << image.describe());
+    const std::size_t channels = image.extent(0);
+    REDUCE_CHECK(channels == spec.in_channels,
+                 "im2col channel mismatch: image has " << channels << ", spec expects "
+                                                       << spec.in_channels);
+    const std::size_t in_h = image.extent(1);
+    const std::size_t in_w = image.extent(2);
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    tensor columns({spec.patch_size(), oh * ow});
+    const float* src = image.raw();
+    float* dst = columns.raw();
+    const std::size_t out_cols = oh * ow;
+    std::size_t patch_row = 0;
+    for (std::size_t c = 0; c < channels; ++c) {
+        for (std::size_t kh = 0; kh < spec.kernel_h; ++kh) {
+            for (std::size_t kw = 0; kw < spec.kernel_w; ++kw, ++patch_row) {
+                float* drow = dst + patch_row * out_cols;
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    // Signed arithmetic for the padded coordinate.
+                    const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * spec.stride + kh) -
+                                              static_cast<std::ptrdiff_t>(spec.padding);
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * spec.stride + kw) -
+                            static_cast<std::ptrdiff_t>(spec.padding);
+                        float value = 0.0f;
+                        if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(in_h) && ix >= 0 &&
+                            ix < static_cast<std::ptrdiff_t>(in_w)) {
+                            value = src[(c * in_h + static_cast<std::size_t>(iy)) * in_w +
+                                        static_cast<std::size_t>(ix)];
+                        }
+                        drow[oy * ow + ox] = value;
+                    }
+                }
+            }
+        }
+    }
+    return columns;
+}
+
+tensor col2im(const tensor& columns, const conv2d_spec& spec, std::size_t in_h,
+              std::size_t in_w) {
+    REDUCE_CHECK(columns.dim() == 2, "col2im expects rank-2 input, got " << columns.describe());
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    REDUCE_CHECK(columns.extent(0) == spec.patch_size() && columns.extent(1) == oh * ow,
+                 "col2im shape mismatch: " << columns.describe());
+    tensor image({spec.in_channels, in_h, in_w});
+    const float* src = columns.raw();
+    float* dst = image.raw();
+    const std::size_t out_cols = oh * ow;
+    std::size_t patch_row = 0;
+    for (std::size_t c = 0; c < spec.in_channels; ++c) {
+        for (std::size_t kh = 0; kh < spec.kernel_h; ++kh) {
+            for (std::size_t kw = 0; kw < spec.kernel_w; ++kw, ++patch_row) {
+                const float* srow = src + patch_row * out_cols;
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * spec.stride + kh) -
+                                              static_cast<std::ptrdiff_t>(spec.padding);
+                    if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) { continue; }
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * spec.stride + kw) -
+                            static_cast<std::ptrdiff_t>(spec.padding);
+                        if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) { continue; }
+                        dst[(c * in_h + static_cast<std::size_t>(iy)) * in_w +
+                            static_cast<std::size_t>(ix)] += srow[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    return image;
+}
+
+namespace {
+
+void check_conv_inputs(const tensor& input, const tensor& weight, const conv2d_spec& spec) {
+    REDUCE_CHECK(input.dim() == 4, "conv2d expects input [N,C,H,W], got " << input.describe());
+    REDUCE_CHECK(weight.dim() == 4,
+                 "conv2d expects weight [O,C,kh,kw], got " << weight.describe());
+    REDUCE_CHECK(input.extent(1) == spec.in_channels,
+                 "conv2d input channels " << input.extent(1) << " != spec " << spec.in_channels);
+    REDUCE_CHECK(weight.extent(0) == spec.out_channels && weight.extent(1) == spec.in_channels &&
+                     weight.extent(2) == spec.kernel_h && weight.extent(3) == spec.kernel_w,
+                 "conv2d weight " << weight.describe() << " does not match spec");
+}
+
+}  // namespace
+
+tensor conv2d_forward(const tensor& input, const tensor& weight, const tensor& bias,
+                      const conv2d_spec& spec) {
+    check_conv_inputs(input, weight, spec);
+    const std::size_t batch = input.extent(0);
+    const std::size_t in_h = input.extent(2);
+    const std::size_t in_w = input.extent(3);
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    const bool has_bias = !bias.empty();
+    if (has_bias) {
+        REDUCE_CHECK(bias.dim() == 1 && bias.extent(0) == spec.out_channels,
+                     "conv2d bias " << bias.describe() << " does not match out_channels");
+    }
+
+    // Weight viewed as [out_c, patch_size] for the lowered GEMM.
+    const tensor weight2d = weight.reshaped({spec.out_channels, spec.patch_size()});
+    tensor output({batch, spec.out_channels, oh, ow});
+    float* out_ptr = output.raw();
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
+    const std::size_t out_plane = oh * ow;
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        tensor image({spec.in_channels, in_h, in_w},
+                     std::vector<float>(input.raw() + n * image_elems,
+                                        input.raw() + (n + 1) * image_elems));
+        const tensor columns = im2col(image, spec);
+        const tensor result = matmul(weight2d, columns);  // [out_c, oh*ow]
+        const float* res_ptr = result.raw();
+        for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+            const float b = has_bias ? bias[oc] : 0.0f;
+            float* dst = out_ptr + (n * spec.out_channels + oc) * out_plane;
+            const float* srow = res_ptr + oc * out_plane;
+            for (std::size_t i = 0; i < out_plane; ++i) { dst[i] = srow[i] + b; }
+        }
+    }
+    return output;
+}
+
+conv2d_grads conv2d_backward(const tensor& input, const tensor& weight,
+                             const tensor& grad_output, const conv2d_spec& spec) {
+    check_conv_inputs(input, weight, spec);
+    const std::size_t batch = input.extent(0);
+    const std::size_t in_h = input.extent(2);
+    const std::size_t in_w = input.extent(3);
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    REDUCE_CHECK(grad_output.dim() == 4 && grad_output.extent(0) == batch &&
+                     grad_output.extent(1) == spec.out_channels && grad_output.extent(2) == oh &&
+                     grad_output.extent(3) == ow,
+                 "conv2d grad_output " << grad_output.describe() << " does not match geometry");
+
+    const tensor weight2d = weight.reshaped({spec.out_channels, spec.patch_size()});
+    conv2d_grads grads{tensor(input.shape()), tensor(weight.shape()), tensor({spec.out_channels})};
+    tensor grad_weight2d({spec.out_channels, spec.patch_size()});
+
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
+    const std::size_t out_plane = oh * ow;
+    float* gin_ptr = grads.grad_input.raw();
+    float* gb_ptr = grads.grad_bias.raw();
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        tensor image({spec.in_channels, in_h, in_w},
+                     std::vector<float>(input.raw() + n * image_elems,
+                                        input.raw() + (n + 1) * image_elems));
+        const tensor columns = im2col(image, spec);  // [patch, oh*ow]
+        tensor grad_out2d({spec.out_channels, out_plane},
+                          std::vector<float>(
+                              grad_output.raw() + n * spec.out_channels * out_plane,
+                              grad_output.raw() + (n + 1) * spec.out_channels * out_plane));
+
+        // dW += dY · colsᵀ  → matmul_nt(grad_out2d [O, P], columns [patch, P]).
+        const tensor gw = matmul_nt(grad_out2d, columns);  // [O, patch]
+        add_inplace(grad_weight2d, gw);
+
+        // db += row sums of dY.
+        const float* go = grad_out2d.raw();
+        for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+            float acc = 0.0f;
+            const float* row = go + oc * out_plane;
+            for (std::size_t i = 0; i < out_plane; ++i) { acc += row[i]; }
+            gb_ptr[oc] += acc;
+        }
+
+        // dX = col2im(Wᵀ · dY).
+        const tensor grad_cols = matmul_tn(weight2d, grad_out2d);  // [patch, oh*ow]
+        const tensor grad_image = col2im(grad_cols, spec, in_h, in_w);
+        const float* gi = grad_image.raw();
+        float* dst = gin_ptr + n * image_elems;
+        for (std::size_t i = 0; i < image_elems; ++i) { dst[i] += gi[i]; }
+    }
+    grads.grad_weight = grad_weight2d.reshaped(weight.shape());
+    return grads;
+}
+
+pool2d_result max_pool2d_forward(const tensor& input, const pool2d_spec& spec) {
+    REDUCE_CHECK(input.dim() == 4, "max_pool2d expects [N,C,H,W], got " << input.describe());
+    REDUCE_CHECK(spec.kernel > 0 && spec.stride > 0, "pool kernel/stride must be positive");
+    const std::size_t batch = input.extent(0);
+    const std::size_t channels = input.extent(1);
+    const std::size_t in_h = input.extent(2);
+    const std::size_t in_w = input.extent(3);
+    REDUCE_CHECK(in_h >= spec.kernel && in_w >= spec.kernel,
+                 "pool kernel larger than input " << input.describe());
+    const std::size_t oh = (in_h - spec.kernel) / spec.stride + 1;
+    const std::size_t ow = (in_w - spec.kernel) / spec.stride + 1;
+
+    pool2d_result result{tensor({batch, channels, oh, ow}), {}};
+    result.argmax.assign(batch * channels * oh * ow, 0);
+    const float* src = input.raw();
+    float* dst = result.output.raw();
+    std::size_t out_idx = 0;
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t c = 0; c < channels; ++c) {
+            const float* plane = src + (n * channels + c) * in_h * in_w;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::size_t best_idx = 0;
+                    for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+                        const std::size_t iy = oy * spec.stride + ky;
+                        for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+                            const std::size_t ix = ox * spec.stride + kx;
+                            const std::size_t flat = iy * in_w + ix;
+                            if (plane[flat] > best) {
+                                best = plane[flat];
+                                best_idx = (n * channels + c) * in_h * in_w + flat;
+                            }
+                        }
+                    }
+                    dst[out_idx] = best;
+                    result.argmax[out_idx] = best_idx;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+tensor max_pool2d_backward(const tensor& grad_output, const std::vector<std::size_t>& argmax,
+                           const shape_t& input_shape) {
+    REDUCE_CHECK(grad_output.numel() == argmax.size(),
+                 "pool backward: argmax size " << argmax.size() << " != grad elements "
+                                               << grad_output.numel());
+    tensor grad_input(input_shape);
+    float* dst = grad_input.raw();
+    const float* src = grad_output.raw();
+    for (std::size_t i = 0; i < argmax.size(); ++i) {
+        REDUCE_CHECK(argmax[i] < grad_input.numel(), "pool backward: argmax out of range");
+        dst[argmax[i]] += src[i];
+    }
+    return grad_input;
+}
+
+tensor global_avg_pool_forward(const tensor& input) {
+    REDUCE_CHECK(input.dim() == 4, "global_avg_pool expects [N,C,H,W], got " << input.describe());
+    const std::size_t batch = input.extent(0);
+    const std::size_t channels = input.extent(1);
+    const std::size_t plane = input.extent(2) * input.extent(3);
+    REDUCE_CHECK(plane > 0, "global_avg_pool over empty plane");
+    tensor output({batch, channels});
+    const float* src = input.raw();
+    float* dst = output.raw();
+    const float inv = 1.0f / static_cast<float>(plane);
+    for (std::size_t nc = 0; nc < batch * channels; ++nc) {
+        float acc = 0.0f;
+        const float* p = src + nc * plane;
+        for (std::size_t i = 0; i < plane; ++i) { acc += p[i]; }
+        dst[nc] = acc * inv;
+    }
+    return output;
+}
+
+tensor global_avg_pool_backward(const tensor& grad_output, const shape_t& input_shape) {
+    REDUCE_CHECK(input_shape.size() == 4, "global_avg_pool backward expects rank-4 input shape");
+    const std::size_t batch = input_shape[0];
+    const std::size_t channels = input_shape[1];
+    const std::size_t plane = input_shape[2] * input_shape[3];
+    REDUCE_CHECK(grad_output.dim() == 2 && grad_output.extent(0) == batch &&
+                     grad_output.extent(1) == channels,
+                 "global_avg_pool backward grad " << grad_output.describe() << " mismatch");
+    tensor grad_input(input_shape);
+    const float* src = grad_output.raw();
+    float* dst = grad_input.raw();
+    const float inv = 1.0f / static_cast<float>(plane);
+    for (std::size_t nc = 0; nc < batch * channels; ++nc) {
+        const float g = src[nc] * inv;
+        float* p = dst + nc * plane;
+        for (std::size_t i = 0; i < plane; ++i) { p[i] = g; }
+    }
+    return grad_input;
+}
+
+}  // namespace reduce

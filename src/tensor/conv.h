@@ -1,0 +1,83 @@
+// Convolution and pooling primitives (im2col formulation).
+//
+// conv2d lowers to the matmul  [out_c] x [in_c*kh*kw]  ·  [in_c*kh*kw] x [oh*ow]
+// per image — exactly the GEMM shape a weight-stationary systolic array
+// executes, which is why the fault-map → weight-mask equivalence proven for
+// linear layers carries over to convolutions unchanged.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace reduce {
+
+/// Static geometry of a conv2d: kernel, stride, padding.
+struct conv2d_spec {
+    std::size_t in_channels = 0;
+    std::size_t out_channels = 0;
+    std::size_t kernel_h = 0;
+    std::size_t kernel_w = 0;
+    std::size_t stride = 1;
+    std::size_t padding = 0;
+
+    /// Output spatial height for an input of height `in_h`; throws when the
+    /// geometry is inconsistent.
+    std::size_t out_h(std::size_t in_h) const;
+
+    /// Output spatial width for an input of width `in_w`.
+    std::size_t out_w(std::size_t in_w) const;
+
+    /// Rows of the lowered patch matrix: in_channels * kernel_h * kernel_w.
+    std::size_t patch_size() const { return in_channels * kernel_h * kernel_w; }
+};
+
+/// Lowers one image [C,H,W] to a patch matrix [patch_size, oh*ow].
+tensor im2col(const tensor& image, const conv2d_spec& spec);
+
+/// Adjoint of im2col: accumulates patch-matrix gradients back to [C,H,W].
+tensor col2im(const tensor& columns, const conv2d_spec& spec, std::size_t in_h,
+              std::size_t in_w);
+
+/// conv2d forward over a batch.
+/// input  [N, C, H, W], weight [out_c, in_c, kh, kw], bias [out_c] (optional,
+/// pass empty tensor to skip) → output [N, out_c, oh, ow].
+tensor conv2d_forward(const tensor& input, const tensor& weight, const tensor& bias,
+                      const conv2d_spec& spec);
+
+/// Gradients of conv2d.
+struct conv2d_grads {
+    tensor grad_input;   ///< [N, C, H, W]
+    tensor grad_weight;  ///< [out_c, in_c, kh, kw]
+    tensor grad_bias;    ///< [out_c]
+};
+
+/// conv2d backward over a batch given upstream gradient [N, out_c, oh, ow].
+conv2d_grads conv2d_backward(const tensor& input, const tensor& weight,
+                             const tensor& grad_output, const conv2d_spec& spec);
+
+/// 2x2-style max pooling geometry.
+struct pool2d_spec {
+    std::size_t kernel = 2;
+    std::size_t stride = 2;
+};
+
+/// Max-pool forward; also returns the flat argmax index per output element
+/// for the backward pass.
+struct pool2d_result {
+    tensor output;                      ///< [N, C, oh, ow]
+    std::vector<std::size_t> argmax;    ///< flat input index per output element
+};
+
+/// Max-pool over a batch [N, C, H, W]; spatial dims must tile exactly.
+pool2d_result max_pool2d_forward(const tensor& input, const pool2d_spec& spec);
+
+/// Max-pool backward: routes each output gradient to its argmax location.
+tensor max_pool2d_backward(const tensor& grad_output, const std::vector<std::size_t>& argmax,
+                           const shape_t& input_shape);
+
+/// Global average pooling: [N, C, H, W] → [N, C].
+tensor global_avg_pool_forward(const tensor& input);
+
+/// Backward of global average pooling.
+tensor global_avg_pool_backward(const tensor& grad_output, const shape_t& input_shape);
+
+}  // namespace reduce

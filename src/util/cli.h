@@ -1,0 +1,51 @@
+// Tiny command-line parser for bench and example binaries.
+//
+// Supports `--flag`, `--key value` and `--key=value` forms. Every harness in
+// bench/ and examples/ uses this so the option style is uniform.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reduce {
+
+/// Parsed command line with typed accessors and defaults.
+class cli_args {
+public:
+    /// Parses argv; throws invalid_argument_error on malformed options.
+    cli_args(int argc, const char* const* argv);
+
+    /// True when `--name` was present (as a bare flag or with a value).
+    bool has(const std::string& name) const;
+
+    /// String option with default.
+    std::string get(const std::string& name, const std::string& fallback) const;
+
+    /// Integer option with default; throws on non-numeric values.
+    std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+    /// Floating-point option with default; throws on non-numeric values.
+    double get_double(const std::string& name, double fallback) const;
+
+    /// Boolean flag: present without value → true; "true"/"1"/"yes" → true.
+    bool get_flag(const std::string& name) const;
+
+    /// Positional arguments (tokens not starting with "--").
+    const std::vector<std::string>& positional() const { return positional_; }
+
+    /// Program name (argv[0]).
+    const std::string& program() const { return program_; }
+
+    /// Comma-separated list of doubles, e.g. `--rates 0.0,0.1,0.2`.
+    std::vector<double> get_double_list(const std::string& name,
+                                        const std::vector<double>& fallback) const;
+
+private:
+    std::string program_;
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace reduce

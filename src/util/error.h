@@ -1,0 +1,62 @@
+// Error handling primitives shared by every reduce module.
+//
+// Follows the project convention: precondition violations and unrecoverable
+// runtime failures throw reduce::error with a formatted message; callers that
+// can recover catch it at a boundary (CLI mains, test fixtures).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace reduce {
+
+/// Base exception for all failures raised by the reduce libraries.
+class error : public std::runtime_error {
+public:
+    explicit error(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class invalid_argument_error : public error {
+public:
+    explicit invalid_argument_error(const std::string& message) : error(message) {}
+};
+
+/// Thrown when tensor/layer shapes are incompatible.
+class shape_error : public error {
+public:
+    explicit shape_error(const std::string& message) : error(message) {}
+};
+
+/// Thrown on (de)serialization failures.
+class io_error : public error {
+public:
+    explicit io_error(const std::string& message) : error(message) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& message) {
+    std::ostringstream oss;
+    oss << "check failed: " << expr << " at " << file << ':' << line;
+    if (!message.empty()) { oss << " — " << message; }
+    throw error(oss.str());
+}
+
+}  // namespace detail
+
+}  // namespace reduce
+
+/// Runtime check that throws reduce::error with location info on failure.
+/// Usage: REDUCE_CHECK(n > 0, "n must be positive, got " << n);
+#define REDUCE_CHECK(expr, msg)                                                        \
+    do {                                                                               \
+        if (!(expr)) {                                                                 \
+            std::ostringstream reduce_check_oss;                                       \
+            reduce_check_oss << msg; /* NOLINT */                                      \
+            ::reduce::detail::throw_check_failure(#expr, __FILE__, __LINE__,           \
+                                                  reduce_check_oss.str());             \
+        }                                                                              \
+    } while (false)

@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace reduce {
+
+namespace {
+
+std::atomic<log_level> g_level{log_level::info};
+
+const char* level_name(log_level level) {
+    switch (level) {
+        case log_level::debug: return "DEBUG";
+        case log_level::info: return "INFO";
+        case log_level::warn: return "WARN";
+        case log_level::error: return "ERROR";
+        case log_level::off: return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void set_log_level(log_level level) { g_level.store(level); }
+
+log_level get_log_level() { return g_level.load(); }
+
+void log_message(log_level level, const std::string& message) {
+    if (static_cast<int>(level) < static_cast<int>(g_level.load())) { return; }
+    std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace reduce

@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for harness progress reporting.
+#pragma once
+
+#include <chrono>
+
+namespace reduce {
+
+/// Measures elapsed wall time from construction or the last reset().
+class stopwatch {
+public:
+    stopwatch() : start_(clock::now()) {}
+
+    /// Restarts the measurement window.
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction/reset.
+    double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction/reset.
+    double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace reduce

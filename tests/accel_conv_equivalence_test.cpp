@@ -1,0 +1,128 @@
+// Cross-substrate equivalence: a convolution executed on the faulty
+// systolic array (as the lowered im2col GEMM, the way a weight-stationary
+// accelerator actually runs it) equals the conv2d layer with the FAP mask
+// attached. This closes the loop between the accel model and the conv
+// training path — the linear-layer equivalence alone would not cover the
+// [O, C, kh, kw] → [O, patch] reshape.
+#include <gtest/gtest.h>
+
+#include "accel/systolic_array.h"
+#include "fault/mask_builder.h"
+#include "fault/models.h"
+#include "nn/conv_layers.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+tensor random_tensor(shape_t shape, rng& gen) {
+    tensor t(std::move(shape));
+    uniform_init(t, -1.0f, 1.0f, gen);
+    return t;
+}
+
+/// Runs a conv batch through the faulty array: per image, lower with
+/// im2col, execute the [out_c x patch] GEMM on the array, reshape back.
+tensor conv_on_array(const tensor& input, const tensor& weight, const conv2d_spec& spec,
+                     const systolic_array& array, const gemm_mapping& mapping) {
+    const std::size_t batch = input.extent(0);
+    const std::size_t in_h = input.extent(2);
+    const std::size_t in_w = input.extent(3);
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    const tensor weight2d = weight.reshaped({spec.out_channels, spec.patch_size()});
+    // Shared stuck-at magnitude across the whole layer, as hardware would.
+    float w_max = 0.0f;
+    for (const float v : weight.data()) { w_max = std::max(w_max, std::abs(v)); }
+
+    tensor output({batch, spec.out_channels, oh, ow});
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
+    for (std::size_t n = 0; n < batch; ++n) {
+        tensor image({spec.in_channels, in_h, in_w},
+                     std::vector<float>(input.raw() + n * image_elems,
+                                        input.raw() + (n + 1) * image_elems));
+        const tensor columns = im2col(image, spec);  // [patch, oh*ow]
+        // The array computes activations · Wᵀ; activations here are the
+        // transposed patch matrix [oh*ow, patch].
+        tensor patches({oh * ow, spec.patch_size()});
+        for (std::size_t p = 0; p < spec.patch_size(); ++p) {
+            for (std::size_t q = 0; q < oh * ow; ++q) {
+                patches.at2(q, p) = columns.at2(p, q);
+            }
+        }
+        const tensor result = array.run_gemm(patches, weight2d, mapping, w_max);
+        for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+            for (std::size_t q = 0; q < oh * ow; ++q) {
+                output.at4(n, oc, q / ow, q % ow) = result.at2(q, oc);
+            }
+        }
+    }
+    return output;
+}
+
+class ConvEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConvEquivalence, FaultyArrayEqualsMaskedConvLayer) {
+    const double rate = GetParam();
+    array_config cfg;
+    cfg.rows = 16;
+    cfg.cols = 16;
+    random_fault_config fc;
+    fc.fault_rate = rate;
+    const fault_grid faults = generate_random_faults(cfg, fc, 17);
+    const systolic_array array(cfg, faults);
+
+    rng gen(static_cast<std::uint64_t>(rate * 1000) + 3);
+    const conv2d_spec spec{3, 5, 3, 3, 1, 1};  // patch = 27 > rows → tiling
+    conv2d_layer layer(spec, gen);
+    const tensor input = random_tensor({2, 3, 6, 6}, gen);
+
+    // Hardware path: faulty array executes the lowered GEMM (bias added
+    // separately, as the accumulators would).
+    const gemm_mapping mapping(cfg, spec.patch_size(), spec.out_channels);
+    tensor hw = conv_on_array(input, layer.weight().value, spec, array, mapping);
+    const std::size_t plane = 36;
+    for (std::size_t n = 0; n < 2; ++n) {
+        for (std::size_t oc = 0; oc < 5; ++oc) {
+            for (std::size_t i = 0; i < plane; ++i) {
+                hw[(n * 5 + oc) * plane + i] += layer.bias().value[oc];
+            }
+        }
+    }
+
+    // Software path: attach the FAP mask and run the layer normally.
+    tensor mask = build_weight_mask(mapping, faults);
+    mask.reshape(layer.weight().value.shape());
+    layer.weight().mask = std::move(mask);
+    layer.weight().apply_mask();
+    const tensor sw = layer.forward(input);
+
+    EXPECT_TRUE(hw.allclose(sw, 2e-4f)) << "rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ConvEquivalence, ::testing::Values(0.0, 0.05, 0.15, 0.3));
+
+TEST(ConvEquivalence, AttachFaultMasksUsesIdenticalMapping) {
+    // attach_fault_masks on a model must produce the same mask the manual
+    // path above builds — guards against mapping drift between modules.
+    array_config cfg;
+    cfg.rows = 16;
+    cfg.cols = 16;
+    random_fault_config fc;
+    fc.fault_rate = 0.2;
+    const fault_grid faults = generate_random_faults(cfg, fc, 23);
+
+    rng gen(5);
+    sequential model;
+    auto& layer = model.emplace<conv2d_layer>(conv2d_spec{2, 4, 3, 3, 1, 1}, gen);
+    attach_fault_masks(model, cfg, faults);
+
+    tensor expected = build_weight_mask(gemm_mapping(cfg, 18, 4), faults);
+    expected.reshape(layer.weight().value.shape());
+    EXPECT_TRUE(layer.weight().mask == expected);
+}
+
+}  // namespace
+}  // namespace reduce

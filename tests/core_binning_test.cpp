@@ -1,0 +1,150 @@
+// Tests for the retraining-amount binning extension (production
+// scheduling: k job classes instead of per-chip amounts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/binning.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+double brute_force_optimum(std::vector<double> values, std::size_t k) {
+    // Exhaustive contiguous partition over the sorted sequence.
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    double best = std::numeric_limits<double>::infinity();
+    // Enumerate cut masks over n-1 gaps with < k cuts.
+    const std::size_t gaps = n - 1;
+    for (std::size_t mask = 0; mask < (1u << gaps); ++mask) {
+        if (static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(mask))) >= k) {
+            continue;
+        }
+        double total = 0.0;
+        std::size_t start = 0;
+        for (std::size_t i = 0; i <= gaps; ++i) {
+            const bool cut_here = i < gaps && ((mask >> i) & 1u) != 0;
+            if (cut_here || i == gaps) {
+                total += values[i] * static_cast<double>(i - start + 1);
+                start = i + 1;
+            }
+        }
+        best = std::min(best, total);
+    }
+    return best;
+}
+
+TEST(Binning, OneBinAllocatesGlobalMax) {
+    const binning_result r = bin_retraining_amounts({0.5, 1.0, 0.2}, 1);
+    ASSERT_EQ(r.bins.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.bins[0].epochs, 1.0);
+    EXPECT_EQ(r.bins[0].members.size(), 3u);
+    EXPECT_DOUBLE_EQ(r.per_chip_total, 1.7);
+    EXPECT_DOUBLE_EQ(r.binned_total, 3.0);
+    EXPECT_NEAR(r.overhead(), 3.0 / 1.7 - 1.0, 1e-12);
+}
+
+TEST(Binning, AsManyBinsAsChipsIsFree) {
+    const std::vector<double> v = {0.3, 0.7, 0.1, 0.5};
+    const binning_result r = bin_retraining_amounts(v, 4);
+    EXPECT_DOUBLE_EQ(r.binned_total, r.per_chip_total);
+    EXPECT_DOUBLE_EQ(r.overhead(), 0.0);
+}
+
+TEST(Binning, MoreBinsThanChipsClamped) {
+    const binning_result r = bin_retraining_amounts({0.3, 0.7}, 10);
+    EXPECT_LE(r.bins.size(), 2u);
+    EXPECT_DOUBLE_EQ(r.overhead(), 0.0);
+}
+
+TEST(Binning, EveryChipAssignedExactlyOnce) {
+    const std::vector<double> v = {0.9, 0.1, 0.4, 0.4, 0.7, 0.2};
+    const binning_result r = bin_retraining_amounts(v, 3);
+    std::set<std::size_t> seen;
+    for (const epoch_bin& bin : r.bins) {
+        for (const std::size_t m : bin.members) {
+            EXPECT_TRUE(seen.insert(m).second) << "chip " << m << " in two bins";
+        }
+    }
+    EXPECT_EQ(seen.size(), v.size());
+}
+
+TEST(Binning, NoChipUnderTrained) {
+    rng gen(3);
+    std::vector<double> v;
+    for (int i = 0; i < 30; ++i) { v.push_back(gen.uniform(0.0, 3.0)); }
+    for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+        const binning_result r = bin_retraining_amounts(v, k);
+        for (const epoch_bin& bin : r.bins) {
+            for (const std::size_t m : bin.members) {
+                EXPECT_GE(bin.epochs, v[m] - 1e-12)
+                    << "bin allocation below chip selection (k=" << k << ")";
+            }
+        }
+    }
+}
+
+TEST(Binning, OverheadDecreasesWithMoreBins) {
+    rng gen(5);
+    std::vector<double> v;
+    for (int i = 0; i < 40; ++i) { v.push_back(gen.uniform(0.1, 2.0)); }
+    double prev = std::numeric_limits<double>::infinity();
+    for (const std::size_t k : {1u, 2u, 3u, 5u, 10u, 40u}) {
+        const binning_result r = bin_retraining_amounts(v, k);
+        EXPECT_LE(r.binned_total, prev + 1e-9) << "k=" << k;
+        prev = r.binned_total;
+    }
+}
+
+TEST(Binning, DpMatchesBruteForce) {
+    rng gen(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> v;
+        const std::size_t n = 3 + gen.uniform_index(8);  // 3..10 chips
+        for (std::size_t i = 0; i < n; ++i) { v.push_back(gen.uniform(0.0, 4.0)); }
+        const std::size_t k = 1 + gen.uniform_index(4);
+        const binning_result r = bin_retraining_amounts(v, k);
+        EXPECT_NEAR(r.binned_total, brute_force_optimum(v, k), 1e-9)
+            << "trial " << trial << " n=" << n << " k=" << k;
+    }
+}
+
+TEST(Binning, DuplicateValuesShareBins) {
+    const binning_result r = bin_retraining_amounts({0.5, 0.5, 0.5, 2.0}, 2);
+    EXPECT_DOUBLE_EQ(r.binned_total, 0.5 * 3 + 2.0);
+    EXPECT_EQ(r.bins.size(), 2u);
+}
+
+TEST(Binning, ZeroSelectionsAreFree) {
+    const binning_result r = bin_retraining_amounts({0.0, 0.0, 1.0}, 2);
+    EXPECT_DOUBLE_EQ(r.binned_total, 1.0);
+}
+
+TEST(Binning, RejectsBadInput) {
+    EXPECT_THROW(bin_retraining_amounts({}, 2), error);
+    EXPECT_THROW(bin_retraining_amounts({1.0}, 0), error);
+    EXPECT_THROW(bin_retraining_amounts({-0.5}, 1), error);
+}
+
+// Property sweep: binned_total is sandwiched between per-chip total and
+// n * max for every bin count.
+class BinningBounds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BinningBounds, Sandwich) {
+    rng gen(100 + GetParam());
+    std::vector<double> v;
+    for (int i = 0; i < 25; ++i) { v.push_back(gen.uniform(0.0, 5.0)); }
+    const binning_result r = bin_retraining_amounts(v, GetParam());
+    const double max_v = *std::max_element(v.begin(), v.end());
+    EXPECT_GE(r.binned_total, r.per_chip_total - 1e-9);
+    EXPECT_LE(r.binned_total, max_v * static_cast<double>(v.size()) + 1e-9);
+    EXPECT_GE(r.overhead(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, BinningBounds, ::testing::Values(1, 2, 3, 5, 8, 25));
+
+}  // namespace
+}  // namespace reduce

@@ -1,0 +1,204 @@
+// Tests for the end-to-end pipeline (Steps 2+3 over a fleet) and the
+// mitigation-comparison harness.
+#include <gtest/gtest.h>
+
+#include "core/mitigation.h"
+#include "core/pipeline.h"
+#include "core/workload.h"
+#include "util/error.h"
+
+namespace reduce {
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        shared_ = new workload(make_standard_workload(make_test_workload_config()));
+        fleet_config fc;
+        fc.num_chips = 4;
+        fc.rate_lo = 0.05;
+        fc.rate_hi = 0.3;
+        fc.seed = 91;
+        fleet_ = new std::vector<chip>(make_fleet(shared_->array, fc));
+        // A small but real resilience table shared by the policy tests.
+        reduce_pipeline pipeline(*shared_->model, shared_->pretrained, shared_->train_data,
+                                 shared_->test_data, shared_->array, shared_->trainer_cfg);
+        resilience_config rc;
+        rc.fault_rates = {0.0, 0.15, 0.3};
+        rc.repeats = 2;
+        rc.max_epochs = 3.0;
+        table_ = new resilience_table(pipeline.analyze(rc));
+    }
+    static void TearDownTestSuite() {
+        delete shared_;
+        delete fleet_;
+        delete table_;
+        shared_ = nullptr;
+        fleet_ = nullptr;
+        table_ = nullptr;
+    }
+
+    workload& w() { return *shared_; }
+    const std::vector<chip>& fleet() { return *fleet_; }
+    const resilience_table& table() { return *table_; }
+
+    reduce_pipeline make_pipeline() {
+        return reduce_pipeline(*shared_->model, shared_->pretrained, shared_->train_data,
+                               shared_->test_data, shared_->array, shared_->trainer_cfg);
+    }
+
+    static workload* shared_;
+    static std::vector<chip>* fleet_;
+    static resilience_table* table_;
+};
+
+workload* PipelineFixture::shared_ = nullptr;
+std::vector<chip>* PipelineFixture::fleet_ = nullptr;
+resilience_table* PipelineFixture::table_ = nullptr;
+
+TEST_F(PipelineFixture, ReducePolicyCoversFleet) {
+    reduce_pipeline pipeline = make_pipeline();
+    selector_config sel;
+    sel.accuracy_target = 0.85;
+    const policy_outcome outcome = pipeline.run_reduce(fleet(), table(), sel, "reduce-max");
+    EXPECT_EQ(outcome.policy_name, "reduce-max");
+    ASSERT_EQ(outcome.chips.size(), fleet().size());
+    for (const chip_outcome& c : outcome.chips) {
+        EXPECT_GE(c.epochs_run, 0.0);
+        EXPECT_GE(c.final_accuracy, 0.0);
+        EXPECT_LE(c.final_accuracy, 1.0);
+        EXPECT_EQ(c.meets_constraint, c.final_accuracy >= 0.85);
+    }
+    EXPECT_GE(outcome.fraction_meeting(), 0.0);
+    EXPECT_LE(outcome.fraction_meeting(), 1.0);
+    EXPECT_NEAR(outcome.mean_epochs() * static_cast<double>(fleet().size()),
+                outcome.total_epochs(), 1e-9);
+}
+
+TEST_F(PipelineFixture, FixedPolicyRunsRequestedEpochs) {
+    reduce_pipeline pipeline = make_pipeline();
+    const policy_outcome outcome = pipeline.run_fixed(fleet(), 0.5, 0.85, "fixed-0.5");
+    for (const chip_outcome& c : outcome.chips) {
+        EXPECT_DOUBLE_EQ(c.epochs_allocated, 0.5);
+        // steps quantization can push epochs_run slightly above allocation
+        EXPECT_NEAR(c.epochs_run, 0.5, 0.2);
+    }
+}
+
+TEST_F(PipelineFixture, ZeroEpochFixedPolicyIsEvaluationOnly) {
+    reduce_pipeline pipeline = make_pipeline();
+    const policy_outcome outcome = pipeline.run_fixed(fleet(), 0.0, 0.85, "fixed-0");
+    for (const chip_outcome& c : outcome.chips) {
+        EXPECT_DOUBLE_EQ(c.epochs_run, 0.0);
+        EXPECT_DOUBLE_EQ(c.final_accuracy, c.accuracy_before);
+    }
+}
+
+TEST_F(PipelineFixture, ModelRestoredBetweenChips) {
+    reduce_pipeline pipeline = make_pipeline();
+    (void)pipeline.run_fixed(fleet(), 0.2, 0.85, "fixed");
+    // After the run the model must hold the pretrained weights, unmasked.
+    for (std::size_t i = 0; i < w().pretrained.size(); ++i) {
+        EXPECT_TRUE(w().model->parameters()[i]->value == w().pretrained.values[i]);
+        EXPECT_FALSE(w().model->parameters()[i]->has_mask());
+    }
+}
+
+TEST_F(PipelineFixture, SinkReceivesTunedModels) {
+    reduce_pipeline pipeline = make_pipeline();
+    std::vector<std::size_t> seen_ids;
+    pipeline.set_model_sink([&](const chip& c, const model_snapshot& snap) {
+        seen_ids.push_back(c.id);
+        EXPECT_EQ(snap.size(), w().pretrained.size());
+    });
+    (void)pipeline.run_fixed(fleet(), 0.1, 0.85, "fixed");
+    ASSERT_EQ(seen_ids.size(), fleet().size());
+    for (std::size_t i = 0; i < fleet().size(); ++i) { EXPECT_EQ(seen_ids[i], fleet()[i].id); }
+}
+
+TEST_F(PipelineFixture, MoreEpochsNeverHurtOnAverage) {
+    reduce_pipeline pipeline = make_pipeline();
+    const policy_outcome low = pipeline.run_fixed(fleet(), 0.1, 0.85, "low");
+    const policy_outcome high = pipeline.run_fixed(fleet(), 2.0, 0.85, "high");
+    double low_mean = 0.0;
+    double high_mean = 0.0;
+    for (std::size_t i = 0; i < fleet().size(); ++i) {
+        low_mean += low.chips[i].final_accuracy;
+        high_mean += high.chips[i].final_accuracy;
+    }
+    EXPECT_GE(high_mean, low_mean - 0.02);  // small tolerance for noise
+    EXPECT_GE(high.fraction_meeting(), low.fraction_meeting() - 1e-9);
+}
+
+TEST_F(PipelineFixture, EmptyFleetRejected) {
+    reduce_pipeline pipeline = make_pipeline();
+    selector_config sel;
+    sel.accuracy_target = 0.85;
+    EXPECT_THROW(pipeline.run_reduce({}, table(), sel, "x"), error);
+    EXPECT_THROW(pipeline.run_fixed({}, 1.0, 0.85, "x"), error);
+    EXPECT_THROW(pipeline.run_fixed(fleet(), -1.0, 0.85, "x"), error);
+}
+
+TEST_F(PipelineFixture, PolicyOutcomeAggregates) {
+    policy_outcome outcome;
+    outcome.chips.push_back({.epochs_run = 1.0, .final_accuracy = 0.9,
+                             .meets_constraint = true});
+    outcome.chips.push_back({.epochs_run = 3.0, .final_accuracy = 0.8,
+                             .meets_constraint = false});
+    EXPECT_DOUBLE_EQ(outcome.total_epochs(), 4.0);
+    EXPECT_DOUBLE_EQ(outcome.mean_epochs(), 2.0);
+    EXPECT_DOUBLE_EQ(outcome.fraction_meeting(), 0.5);
+    const policy_outcome empty;
+    EXPECT_DOUBLE_EQ(empty.mean_epochs(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.fraction_meeting(), 0.0);
+}
+
+TEST_F(PipelineFixture, MitigationComparisonOrdering) {
+    mitigation_config cfg;
+    cfg.fault_rates = {0.2};
+    cfg.fat_epochs = 1.5;
+    const std::vector<mitigation_outcome> outcomes =
+        compare_mitigations(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg, cfg);
+    ASSERT_EQ(outcomes.size(), 4u);
+    double unmitigated = 0.0;
+    double fap = 0.0;
+    double fam = 0.0;
+    double fat = 0.0;
+    for (const mitigation_outcome& o : outcomes) {
+        if (o.technique == "unmitigated") { unmitigated = o.accuracy; }
+        if (o.technique == "fap") { fap = o.accuracy; }
+        if (o.technique == "fam") { fam = o.accuracy; }
+        if (o.technique == "fat") { fat = o.accuracy; }
+    }
+    // The paper's hierarchy: FAT >= FAM >= FAP >> unmitigated. At this tiny
+    // test scale FAM can come within noise of a short FAT run, so the
+    // adjacent comparisons carry a small tolerance.
+    EXPECT_GT(fap, unmitigated);
+    EXPECT_GE(fam, fap - 0.05);
+    EXPECT_GE(fat, fam - 0.05);
+    EXPECT_GT(fat, unmitigated + 0.1);
+}
+
+TEST_F(PipelineFixture, CorruptWeightsRespectsKinds) {
+    restore_parameters(w().model->parameters(), w().pretrained);
+    fault_grid faults(w().array.rows, w().array.cols);
+    faults.set(0, 0, pe_fault::stuck_weight_max);
+    faults.set(1, 1, pe_fault::stuck_weight_zero);
+    corrupt_weights_for_faults(*w().model, w().array, faults);
+
+    const auto layers = collect_mapped_layers(*w().model);
+    const tensor& weights = layers[0].weight->value;
+    float w_max = 0.0f;
+    // w_max was computed from the corrupted tensor's source (pretrained),
+    // so recompute from the restored snapshot for the assertion.
+    for (const float v : w().pretrained.values[0].data()) {
+        w_max = std::max(w_max, std::abs(v));
+    }
+    EXPECT_FLOAT_EQ(weights.at2(0, 0), w_max);   // (i=0, o=0) on PE (0,0)
+    EXPECT_FLOAT_EQ(weights.at2(1, 1), 0.0f);    // (i=1, o=1) on PE (1,1)
+    restore_parameters(w().model->parameters(), w().pretrained);
+}
+
+}  // namespace
+}  // namespace reduce

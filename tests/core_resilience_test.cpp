@@ -1,0 +1,248 @@
+// Tests for Step 1: the resilience analyzer and the table queries that
+// drive retraining-amount selection (Fig. 2a / 2b machinery).
+#include <gtest/gtest.h>
+
+#include "core/resilience.h"
+#include "core/workload.h"
+#include "util/error.h"
+
+namespace reduce {
+namespace {
+
+/// Hand-built table: accuracy climbs linearly with epochs, slower at higher
+/// fault rates — lets us assert exact query semantics without training.
+resilience_table synthetic_table() {
+    std::vector<resilience_run> runs;
+    const std::vector<double> rates = {0.0, 0.2, 0.4};
+    for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+        for (std::size_t rep = 0; rep < 3; ++rep) {
+            resilience_run run;
+            run.fault_rate = rates[ri];
+            run.repeat = rep;
+            run.map_seed = ri * 10 + rep;
+            // Start low, gain (0.20 - 0.04*ri - 0.02*rep) accuracy per epoch.
+            const double gain = 0.20 - 0.04 * static_cast<double>(ri) -
+                                0.02 * static_cast<double>(rep);
+            for (double e = 0.0; e <= 4.0 + 1e-9; e += 0.5) {
+                run.trajectory.push_back({e, std::min(0.6 + gain * e, 0.99)});
+            }
+            runs.push_back(std::move(run));
+        }
+    }
+    return resilience_table(std::move(runs), 4.0);
+}
+
+TEST(ResilienceTable, RatesSortedUnique) {
+    const resilience_table table = synthetic_table();
+    ASSERT_EQ(table.fault_rates().size(), 3u);
+    EXPECT_DOUBLE_EQ(table.fault_rates()[0], 0.0);
+    EXPECT_DOUBLE_EQ(table.fault_rates()[2], 0.4);
+    EXPECT_EQ(table.repeats_at(0.2), 3u);
+}
+
+TEST(ResilienceTable, AccuracyAtReadsTrajectory) {
+    const resilience_table table = synthetic_table();
+    // rate 0, gains {0.20, 0.18, 0.16} per repeat at 1 epoch.
+    EXPECT_NEAR(table.accuracy_at(0.0, 1.0, statistic::mean), 0.6 + 0.18, 1e-9);
+    EXPECT_NEAR(table.accuracy_at(0.0, 1.0, statistic::max), 0.6 + 0.20, 1e-9);
+    EXPECT_NEAR(table.accuracy_at(0.0, 0.0, statistic::mean), 0.6, 1e-9);
+    EXPECT_THROW(table.accuracy_at(0.3, 1.0), error);  // not a grid point
+}
+
+TEST(ResilienceTable, EpochsToTargetPerRepeat) {
+    const resilience_table table = synthetic_table();
+    // Target 0.9 at rate 0: gains {0.20, 0.18, 0.16} → first checkpoint
+    // (0.5 spacing) with acc >= 0.9.
+    const auto sample = table.epochs_to_target_at(0.0, 0.9);
+    ASSERT_EQ(sample.epochs.size(), 3u);
+    EXPECT_EQ(sample.censored, 0u);
+    EXPECT_DOUBLE_EQ(sample.epochs[0], 1.5);   // 0.6+0.20*1.5 = 0.90
+    EXPECT_DOUBLE_EQ(sample.epochs[1], 2.0);   // 0.6+0.18*2.0 = 0.96
+    EXPECT_DOUBLE_EQ(sample.epochs[2], 2.0);   // 0.6+0.16*2.0 = 0.92
+}
+
+TEST(ResilienceTable, CensoredRunsCountBudget) {
+    const resilience_table table = synthetic_table();
+    // Target 0.999 exceeds the 0.99 curve cap → censored everywhere.
+    const auto sample = table.epochs_to_target_at(0.4, 0.999);
+    EXPECT_EQ(sample.censored, 3u);
+    for (const double e : sample.epochs) { EXPECT_DOUBLE_EQ(e, 4.0); }
+}
+
+TEST(ResilienceTable, EpochsForInterpolatesBetweenRates) {
+    const resilience_table table = synthetic_table();
+    const double at_00 = table.epochs_for(0.0, 0.9, statistic::max).value();
+    const double at_02 = table.epochs_for(0.2, 0.9, statistic::max).value();
+    const double at_01 = table.epochs_for(0.1, 0.9, statistic::max).value();
+    EXPECT_NEAR(at_01, 0.5 * (at_00 + at_02), 1e-9);
+    EXPECT_GT(at_02, at_00);  // more faults → more retraining
+}
+
+TEST(ResilienceTable, EpochsForClampsOutsideGrid) {
+    const resilience_table table = synthetic_table();
+    EXPECT_DOUBLE_EQ(table.epochs_for(0.9, 0.9, statistic::max).value(),
+                     table.epochs_for(0.4, 0.9, statistic::max).value());
+    EXPECT_DOUBLE_EQ(table.epochs_for(0.0, 0.9, statistic::max).value(),
+                     table.epochs_for(-0.0, 0.9, statistic::max).value());
+}
+
+TEST(ResilienceTable, UpperInterpolationIsConservative) {
+    const resilience_table table = synthetic_table();
+    const double linear = table
+                              .epochs_for(0.1, 0.9, statistic::max,
+                                          resilience_table::interpolation::linear)
+                              .value();
+    const double upper = table
+                             .epochs_for(0.1, 0.9, statistic::max,
+                                         resilience_table::interpolation::upper)
+                             .value();
+    EXPECT_GE(upper, linear);
+    // Upper mode returns exactly the next grid point's value.
+    EXPECT_DOUBLE_EQ(upper, table.epochs_for(0.2, 0.9, statistic::max).value());
+    // On grid points the two modes agree.
+    EXPECT_DOUBLE_EQ(table
+                         .epochs_for(0.2, 0.9, statistic::max,
+                                     resilience_table::interpolation::upper)
+                         .value(),
+                     table.epochs_for(0.2, 0.9, statistic::max).value());
+}
+
+TEST(ResilienceTable, EpochsForUnreachableIsNullopt) {
+    const resilience_table table = synthetic_table();
+    EXPECT_FALSE(table.epochs_for(0.4, 0.999, statistic::max).has_value());
+}
+
+TEST(ResilienceTable, MaxGeqMeanGeqMin) {
+    const resilience_table table = synthetic_table();
+    for (const double rate : table.fault_rates()) {
+        const double mn = table.epochs_for(rate, 0.9, statistic::min).value();
+        const double mean = table.epochs_for(rate, 0.9, statistic::mean).value();
+        const double mx = table.epochs_for(rate, 0.9, statistic::max).value();
+        EXPECT_LE(mn, mean);
+        EXPECT_LE(mean, mx);
+    }
+}
+
+TEST(ResilienceTable, JsonRoundTrip) {
+    const resilience_table table = synthetic_table();
+    const resilience_table back = resilience_table::from_json(table.to_json());
+    EXPECT_EQ(back.fault_rates(), table.fault_rates());
+    EXPECT_DOUBLE_EQ(back.max_epochs(), table.max_epochs());
+    EXPECT_EQ(back.runs().size(), table.runs().size());
+    EXPECT_DOUBLE_EQ(back.epochs_for(0.13, 0.9, statistic::max).value(),
+                     table.epochs_for(0.13, 0.9, statistic::max).value());
+}
+
+TEST(ResilienceTable, RejectsEmptyAndMalformed) {
+    EXPECT_THROW(resilience_table({}, 4.0), error);
+    std::vector<resilience_run> runs(1);
+    runs[0].fault_rate = 0.1;
+    runs[0].trajectory = {{1.0, 0.5}};  // missing epoch-0 point
+    EXPECT_THROW(resilience_table(std::move(runs), 4.0), error);
+}
+
+class AnalyzerFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        shared_ = new workload(make_standard_workload(make_test_workload_config()));
+    }
+    static void TearDownTestSuite() {
+        delete shared_;
+        shared_ = nullptr;
+    }
+    workload& w() { return *shared_; }
+    static workload* shared_;
+};
+
+workload* AnalyzerFixture::shared_ = nullptr;
+
+TEST_F(AnalyzerFixture, ProducesExpectedRunCount) {
+    resilience_analyzer analyzer(*w().model, w().pretrained, w().train_data, w().test_data,
+                                 w().array, w().trainer_cfg);
+    resilience_config cfg;
+    cfg.fault_rates = {0.0, 0.2};
+    cfg.repeats = 2;
+    cfg.max_epochs = 1.0;
+    const resilience_table table = analyzer.analyze(cfg);
+    EXPECT_EQ(table.runs().size(), 4u);
+    EXPECT_EQ(table.repeats_at(0.2), 2u);
+}
+
+TEST_F(AnalyzerFixture, ZeroRateRunsStartAtCleanAccuracy) {
+    resilience_analyzer analyzer(*w().model, w().pretrained, w().train_data, w().test_data,
+                                 w().array, w().trainer_cfg);
+    resilience_config cfg;
+    cfg.fault_rates = {0.0};
+    cfg.repeats = 1;
+    cfg.max_epochs = 0.5;
+    const resilience_table table = analyzer.analyze(cfg);
+    EXPECT_NEAR(table.accuracy_at(0.0, 0.0), w().clean_accuracy, 1e-9);
+    EXPECT_DOUBLE_EQ(table.runs()[0].masked_weight_fraction, 0.0);
+}
+
+TEST_F(AnalyzerFixture, HigherRateStartsLower) {
+    resilience_analyzer analyzer(*w().model, w().pretrained, w().train_data, w().test_data,
+                                 w().array, w().trainer_cfg);
+    resilience_config cfg;
+    cfg.fault_rates = {0.0, 0.4};
+    cfg.repeats = 2;
+    cfg.max_epochs = 0.5;
+    const resilience_table table = analyzer.analyze(cfg);
+    EXPECT_LT(table.accuracy_at(0.4, 0.0, statistic::mean),
+              table.accuracy_at(0.0, 0.0, statistic::mean));
+}
+
+TEST_F(AnalyzerFixture, DeterministicGivenSeed) {
+    resilience_analyzer analyzer(*w().model, w().pretrained, w().train_data, w().test_data,
+                                 w().array, w().trainer_cfg);
+    resilience_config cfg;
+    cfg.fault_rates = {0.2};
+    cfg.repeats = 1;
+    cfg.max_epochs = 0.5;
+    const resilience_table a = analyzer.analyze(cfg);
+    const resilience_table b = analyzer.analyze(cfg);
+    ASSERT_EQ(a.runs().size(), b.runs().size());
+    for (std::size_t i = 0; i < a.runs().size(); ++i) {
+        ASSERT_EQ(a.runs()[i].trajectory.size(), b.runs()[i].trajectory.size());
+        for (std::size_t k = 0; k < a.runs()[i].trajectory.size(); ++k) {
+            EXPECT_DOUBLE_EQ(a.runs()[i].trajectory[k].test_accuracy,
+                             b.runs()[i].trajectory[k].test_accuracy);
+        }
+    }
+}
+
+TEST_F(AnalyzerFixture, RestoresModelAfterAnalysis) {
+    const model_snapshot before = snapshot_parameters(w().model->parameters());
+    resilience_analyzer analyzer(*w().model, w().pretrained, w().train_data, w().test_data,
+                                 w().array, w().trainer_cfg);
+    resilience_config cfg;
+    cfg.fault_rates = {0.3};
+    cfg.repeats = 1;
+    cfg.max_epochs = 0.5;
+    (void)analyzer.analyze(cfg);
+    // Weights restored to pretrained values, masks removed.
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        EXPECT_TRUE(w().model->parameters()[i]->value == w().pretrained.values[i]);
+        EXPECT_FALSE(w().model->parameters()[i]->has_mask());
+    }
+}
+
+TEST_F(AnalyzerFixture, RejectsBadConfigs) {
+    resilience_analyzer analyzer(*w().model, w().pretrained, w().train_data, w().test_data,
+                                 w().array, w().trainer_cfg);
+    resilience_config cfg;
+    cfg.fault_rates = {};
+    EXPECT_THROW(analyzer.analyze(cfg), error);
+    cfg.fault_rates = {0.1};
+    cfg.repeats = 0;
+    EXPECT_THROW(analyzer.analyze(cfg), error);
+    cfg.repeats = 1;
+    cfg.max_epochs = 0.0;
+    EXPECT_THROW(analyzer.analyze(cfg), error);
+    cfg.max_epochs = 1.0;
+    cfg.fault_rates = {1.5};
+    EXPECT_THROW(analyzer.analyze(cfg), error);
+}
+
+}  // namespace
+}  // namespace reduce

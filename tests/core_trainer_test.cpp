@@ -1,0 +1,171 @@
+// Tests for the FAT trainer: epoch accounting, trajectories, eval grids,
+// and the epochs-to-target helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/workload.h"
+#include "fault/mask_builder.h"
+#include "fault/models.h"
+#include "util/error.h"
+
+namespace reduce {
+namespace {
+
+class TrainerFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() { shared_ = new workload(make_standard_workload(
+        make_test_workload_config())); }
+    static void TearDownTestSuite() {
+        delete shared_;
+        shared_ = nullptr;
+    }
+
+    workload& w() { return *shared_; }
+
+    static workload* shared_;
+};
+
+workload* TrainerFixture::shared_ = nullptr;
+
+TEST(EvalGrid, FineThenCoarse) {
+    const std::vector<double> grid = make_eval_grid(3.0, 1.0, 0.25, 1.0);
+    // 0.25, 0.5, 0.75, 1.0, then 2.0, 3.0
+    ASSERT_EQ(grid.size(), 6u);
+    EXPECT_DOUBLE_EQ(grid[0], 0.25);
+    EXPECT_DOUBLE_EQ(grid[3], 1.0);
+    EXPECT_DOUBLE_EQ(grid[4], 2.0);
+    EXPECT_DOUBLE_EQ(grid.back(), 3.0);
+}
+
+TEST(EvalGrid, AlwaysEndsAtBudget) {
+    const std::vector<double> grid = make_eval_grid(2.3, 0.5, 0.25, 1.0);
+    EXPECT_NEAR(grid.back(), 2.3, 1e-9);
+}
+
+TEST(EvalGrid, RejectsBadArgs) {
+    EXPECT_THROW(make_eval_grid(0.0, 1.0, 0.1, 0.5), error);
+    EXPECT_THROW(make_eval_grid(1.0, 1.0, 0.0, 0.5), error);
+    EXPECT_THROW(make_eval_grid(1.0, -1.0, 0.1, 0.5), error);
+}
+
+TEST(EpochsToReach, FindsFirstCrossing) {
+    const std::vector<training_point> traj = {
+        {0.0, 0.5}, {0.5, 0.85}, {1.0, 0.9}, {2.0, 0.95}};
+    EXPECT_DOUBLE_EQ(epochs_to_reach(traj, 0.4).value(), 0.0);
+    EXPECT_DOUBLE_EQ(epochs_to_reach(traj, 0.86).value(), 1.0);
+    EXPECT_DOUBLE_EQ(epochs_to_reach(traj, 0.95).value(), 2.0);
+    EXPECT_FALSE(epochs_to_reach(traj, 0.99).has_value());
+}
+
+TEST(AccuracyAtEpochs, StepFunctionSemantics) {
+    const std::vector<training_point> traj = {{0.0, 0.5}, {1.0, 0.8}, {2.0, 0.9}};
+    EXPECT_DOUBLE_EQ(accuracy_at_epochs(traj, 0.0), 0.5);
+    EXPECT_DOUBLE_EQ(accuracy_at_epochs(traj, 0.5), 0.5);
+    EXPECT_DOUBLE_EQ(accuracy_at_epochs(traj, 1.0), 0.8);
+    EXPECT_DOUBLE_EQ(accuracy_at_epochs(traj, 5.0), 0.9);
+}
+
+TEST(AccuracyAtEpochs, RequiresEpochZeroStart) {
+    const std::vector<training_point> traj = {{1.0, 0.8}};
+    EXPECT_THROW(accuracy_at_epochs(traj, 1.0), error);
+    EXPECT_THROW(accuracy_at_epochs({}, 1.0), error);
+}
+
+TEST_F(TrainerFixture, ZeroBudgetJustEvaluates) {
+    restore_parameters(w().model->parameters(), w().pretrained);
+    fault_aware_trainer trainer(*w().model, w().train_data, w().test_data, w().trainer_cfg);
+    const fat_result r = trainer.train(0.0);
+    EXPECT_EQ(r.steps_run, 0u);
+    EXPECT_DOUBLE_EQ(r.epochs_run, 0.0);
+    ASSERT_EQ(r.trajectory.size(), 1u);
+    EXPECT_NEAR(r.final_accuracy, w().clean_accuracy, 1e-12);
+}
+
+TEST_F(TrainerFixture, FractionalEpochRunsFewSteps) {
+    restore_parameters(w().model->parameters(), w().pretrained);
+    fault_aware_trainer trainer(*w().model, w().train_data, w().test_data, w().trainer_cfg);
+    const fat_result r = trainer.train(0.05);
+    EXPECT_GE(r.steps_run, 1u);
+    data_loader probe(w().train_data, w().trainer_cfg.batch_size, 1);
+    EXPECT_LE(r.steps_run, probe.steps_per_epoch());
+    EXPECT_GT(r.epochs_run, 0.0);
+    EXPECT_LE(r.epochs_run, 1.0);
+}
+
+TEST_F(TrainerFixture, TrajectoryCheckpointsMatchGrid) {
+    restore_parameters(w().model->parameters(), w().pretrained);
+    fault_aware_trainer trainer(*w().model, w().train_data, w().test_data, w().trainer_cfg);
+    const fat_result r = trainer.train(1.0, {0.25, 0.5, 0.75});
+    // epoch-0 + three checkpoints + budget.
+    ASSERT_EQ(r.trajectory.size(), 5u);
+    EXPECT_DOUBLE_EQ(r.trajectory.front().epochs, 0.0);
+    // Epoch positions are step-quantized but strictly increasing.
+    for (std::size_t i = 1; i < r.trajectory.size(); ++i) {
+        EXPECT_GT(r.trajectory[i].epochs, r.trajectory[i - 1].epochs);
+    }
+    EXPECT_NEAR(r.trajectory.back().epochs, 1.0, 1e-9);
+}
+
+TEST_F(TrainerFixture, DeterministicAcrossCalls) {
+    restore_parameters(w().model->parameters(), w().pretrained);
+    fault_aware_trainer trainer(*w().model, w().train_data, w().test_data, w().trainer_cfg);
+    const fat_result a = trainer.train(0.5);
+    restore_parameters(w().model->parameters(), w().pretrained);
+    const fat_result b = trainer.train(0.5);
+    EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+    EXPECT_EQ(a.steps_run, b.steps_run);
+}
+
+TEST_F(TrainerFixture, MaskedTrainingKeepsPrunedWeightsZero) {
+    restore_parameters(w().model->parameters(), w().pretrained);
+    random_fault_config fc;
+    fc.fault_rate = 0.2;
+    const fault_grid faults = generate_random_faults(w().array, fc, 5);
+    attach_fault_masks(*w().model, w().array, faults);
+
+    fault_aware_trainer trainer(*w().model, w().train_data, w().test_data, w().trainer_cfg);
+    (void)trainer.train(1.0);
+    for (parameter* p : w().model->parameters()) {
+        if (!p->has_mask()) { continue; }
+        for (std::size_t i = 0; i < p->value.numel(); ++i) {
+            if (p->mask[i] == 0.0f) {
+                ASSERT_EQ(p->value[i], 0.0f) << "pruned weight drifted from zero";
+            }
+        }
+    }
+    clear_fault_masks(*w().model);
+}
+
+TEST_F(TrainerFixture, FatRecoversMaskedAccuracy) {
+    restore_parameters(w().model->parameters(), w().pretrained);
+    random_fault_config fc;
+    fc.fault_rate = 0.25;
+    const fault_grid faults = generate_random_faults(w().array, fc, 6);
+    attach_fault_masks(*w().model, w().array, faults);
+
+    fault_aware_trainer trainer(*w().model, w().train_data, w().test_data, w().trainer_cfg);
+    const double before = trainer.evaluate();
+    const fat_result r = trainer.train(3.0);
+    EXPECT_GT(r.final_accuracy, before) << "FAT failed to improve a damaged model";
+    clear_fault_masks(*w().model);
+}
+
+TEST_F(TrainerFixture, NegativeBudgetRejected) {
+    fault_aware_trainer trainer(*w().model, w().train_data, w().test_data, w().trainer_cfg);
+    EXPECT_THROW(trainer.train(-1.0), error);
+}
+
+TEST_F(TrainerFixture, ConfigValidation) {
+    fat_config bad = w().trainer_cfg;
+    bad.batch_size = 0;
+    EXPECT_THROW(
+        fault_aware_trainer(*w().model, w().train_data, w().test_data, bad), error);
+    bad = w().trainer_cfg;
+    bad.learning_rate = 0.0;
+    EXPECT_THROW(
+        fault_aware_trainer(*w().model, w().train_data, w().test_data, bad), error);
+}
+
+}  // namespace
+}  // namespace reduce

@@ -1,0 +1,115 @@
+// Tests for the standard and image workload bundles — the shared fixture
+// of every bench/example — including the conv path through the pipeline.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/workload.h"
+#include "fault/mask_builder.h"
+#include "fault/models.h"
+#include "util/log.h"
+
+namespace reduce {
+namespace {
+
+TEST(Workload, TestConfigTrainsAboveNinetyPercent) {
+    set_log_level(log_level::warn);
+    const workload w = make_standard_workload(make_test_workload_config());
+    EXPECT_GT(w.clean_accuracy, 0.9);
+    EXPECT_EQ(w.pretrained.size(), w.model->parameters().size());
+    EXPECT_GT(w.train_data.size(), w.test_data.size());
+}
+
+TEST(Workload, DeterministicAcrossBuilds) {
+    set_log_level(log_level::warn);
+    const workload a = make_standard_workload(make_test_workload_config());
+    const workload b = make_standard_workload(make_test_workload_config());
+    EXPECT_DOUBLE_EQ(a.clean_accuracy, b.clean_accuracy);
+    for (std::size_t i = 0; i < a.pretrained.size(); ++i) {
+        EXPECT_TRUE(a.pretrained.values[i] == b.pretrained.values[i]);
+    }
+}
+
+TEST(Workload, SnapshotMatchesLiveModel) {
+    set_log_level(log_level::warn);
+    const workload w = make_standard_workload(make_test_workload_config());
+    const auto params = w.model->parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        EXPECT_TRUE(params[i]->value == w.pretrained.values[i]);
+    }
+}
+
+class ImageWorkloadFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        set_log_level(log_level::warn);
+        image_workload_config cfg;
+        cfg.data.num_classes = 4;
+        cfg.data.samples_per_class = 80;
+        cfg.data.noise_stddev = 0.4;
+        cfg.base_channels = 6;
+        cfg.pretrain_epochs = 10.0;
+        cfg.array.rows = 32;
+        cfg.array.cols = 32;
+        cfg.trainer.batch_size = 32;
+        cfg.trainer.learning_rate = 0.03;
+        shared_ = new workload(make_image_workload(cfg));
+    }
+    static void TearDownTestSuite() {
+        delete shared_;
+        shared_ = nullptr;
+    }
+    workload& w() { return *shared_; }
+    static workload* shared_;
+};
+
+workload* ImageWorkloadFixture::shared_ = nullptr;
+
+TEST_F(ImageWorkloadFixture, CnnLearnsImageTask) {
+    EXPECT_GT(w().clean_accuracy, 0.85);
+}
+
+TEST_F(ImageWorkloadFixture, ConvMasksDegradeAndFatRecovers) {
+    restore_parameters(w().model->parameters(), w().pretrained);
+    random_fault_config fc;
+    fc.fault_rate = 0.25;
+    const fault_grid faults = generate_random_faults(w().array, fc, 21);
+    const mask_stats stats = attach_fault_masks(*w().model, w().array, faults);
+    EXPECT_GT(stats.masked_weights, 0u);
+    EXPECT_EQ(stats.layers, 3u);  // two convs + classifier
+
+    fault_aware_trainer trainer(*w().model, w().train_data, w().test_data, w().trainer_cfg);
+    const double damaged = trainer.evaluate();
+    EXPECT_LT(damaged, w().clean_accuracy);
+    const fat_result r = trainer.train(2.0);
+    EXPECT_GT(r.final_accuracy, damaged);
+    clear_fault_masks(*w().model);
+    restore_parameters(w().model->parameters(), w().pretrained);
+}
+
+TEST_F(ImageWorkloadFixture, FullPipelineOnConvModel) {
+    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
+                             w().array, w().trainer_cfg);
+    resilience_config rc;
+    rc.fault_rates = {0.0, 0.2};
+    rc.repeats = 2;
+    rc.max_epochs = 2.0;
+    const resilience_table table = pipeline.analyze(rc);
+
+    fleet_config fc;
+    fc.num_chips = 3;
+    fc.rate_lo = 0.05;
+    fc.rate_hi = 0.2;
+    const std::vector<chip> fleet = make_fleet(w().array, fc);
+
+    selector_config sel;
+    sel.accuracy_target = 0.8;
+    const policy_outcome outcome = pipeline.run_reduce(fleet, table, sel, "conv-reduce");
+    ASSERT_EQ(outcome.chips.size(), 3u);
+    for (const chip_outcome& c : outcome.chips) {
+        EXPECT_GT(c.final_accuracy, 0.0);
+        EXPECT_GE(c.epochs_allocated, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace reduce

@@ -1,0 +1,138 @@
+// Tests for the Fault-Aware Mapping (SalvageDNN-style) baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "fault/fam.h"
+#include "fault/mask_builder.h"
+#include "fault/models.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+array_config tiny_array(std::size_t n) {
+    array_config cfg;
+    cfg.rows = n;
+    cfg.cols = n;
+    return cfg;
+}
+
+TEST(FamCost, ZeroForHealthyColumns) {
+    rng gen(1);
+    sequential model;
+    model.emplace<linear>(4, 4, gen);
+    const array_config cfg = tiny_array(4);
+    fault_grid faults(4, 4);
+    faults.set(2, 1, pe_fault::bypassed);  // only column 1 damaged
+    const auto layers = collect_mapped_layers(model);
+    const auto cost = fam_cost_matrix(layers[0], cfg, faults);
+    for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_DOUBLE_EQ(cost[j][0], 0.0);
+        EXPECT_DOUBLE_EQ(cost[j][2], 0.0);
+        EXPECT_DOUBLE_EQ(cost[j][3], 0.0);
+    }
+    // Column 1 cost equals |w| of input 2 for each output slot.
+    const tensor& w = layers[0].weight->value;
+    for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_NEAR(cost[j][1], std::abs(w.at2(j, 2)), 1e-6);
+    }
+}
+
+TEST(FamPermutation, IsValidPermutation) {
+    rng gen(2);
+    sequential model;
+    model.emplace<linear>(8, 8, gen);
+    const array_config cfg = tiny_array(8);
+    random_fault_config fc;
+    fc.fault_rate = 0.2;
+    const fault_grid faults = generate_random_faults(cfg, fc, 3);
+    const auto layers = collect_mapped_layers(model);
+    const auto perm = fam_column_permutation(layers[0], cfg, faults);
+    ASSERT_EQ(perm.size(), 8u);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(FamPermutation, NeverWorseThanIdentity) {
+    // The greedy assignment's pruned saliency must not exceed identity's.
+    const array_config cfg = tiny_array(8);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        rng gen(100 + seed);
+        sequential model;
+        model.emplace<linear>(8, 8, gen);
+        random_fault_config fc;
+        fc.fault_rate = 0.25;
+        const fault_grid faults = generate_random_faults(cfg, fc, seed);
+        const auto layers = collect_mapped_layers(model);
+
+        std::vector<std::size_t> identity(8);
+        for (std::size_t i = 0; i < 8; ++i) { identity[i] = i; }
+        const double base = pruned_saliency(layers[0], cfg, faults, identity);
+        const auto perm = fam_column_permutation(layers[0], cfg, faults);
+        const double opt = pruned_saliency(layers[0], cfg, faults, perm);
+        EXPECT_LE(opt, base + 1e-9) << "seed " << seed;
+    }
+}
+
+TEST(FamPermutation, AvoidsDamagedColumnWhenPossible) {
+    rng gen(4);
+    sequential model;
+    model.emplace<linear>(4, 2, gen);  // 2 outputs, 4 columns available
+    const array_config cfg = tiny_array(4);
+    fault_grid faults(4, 4);
+    // Column 0 fully destroyed; columns 1-3 clean.
+    for (std::size_t r = 0; r < 4; ++r) { faults.set(r, 0, pe_fault::bypassed); }
+    const auto layers = collect_mapped_layers(model);
+    const auto perm = fam_column_permutation(layers[0], cfg, faults);
+    // The two used logical slots (0, 1) must land on clean columns.
+    EXPECT_NE(perm[0], 0u);
+    EXPECT_NE(perm[1], 0u);
+    EXPECT_DOUBLE_EQ(pruned_saliency(layers[0], cfg, faults, perm), 0.0);
+}
+
+TEST(FamPermutations, OnePerMappedLayer) {
+    rng gen(5);
+    sequential model;
+    model.emplace<linear>(4, 6, gen);
+    model.emplace<relu_layer>();
+    model.emplace<linear>(6, 3, gen);
+    const array_config cfg = tiny_array(8);
+    random_fault_config fc;
+    fc.fault_rate = 0.1;
+    const fault_grid faults = generate_random_faults(cfg, fc, 6);
+    const auto perms = fam_permutations(model, cfg, faults);
+    EXPECT_EQ(perms.size(), 2u);
+    for (const auto& perm : perms) { EXPECT_EQ(perm.size(), 8u); }
+}
+
+TEST(FamEndToEnd, ReducesMaskedSaliencyOnModel) {
+    rng gen(6);
+    sequential model;
+    model.emplace<linear>(16, 16, gen);
+    const array_config cfg = tiny_array(8);
+    random_fault_config fc;
+    fc.fault_rate = 0.15;
+    const fault_grid faults = generate_random_faults(cfg, fc, 7);
+    const auto layers = collect_mapped_layers(model);
+
+    std::vector<std::size_t> identity(8);
+    for (std::size_t i = 0; i < 8; ++i) { identity[i] = i; }
+    const double before = pruned_saliency(layers[0], cfg, faults, identity);
+    const auto perms = fam_permutations(model, cfg, faults);
+    const double after = pruned_saliency(layers[0], cfg, faults, perms[0]);
+    EXPECT_LE(after, before);
+    // And the masked-weight count is unchanged (FAM relocates, not removes).
+    attach_fault_masks(model, cfg, faults);
+    const double masked_identity = 1.0 - model.parameters()[0]->mask.mean();
+    clear_fault_masks(model);
+    attach_fault_masks_permuted(model, cfg, faults, perms);
+    const double masked_fam = 1.0 - model.parameters()[0]->mask.mean();
+    EXPECT_NEAR(masked_identity, masked_fam, 1e-9);
+}
+
+}  // namespace
+}  // namespace reduce

@@ -1,0 +1,248 @@
+// Tests for the mask builder — the FAP bridge between fault maps and
+// trainable models — and the effective-fault-rate estimators of Step 2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/mask_builder.h"
+#include "fault/models.h"
+#include "nn/conv_layers.h"
+#include "nn/layers.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+array_config tiny_array(std::size_t rows, std::size_t cols) {
+    array_config cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    return cfg;
+}
+
+TEST(BuildMask, MarksExactlyFaultyPositions) {
+    const array_config cfg = tiny_array(4, 4);
+    fault_grid faults(4, 4);
+    faults.set(1, 2, pe_fault::bypassed);
+    const gemm_mapping mapping(cfg, 4, 4);
+    const tensor mask = build_weight_mask(mapping, faults);
+    EXPECT_EQ(mask.shape(), shape_t({4, 4}));
+    for (std::size_t o = 0; o < 4; ++o) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            const float expected = (i == 1 && o == 2) ? 0.0f : 1.0f;
+            EXPECT_EQ(mask.at2(o, i), expected) << "(o=" << o << ", i=" << i << ")";
+        }
+    }
+}
+
+TEST(BuildMask, TilingWrapsModulo) {
+    const array_config cfg = tiny_array(2, 2);
+    fault_grid faults(2, 2);
+    faults.set(0, 1, pe_fault::bypassed);
+    const gemm_mapping mapping(cfg, 4, 4);
+    const tensor mask = build_weight_mask(mapping, faults);
+    // Weight (i, o) masked iff i%2==0 && o%2==1.
+    for (std::size_t o = 0; o < 4; ++o) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            const float expected = (i % 2 == 0 && o % 2 == 1) ? 0.0f : 1.0f;
+            EXPECT_EQ(mask.at2(o, i), expected);
+        }
+    }
+}
+
+TEST(BuildMask, HealthyGridGivesAllOnes) {
+    const array_config cfg = tiny_array(8, 8);
+    const fault_grid faults(8, 8);
+    const tensor mask = build_weight_mask(gemm_mapping(cfg, 5, 7), faults);
+    EXPECT_DOUBLE_EQ(mask.sum(), 35.0);
+}
+
+TEST(AttachMasks, CoversLinearAndConvLayers) {
+    rng gen(1);
+    sequential model;
+    model.emplace<conv2d_layer>(conv2d_spec{2, 4, 3, 3, 1, 1}, gen);
+    model.emplace<relu_layer>();
+    model.emplace<flatten>();
+    model.emplace<linear>(4 * 16, 5, gen);
+
+    const array_config cfg = tiny_array(8, 8);
+    random_fault_config fc;
+    fc.fault_rate = 0.25;
+    const fault_grid faults = generate_random_faults(cfg, fc, 3);
+    const mask_stats stats = attach_fault_masks(model, cfg, faults);
+    EXPECT_EQ(stats.layers, 2u);
+    EXPECT_EQ(stats.total_weights, 4u * 2 * 9 + 64u * 5);
+    EXPECT_GT(stats.masked_weights, 0u);
+    EXPECT_NEAR(stats.masked_fraction(), 0.25, 0.1);
+
+    // Masks attached and weights already zeroed at masked positions.
+    for (const mapped_layer& layer : collect_mapped_layers(model)) {
+        ASSERT_TRUE(layer.weight->has_mask());
+        for (std::size_t i = 0; i < layer.weight->value.numel(); ++i) {
+            if (layer.weight->mask[i] == 0.0f) {
+                EXPECT_EQ(layer.weight->value[i], 0.0f);
+            }
+        }
+    }
+}
+
+TEST(AttachMasks, ConvMaskMatchesGemmView) {
+    // The conv weight [O, C, kh, kw] must be masked exactly like its
+    // lowered GEMM view [O, C*kh*kw].
+    rng gen(2);
+    sequential model;
+    model.emplace<conv2d_layer>(conv2d_spec{3, 4, 3, 3, 1, 1}, gen);
+    const array_config cfg = tiny_array(8, 8);
+    fault_grid faults(8, 8);
+    faults.set(5, 2, pe_fault::bypassed);
+    attach_fault_masks(model, cfg, faults);
+
+    const mapped_layer layer = collect_mapped_layers(model)[0];
+    const tensor expected = build_weight_mask(gemm_mapping(cfg, 27, 4), faults);
+    for (std::size_t o = 0; o < 4; ++o) {
+        for (std::size_t i = 0; i < 27; ++i) {
+            EXPECT_EQ(layer.weight->mask[o * 27 + i], expected.at2(o, i));
+        }
+    }
+}
+
+TEST(AttachMasks, ZeroFaultsMasksNothing) {
+    rng gen(3);
+    sequential model;
+    model.emplace<linear>(6, 6, gen);
+    const array_config cfg = tiny_array(8, 8);
+    const mask_stats stats = attach_fault_masks(model, cfg, fault_grid(8, 8));
+    EXPECT_EQ(stats.masked_weights, 0u);
+    EXPECT_DOUBLE_EQ(stats.masked_fraction(), 0.0);
+}
+
+TEST(ClearMasks, RemovesAllMasks) {
+    rng gen(4);
+    sequential model;
+    model.emplace<linear>(4, 4, gen);
+    const array_config cfg = tiny_array(4, 4);
+    fault_grid faults(4, 4);
+    faults.set(0, 0, pe_fault::bypassed);
+    attach_fault_masks(model, cfg, faults);
+    EXPECT_TRUE(model.parameters()[0]->has_mask());
+    clear_fault_masks(model);
+    for (parameter* p : model.parameters()) { EXPECT_FALSE(p->has_mask()); }
+}
+
+TEST(AttachMasksPermuted, PermutationChangesMaskedSet) {
+    rng gen(5);
+    sequential model;
+    model.emplace<linear>(4, 4, gen);
+    const array_config cfg = tiny_array(4, 4);
+    fault_grid faults(4, 4);
+    faults.set(0, 0, pe_fault::bypassed);  // column 0 damaged
+
+    attach_fault_masks(model, cfg, faults);
+    const tensor identity_mask = model.parameters()[0]->mask;
+    clear_fault_masks(model);
+
+    // Route logical column 0 to physical column 3 (healthy) instead.
+    attach_fault_masks_permuted(model, cfg, faults, {{3, 1, 2, 0}});
+    const tensor permuted_mask = model.parameters()[0]->mask;
+    EXPECT_FALSE(identity_mask == permuted_mask);
+    EXPECT_EQ(identity_mask.at2(0, 0), 0.0f);
+    EXPECT_EQ(permuted_mask.at2(0, 0), 1.0f);   // output 0 now safe
+    EXPECT_EQ(permuted_mask.at2(3, 0), 0.0f);   // output 3 took the hit
+}
+
+TEST(AttachMasksPermuted, WrongPermCountThrows) {
+    rng gen(6);
+    sequential model;
+    model.emplace<linear>(4, 4, gen);
+    model.emplace<linear>(4, 4, gen);
+    const array_config cfg = tiny_array(4, 4);
+    EXPECT_THROW(attach_fault_masks_permuted(model, cfg, fault_grid(4, 4), {{0, 1, 2, 3}}),
+                 error);
+}
+
+TEST(EffectiveRate, WholeArrayMatchesGridRate) {
+    rng gen(7);
+    sequential model;
+    model.emplace<linear>(4, 4, gen);
+    const array_config cfg = tiny_array(8, 8);
+    random_fault_config fc;
+    fc.fault_rate = 0.25;
+    const fault_grid faults = generate_random_faults(cfg, fc, 8);
+    EXPECT_DOUBLE_EQ(
+        effective_fault_rate(model, cfg, faults, effective_rate_kind::whole_array),
+        faults.fault_rate());
+}
+
+TEST(EffectiveRate, UsedSubarrayIgnoresUnusedRegion) {
+    rng gen(8);
+    sequential model;
+    model.emplace<linear>(2, 2, gen);  // uses only the 2x2 corner
+    const array_config cfg = tiny_array(8, 8);
+    fault_grid faults(8, 8);
+    faults.set(7, 7, pe_fault::bypassed);  // far outside the used corner
+    EXPECT_DOUBLE_EQ(
+        effective_fault_rate(model, cfg, faults, effective_rate_kind::used_subarray), 0.0);
+    faults.set(0, 0, pe_fault::bypassed);
+    EXPECT_DOUBLE_EQ(
+        effective_fault_rate(model, cfg, faults, effective_rate_kind::used_subarray), 0.25);
+}
+
+TEST(EffectiveRate, WeightWeightedMatchesMaskStats) {
+    rng gen(9);
+    sequential model;
+    model.emplace<linear>(6, 10, gen);
+    model.emplace<relu_layer>();
+    model.emplace<linear>(10, 4, gen);
+    const array_config cfg = tiny_array(8, 8);
+    random_fault_config fc;
+    fc.fault_rate = 0.2;
+    const fault_grid faults = generate_random_faults(cfg, fc, 10);
+
+    const double estimated =
+        effective_fault_rate(model, cfg, faults, effective_rate_kind::weight_weighted);
+    const mask_stats stats = attach_fault_masks(model, cfg, faults);
+    EXPECT_NEAR(estimated, stats.masked_fraction(), 1e-9);
+}
+
+TEST(EffectiveRate, TiledLayersConvergeToArrayRate) {
+    // When layers tile the array exactly, all three estimators agree.
+    rng gen(10);
+    sequential model;
+    model.emplace<linear>(16, 16, gen);  // 2x2 tiles of an 8x8 array
+    const array_config cfg = tiny_array(8, 8);
+    random_fault_config fc;
+    fc.fault_rate = 0.25;
+    const fault_grid faults = generate_random_faults(cfg, fc, 11);
+    const double whole =
+        effective_fault_rate(model, cfg, faults, effective_rate_kind::whole_array);
+    const double sub =
+        effective_fault_rate(model, cfg, faults, effective_rate_kind::used_subarray);
+    const double weighted =
+        effective_fault_rate(model, cfg, faults, effective_rate_kind::weight_weighted);
+    EXPECT_DOUBLE_EQ(whole, sub);
+    EXPECT_DOUBLE_EQ(whole, weighted);
+}
+
+// Property sweep: the masked-weight fraction tracks the injected fault rate
+// for layers that tile the array exactly.
+class MaskFractionTracksRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(MaskFractionTracksRate, ExactForFullTiling) {
+    const double rate = GetParam();
+    rng gen(42);
+    sequential model;
+    model.emplace<linear>(16, 16, gen);
+    const array_config cfg = tiny_array(8, 8);
+    random_fault_config fc;
+    fc.fault_rate = rate;
+    const fault_grid faults = generate_random_faults(cfg, fc, 77);
+    const mask_stats stats = attach_fault_masks(model, cfg, faults);
+    EXPECT_NEAR(stats.masked_fraction(), faults.fault_rate(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, MaskFractionTracksRate,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.25, 0.5, 0.9));
+
+}  // namespace
+}  // namespace reduce

@@ -1,0 +1,196 @@
+// Whole-system integration tests: the complete Reduce story, policy
+// comparisons, and the paper's qualitative claims at reduced scale.
+#include <gtest/gtest.h>
+
+#include "core/mitigation.h"
+#include "core/pipeline.h"
+#include "core/workload.h"
+#include "fault/serialization.h"
+#include "util/log.h"
+
+namespace reduce {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        set_log_level(log_level::warn);
+        // Slightly larger than the unit-test workload so accuracy targets
+        // near the clean ceiling behave like the paper's setup.
+        workload_config cfg = make_test_workload_config();
+        cfg.data.samples_per_class = 250;
+        cfg.data.class_separation = 3.8;
+        cfg.pretrain_epochs = 12.0;
+        shared_ = new workload(make_standard_workload(cfg));
+    }
+    static void TearDownTestSuite() {
+        delete shared_;
+        shared_ = nullptr;
+    }
+    workload& w() { return *shared_; }
+    static workload* shared_;
+};
+
+workload* IntegrationFixture::shared_ = nullptr;
+
+TEST_F(IntegrationFixture, CleanAccuracyIsHighEnoughForTargets) {
+    // The whole experimental design needs a ceiling clearly above the
+    // accuracy constraint band.
+    EXPECT_GT(w().clean_accuracy, 0.9);
+}
+
+TEST_F(IntegrationFixture, AccuracyDegradesMonotonicallyWithFaultRateBeforeRetraining) {
+    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
+                             w().array, w().trainer_cfg);
+    resilience_config rc;
+    rc.fault_rates = {0.0, 0.2, 0.5};
+    rc.repeats = 3;
+    rc.max_epochs = 0.1;  // we only need the epoch-0 points here
+    const resilience_table table = pipeline.analyze(rc);
+    const double acc0 = table.accuracy_at(0.0, 0.0, statistic::mean);
+    const double acc2 = table.accuracy_at(0.2, 0.0, statistic::mean);
+    const double acc5 = table.accuracy_at(0.5, 0.0, statistic::mean);
+    EXPECT_GT(acc0, acc2);
+    EXPECT_GT(acc2, acc5);
+}
+
+TEST_F(IntegrationFixture, RetrainingRecoversAccuracy) {
+    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
+                             w().array, w().trainer_cfg);
+    resilience_config rc;
+    rc.fault_rates = {0.3};
+    rc.repeats = 2;
+    rc.max_epochs = 3.0;
+    const resilience_table table = pipeline.analyze(rc);
+    const double before = table.accuracy_at(0.3, 0.0, statistic::mean);
+    const double after = table.accuracy_at(0.3, 3.0, statistic::mean);
+    EXPECT_GT(after, before + 0.03) << "FAT must recover a damaged model";
+}
+
+TEST_F(IntegrationFixture, EndToEndReduceMeetsConstraintWithBoundedCost) {
+    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
+                             w().array, w().trainer_cfg);
+    resilience_config rc;
+    rc.fault_rates = {0.0, 0.1, 0.2, 0.3};
+    rc.repeats = 3;
+    rc.max_epochs = 4.0;
+    const resilience_table table = pipeline.analyze(rc);
+
+    fleet_config fc;
+    fc.num_chips = 6;
+    fc.rate_lo = 0.02;
+    fc.rate_hi = 0.25;
+    fc.seed = 7;
+    const std::vector<chip> fleet = make_fleet(w().array, fc);
+
+    const double constraint = 0.9;
+    selector_config sel;
+    sel.accuracy_target = constraint;
+    sel.stat = statistic::max;
+    const policy_outcome reduce_max = pipeline.run_reduce(fleet, table, sel, "reduce-max");
+
+    // The paper's claim: most chips meet the constraint, and the average
+    // retraining cost stays well below the full budget.
+    EXPECT_GE(reduce_max.fraction_meeting(), 0.5);
+    EXPECT_LT(reduce_max.mean_epochs(), rc.max_epochs * 0.8);
+}
+
+TEST_F(IntegrationFixture, ReduceParetoDominatesSomeFixedPolicy) {
+    // Reproduces Fig. 3f's qualitative claim at small scale: against a
+    // fixed policy with a similar epoch budget, Reduce-max achieves at
+    // least the same constraint-hit fraction.
+    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
+                             w().array, w().trainer_cfg);
+    resilience_config rc;
+    rc.fault_rates = {0.0, 0.1, 0.2, 0.3};
+    rc.repeats = 3;
+    rc.max_epochs = 4.0;
+    const resilience_table table = pipeline.analyze(rc);
+
+    fleet_config fc;
+    fc.num_chips = 6;
+    fc.rate_lo = 0.02;
+    fc.rate_hi = 0.25;
+    fc.seed = 11;
+    const std::vector<chip> fleet = make_fleet(w().array, fc);
+
+    const double constraint = 0.9;
+    selector_config sel;
+    sel.accuracy_target = constraint;
+    const policy_outcome reduce_max = pipeline.run_reduce(fleet, table, sel, "reduce-max");
+    // Fixed policy spending half of Reduce's mean epochs on every chip.
+    const policy_outcome fixed_small =
+        pipeline.run_fixed(fleet, reduce_max.mean_epochs() * 0.5, constraint, "fixed-small");
+    EXPECT_GE(reduce_max.fraction_meeting(), fixed_small.fraction_meeting());
+}
+
+TEST_F(IntegrationFixture, ReduceMaxIsAtLeastAsRobustAsReduceMean) {
+    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
+                             w().array, w().trainer_cfg);
+    resilience_config rc;
+    rc.fault_rates = {0.0, 0.15, 0.3};
+    rc.repeats = 3;
+    rc.max_epochs = 4.0;
+    const resilience_table table = pipeline.analyze(rc);
+
+    fleet_config fc;
+    fc.num_chips = 6;
+    fc.rate_lo = 0.05;
+    fc.rate_hi = 0.3;
+    fc.seed = 13;
+    const std::vector<chip> fleet = make_fleet(w().array, fc);
+
+    selector_config sel;
+    sel.accuracy_target = 0.9;
+    sel.stat = statistic::max;
+    const policy_outcome with_max = pipeline.run_reduce(fleet, table, sel, "reduce-max");
+    sel.stat = statistic::mean;
+    const policy_outcome with_mean = pipeline.run_reduce(fleet, table, sel, "reduce-mean");
+
+    EXPECT_GE(with_max.fraction_meeting(), with_mean.fraction_meeting());
+    EXPECT_GE(with_max.mean_epochs(), with_mean.mean_epochs() - 1e-9);
+}
+
+TEST_F(IntegrationFixture, FleetRoundTripsThroughJsonIntoPipeline) {
+    fleet_config fc;
+    fc.num_chips = 3;
+    fc.rate_lo = 0.1;
+    fc.rate_hi = 0.2;
+    const std::vector<chip> fleet = make_fleet(w().array, fc);
+    const std::string path = testing::TempDir() + "reduce_integration_fleet.json";
+    save_fleet(path, fleet);
+    const std::vector<chip> loaded = load_fleet(path);
+
+    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
+                             w().array, w().trainer_cfg);
+    const policy_outcome a = pipeline.run_fixed(fleet, 0.1, 0.9, "orig");
+    const policy_outcome b = pipeline.run_fixed(loaded, 0.1, 0.9, "loaded");
+    ASSERT_EQ(a.chips.size(), b.chips.size());
+    for (std::size_t i = 0; i < a.chips.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.chips[i].final_accuracy, b.chips[i].final_accuracy);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(IntegrationFixture, MitigationHierarchyAcrossRates) {
+    mitigation_config cfg;
+    cfg.fault_rates = {0.1, 0.3};
+    cfg.fat_epochs = 2.0;
+    const auto outcomes =
+        compare_mitigations(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg, cfg);
+    ASSERT_EQ(outcomes.size(), 8u);
+    for (const double rate : cfg.fault_rates) {
+        double fat = 0.0;
+        double unmitigated = 0.0;
+        for (const auto& o : outcomes) {
+            if (o.fault_rate != rate) { continue; }
+            if (o.technique == "fat") { fat = o.accuracy; }
+            if (o.technique == "unmitigated") { unmitigated = o.accuracy; }
+        }
+        EXPECT_GT(fat, unmitigated) << "rate " << rate;
+    }
+}
+
+}  // namespace
+}  // namespace reduce

@@ -1,0 +1,390 @@
+// Behavioural tests for NN layers: shapes, modes, masks, sequential
+// plumbing, losses, metrics, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "nn/loss.h"
+#include "nn/metrics.h"
+#include "nn/models.h"
+#include "nn/norm.h"
+#include "nn/serialize.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+tensor random_tensor(shape_t shape, rng& gen) {
+    tensor t(std::move(shape));
+    uniform_init(t, -1.0f, 1.0f, gen);
+    return t;
+}
+
+TEST(Linear, ForwardComputesAffineMap) {
+    rng gen(1);
+    linear fc(2, 3, gen);
+    fc.weight().value = tensor({3, 2}, std::vector<float>{1, 0, 0, 1, 1, 1});
+    fc.bias().value = tensor::from_values({0.5f, -0.5f, 0.0f});
+    const tensor x = tensor::from_rows({{2, 3}});
+    const tensor y = fc.forward(x);
+    EXPECT_FLOAT_EQ(y.at2(0, 0), 2.5f);   // 1*2 + 0*3 + 0.5
+    EXPECT_FLOAT_EQ(y.at2(0, 1), 2.5f);   // 0*2 + 1*3 - 0.5
+    EXPECT_FLOAT_EQ(y.at2(0, 2), 5.0f);   // 2 + 3
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+    rng gen(2);
+    linear fc(4, 2, gen);
+    EXPECT_THROW(fc.forward(tensor({1, 3})), error);
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+    rng gen(3);
+    linear fc(2, 2, gen);
+    EXPECT_THROW(fc.backward(tensor({1, 2})), error);
+}
+
+TEST(Linear, GradientsAccumulateAcrossBatches) {
+    rng gen(4);
+    linear fc(2, 2, gen);
+    const tensor x = tensor::from_rows({{1, 1}});
+    const tensor g = tensor::from_rows({{1, 1}});
+    (void)fc.forward(x);
+    (void)fc.backward(g);
+    const tensor first = fc.weight().grad;
+    (void)fc.forward(x);
+    (void)fc.backward(g);
+    EXPECT_TRUE(fc.weight().grad.allclose(scale(first, 2.0f), 1e-6f));
+}
+
+TEST(Parameter, MaskApplicationZeroesWeightsAndGrads) {
+    rng gen(5);
+    linear fc(2, 2, gen);
+    fc.weight().mask = tensor({2, 2}, std::vector<float>{1, 0, 0, 1});
+    fc.weight().value.fill(3.0f);
+    fc.weight().apply_mask();
+    EXPECT_FLOAT_EQ(fc.weight().value.at2(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(fc.weight().value.at2(0, 0), 3.0f);
+    fc.weight().grad.fill(1.0f);
+    fc.weight().mask_grad();
+    EXPECT_FLOAT_EQ(fc.weight().grad.at2(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(fc.weight().grad.at2(1, 1), 1.0f);
+}
+
+TEST(Parameter, MismatchedMaskThrows) {
+    rng gen(6);
+    linear fc(2, 2, gen);
+    fc.weight().mask = tensor({3, 2}, 1.0f);
+    EXPECT_THROW(fc.weight().apply_mask(), error);
+}
+
+TEST(Parameter, ClearMaskRestoresTrainability) {
+    rng gen(7);
+    linear fc(2, 2, gen);
+    fc.weight().mask = tensor({2, 2}, 0.0f);
+    EXPECT_TRUE(fc.weight().has_mask());
+    fc.weight().clear_mask();
+    EXPECT_FALSE(fc.weight().has_mask());
+}
+
+TEST(ReluLayer, ZeroesNegativeActivationsAndGradients) {
+    relu_layer layer;
+    const tensor x = tensor::from_values({-2, 3});
+    const tensor y = layer.forward(x);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 3.0f);
+    const tensor g = layer.backward(tensor::from_values({5, 5}));
+    EXPECT_FLOAT_EQ(g[0], 0.0f);
+    EXPECT_FLOAT_EQ(g[1], 5.0f);
+}
+
+TEST(Flatten, RoundTripsShape) {
+    flatten layer;
+    rng gen(8);
+    const tensor x = random_tensor({2, 3, 4, 5}, gen);
+    const tensor y = layer.forward(x);
+    EXPECT_EQ(y.shape(), shape_t({2, 60}));
+    const tensor g = layer.backward(y);
+    EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+    dropout layer(0.5, 42);
+    layer.set_training(false);
+    rng gen(9);
+    const tensor x = random_tensor({4, 4}, gen);
+    EXPECT_TRUE(layer.forward(x) == x);
+}
+
+TEST(Dropout, TrainModeDropsAndRescales) {
+    dropout layer(0.5, 42);
+    rng gen(10);
+    const tensor x = tensor({1, 1000}, 1.0f);
+    const tensor y = layer.forward(x);
+    std::size_t zeros = 0;
+    for (const float v : y.data()) {
+        if (v == 0.0f) {
+            ++zeros;
+        } else {
+            EXPECT_FLOAT_EQ(v, 2.0f);  // 1 / (1 - 0.5)
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.5, 0.08);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+    dropout layer(0.3, 7);
+    const tensor x = tensor({1, 100}, 1.0f);
+    const tensor y = layer.forward(x);
+    const tensor g = layer.backward(tensor({1, 100}, 1.0f));
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_FLOAT_EQ(g[i], y[i]);  // same multiplier as forward
+    }
+}
+
+TEST(Dropout, RejectsInvalidProbability) {
+    EXPECT_THROW(dropout(1.0, 1), error);
+    EXPECT_THROW(dropout(-0.1, 1), error);
+}
+
+TEST(BatchNorm1d, NormalizesBatchInTraining) {
+    batch_norm1d bn(2);
+    tensor x = tensor::from_rows({{1, 10}, {3, 30}, {5, 50}, {7, 70}});
+    const tensor y = bn.forward(x);
+    for (std::size_t j = 0; j < 2; ++j) {
+        double mean = 0.0;
+        for (std::size_t i = 0; i < 4; ++i) { mean += y.at2(i, j); }
+        EXPECT_NEAR(mean / 4.0, 0.0, 1e-5);
+        double var = 0.0;
+        for (std::size_t i = 0; i < 4; ++i) { var += y.at2(i, j) * y.at2(i, j); }
+        EXPECT_NEAR(var / 4.0, 1.0, 1e-3);
+    }
+}
+
+TEST(BatchNorm1d, EvalUsesRunningStats) {
+    batch_norm1d bn(1);
+    // Feed several training batches so the running stats converge near the
+    // true mean/var, then check eval output uses them.
+    for (int i = 0; i < 200; ++i) {
+        tensor x = tensor::from_rows({{4.0f}, {6.0f}});
+        (void)bn.forward(x);
+    }
+    bn.set_training(false);
+    tensor probe = tensor::from_rows({{5.0f}});
+    const tensor y = bn.forward(probe);
+    EXPECT_NEAR(y[0], 0.0f, 0.05f);  // 5 is the running mean
+}
+
+TEST(BatchNorm1d, TrainingNeedsBatchOfTwo) {
+    batch_norm1d bn(2);
+    tensor x({1, 2}, 1.0f);
+    EXPECT_THROW(bn.forward(x), error);
+}
+
+TEST(BatchNorm2d, NormalizesPerChannel) {
+    batch_norm2d bn(2);
+    rng gen(11);
+    tensor x = random_tensor({3, 2, 4, 4}, gen);
+    // Shift channel 1 far away; BN must re-center it.
+    for (std::size_t n = 0; n < 3; ++n) {
+        for (std::size_t i = 0; i < 16; ++i) { x.at4(n, 1, i / 4, i % 4) += 100.0f; }
+    }
+    const tensor y = bn.forward(x);
+    double mean_c1 = 0.0;
+    for (std::size_t n = 0; n < 3; ++n) {
+        for (std::size_t i = 0; i < 16; ++i) { mean_c1 += y.at4(n, 1, i / 4, i % 4); }
+    }
+    EXPECT_NEAR(mean_c1 / 48.0, 0.0, 1e-4);
+}
+
+TEST(Sequential, ForwardBackwardChain) {
+    rng gen(12);
+    sequential model;
+    model.emplace<linear>(4, 8, gen);
+    model.emplace<relu_layer>();
+    model.emplace<linear>(8, 3, gen);
+    const tensor x = random_tensor({2, 4}, gen);
+    const tensor y = model.forward(x);
+    EXPECT_EQ(y.shape(), shape_t({2, 3}));
+    const tensor g = model.backward(tensor({2, 3}, 1.0f));
+    EXPECT_EQ(g.shape(), x.shape());
+    EXPECT_EQ(model.parameters().size(), 4u);  // two weights + two biases
+}
+
+TEST(Sequential, LayerAccessAndBounds) {
+    rng gen(13);
+    sequential model;
+    model.emplace<linear>(2, 2, gen);
+    EXPECT_EQ(model.layer(0).name(), "linear");
+    EXPECT_THROW(model.layer(1), error);
+}
+
+TEST(Sequential, SetTrainingPropagates) {
+    rng gen(14);
+    sequential model;
+    model.emplace<dropout>(0.5, 1);
+    model.set_training(false);
+    const tensor x = tensor({1, 10}, 1.0f);
+    EXPECT_TRUE(model.forward(x) == x);
+}
+
+TEST(CrossEntropy, KnownValues) {
+    // Uniform logits over 4 classes → loss = ln(4).
+    const tensor logits({2, 4}, 0.0f);
+    const loss_result r = cross_entropy_loss(logits, {0, 3});
+    EXPECT_NEAR(r.value, std::log(4.0), 1e-6);
+    // Gradient rows sum to zero (softmax minus one-hot).
+    for (std::size_t i = 0; i < 2; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < 4; ++j) { row += r.grad.at2(i, j); }
+        EXPECT_NEAR(row, 0.0, 1e-6);
+    }
+}
+
+TEST(CrossEntropy, PerfectPredictionHasTinyLoss) {
+    tensor logits({1, 3}, std::vector<float>{20.0f, -20.0f, -20.0f});
+    const loss_result r = cross_entropy_loss(logits, {0});
+    EXPECT_LT(r.value, 1e-6);
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+    const tensor logits({1, 3});
+    EXPECT_THROW(cross_entropy_loss(logits, {3}), error);
+    EXPECT_THROW(cross_entropy_loss(logits, {0, 1}), error);
+}
+
+TEST(MseLoss, ZeroForIdenticalTensors) {
+    const tensor a = tensor::from_values({1, 2, 3});
+    const loss_result r = mse_loss(a, a);
+    EXPECT_DOUBLE_EQ(r.value, 0.0);
+    EXPECT_DOUBLE_EQ(r.grad.sum(), 0.0);
+}
+
+TEST(MseLoss, KnownGradient) {
+    const tensor pred = tensor::from_values({2.0f});
+    const tensor target = tensor::from_values({0.0f});
+    const loss_result r = mse_loss(pred, target);
+    EXPECT_DOUBLE_EQ(r.value, 4.0);
+    EXPECT_FLOAT_EQ(r.grad[0], 4.0f);  // 2*(2-0)/1
+}
+
+TEST(Metrics, AccuracyAndConfusion) {
+    tensor logits({3, 2}, std::vector<float>{0.9f, 0.1f,   // → 0
+                                             0.2f, 0.8f,   // → 1
+                                             0.6f, 0.4f}); // → 0
+    const std::vector<std::size_t> labels = {0, 1, 1};
+    EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+    confusion_matrix cm(2);
+    cm.add_batch(logits, labels);
+    EXPECT_EQ(cm.count(0, 0), 1u);
+    EXPECT_EQ(cm.count(1, 1), 1u);
+    EXPECT_EQ(cm.count(1, 0), 1u);
+    EXPECT_NEAR(cm.overall_accuracy(), 2.0 / 3.0, 1e-9);
+    const auto recall = cm.per_class_recall();
+    EXPECT_DOUBLE_EQ(recall[0], 1.0);
+    EXPECT_DOUBLE_EQ(recall[1], 0.5);
+}
+
+TEST(Snapshot, RoundTripThroughFile) {
+    rng gen(15);
+    sequential model;
+    model.emplace<linear>(3, 4, gen);
+    model.emplace<linear>(4, 2, gen);
+    const model_snapshot snap = snapshot_parameters(model.parameters());
+    const std::string path = testing::TempDir() + "reduce_snap_test.bin";
+    save_snapshot(path, snap);
+    const model_snapshot loaded = load_snapshot(path);
+    ASSERT_EQ(loaded.size(), snap.size());
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_TRUE(loaded.values[i] == snap.values[i]);
+        EXPECT_EQ(loaded.names[i], snap.names[i]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, RestoreRejectsShapeMismatch) {
+    rng gen(16);
+    sequential a;
+    a.emplace<linear>(3, 4, gen);
+    sequential b;
+    b.emplace<linear>(4, 3, gen);
+    const model_snapshot snap = snapshot_parameters(a.parameters());
+    EXPECT_THROW(restore_parameters(b.parameters(), snap), error);
+}
+
+TEST(Snapshot, RestoreUndoesTraining) {
+    rng gen(17);
+    sequential model;
+    model.emplace<linear>(2, 2, gen);
+    const model_snapshot snap = snapshot_parameters(model.parameters());
+    model.parameters()[0]->value.fill(99.0f);
+    restore_parameters(model.parameters(), snap);
+    EXPECT_TRUE(model.parameters()[0]->value == snap.values[0]);
+}
+
+TEST(Snapshot, LoadRejectsGarbageFile) {
+    const std::string path = testing::TempDir() + "reduce_snap_garbage.bin";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "not a snapshot";
+    }
+    EXPECT_THROW(load_snapshot(path), error);
+    std::remove(path.c_str());
+}
+
+TEST(ModelZoo, MlpShapesAndParams) {
+    rng gen(18);
+    auto model = make_mlp({8, 16, 4}, gen);
+    const tensor x = random_tensor({3, 8}, gen);
+    EXPECT_EQ(model->forward(x).shape(), shape_t({3, 4}));
+    EXPECT_EQ(parameter_count(model->parameters()), 8u * 16 + 16 + 16 * 4 + 4);
+}
+
+TEST(ModelZoo, MlpRejectsTooFewDims) {
+    rng gen(19);
+    EXPECT_THROW(make_mlp({8}, gen), error);
+}
+
+TEST(ModelZoo, TinyCnnForward) {
+    rng gen(20);
+    auto model = make_tiny_cnn(image_shape{3, 8, 8}, 10, gen);
+    const tensor x = random_tensor({2, 3, 8, 8}, gen);
+    EXPECT_EQ(model->forward(x).shape(), shape_t({2, 10}));
+}
+
+TEST(ModelZoo, Vgg11BuildsAndRuns) {
+    rng gen(21);
+    vgg11_config cfg;
+    cfg.input = {3, 8, 8};
+    cfg.num_classes = 10;
+    cfg.width_multiplier = 0.0625;  // 4..32 channels
+    auto model = make_vgg11(cfg, gen);
+    const tensor x = random_tensor({1, 3, 8, 8}, gen);
+    EXPECT_EQ(model->forward(x).shape(), shape_t({1, 10}));
+    // VGG11 "A" has 8 conv layers + 1 classifier.
+    EXPECT_EQ(collect_mapped_layers(*model).size(), 9u);
+}
+
+TEST(ModelZoo, CollectMappedLayersDims) {
+    rng gen(22);
+    sequential model;
+    model.emplace<conv2d_layer>(conv2d_spec{3, 8, 3, 3, 1, 1}, gen);
+    model.emplace<flatten>();
+    model.emplace<linear>(8 * 4 * 4, 10, gen);
+    const auto mapped = collect_mapped_layers(model);
+    ASSERT_EQ(mapped.size(), 2u);
+    EXPECT_EQ(mapped[0].kind, "conv2d");
+    EXPECT_EQ(mapped[0].rows, 27u);  // 3*3*3 patch
+    EXPECT_EQ(mapped[0].cols, 8u);
+    EXPECT_EQ(mapped[1].kind, "linear");
+    EXPECT_EQ(mapped[1].rows, 128u);
+    EXPECT_EQ(mapped[1].cols, 10u);
+}
+
+}  // namespace
+}  // namespace reduce

@@ -1,0 +1,244 @@
+// Tests for optimizers and LR schedules, with emphasis on the mask-aware
+// update invariant FAT relies on: masked weights stay exactly zero through
+// arbitrary optimization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+/// A free-standing quadratic "model": loss = 0.5*||w - target||^2, whose
+/// gradient is (w - target). Lets us test optimizers in isolation.
+struct quadratic {
+    parameter p;
+    tensor target;
+
+    explicit quadratic(std::vector<float> start, std::vector<float> goal) {
+        const std::size_t n = start.size();  // before the move below
+        p.name = "w";
+        p.value = tensor({n}, std::move(start));
+        p.grad = tensor({n});
+        target = tensor({n}, std::move(goal));
+    }
+
+    void compute_grad() {
+        p.grad = sub(p.value, target);
+        // mask_grad/apply_mask are the optimizer's job.
+    }
+
+    double loss() const {
+        const tensor diff = sub(p.value, target);
+        return 0.5 * squared_norm(diff);
+    }
+};
+
+TEST(Sgd, ConvergesOnQuadratic) {
+    quadratic q({10.0f, -5.0f}, {1.0f, 2.0f});
+    sgd opt({&q.p}, {.learning_rate = 0.1});
+    for (int i = 0; i < 200; ++i) {
+        opt.zero_grad();
+        q.compute_grad();
+        opt.step();
+    }
+    EXPECT_LT(q.loss(), 1e-6);
+}
+
+TEST(Sgd, MomentumAcceleratesConvergence) {
+    quadratic plain({10.0f}, {0.0f});
+    quadratic heavy({10.0f}, {0.0f});
+    sgd opt_plain({&plain.p}, {.learning_rate = 0.02});
+    sgd opt_heavy({&heavy.p}, {.learning_rate = 0.02, .momentum = 0.9});
+    for (int i = 0; i < 50; ++i) {
+        opt_plain.zero_grad();
+        plain.compute_grad();
+        opt_plain.step();
+        opt_heavy.zero_grad();
+        heavy.compute_grad();
+        opt_heavy.step();
+    }
+    EXPECT_LT(heavy.loss(), plain.loss());
+}
+
+TEST(Sgd, SingleStepMatchesHandComputation) {
+    quadratic q({2.0f}, {0.0f});
+    sgd opt({&q.p}, {.learning_rate = 0.5});
+    opt.zero_grad();
+    q.compute_grad();  // grad = 2.0
+    opt.step();
+    EXPECT_FLOAT_EQ(q.p.value[0], 1.0f);  // 2.0 - 0.5*2.0
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+    quadratic q({1.0f}, {1.0f});  // gradient 0 at start
+    sgd opt({&q.p}, {.learning_rate = 0.1, .weight_decay = 0.5});
+    opt.zero_grad();
+    q.compute_grad();
+    opt.step();
+    EXPECT_FLOAT_EQ(q.p.value[0], 1.0f - 0.1f * 0.5f * 1.0f);
+}
+
+TEST(Sgd, MaskedWeightsStayZero) {
+    quadratic q({3.0f, 4.0f}, {10.0f, 10.0f});
+    q.p.mask = tensor::from_values({0.0f, 1.0f});
+    q.p.apply_mask();
+    EXPECT_FLOAT_EQ(q.p.value[0], 0.0f);
+    sgd opt({&q.p}, {.learning_rate = 0.1, .momentum = 0.9});
+    for (int i = 0; i < 120; ++i) {
+        opt.zero_grad();
+        q.compute_grad();
+        opt.step();
+        EXPECT_FLOAT_EQ(q.p.value[0], 0.0f) << "step " << i;
+    }
+    EXPECT_NEAR(q.p.value[1], 10.0f, 1e-2f);
+}
+
+TEST(Sgd, NesterovDiffersFromHeavyBall) {
+    quadratic a({10.0f}, {0.0f});
+    quadratic b({10.0f}, {0.0f});
+    sgd opt_a({&a.p}, {.learning_rate = 0.05, .momentum = 0.9, .nesterov = false});
+    sgd opt_b({&b.p}, {.learning_rate = 0.05, .momentum = 0.9, .nesterov = true});
+    for (int i = 0; i < 3; ++i) {
+        opt_a.zero_grad();
+        a.compute_grad();
+        opt_a.step();
+        opt_b.zero_grad();
+        b.compute_grad();
+        opt_b.step();
+    }
+    EXPECT_NE(a.p.value[0], b.p.value[0]);
+}
+
+TEST(Sgd, RejectsBadConfig) {
+    quadratic q({1.0f}, {0.0f});
+    EXPECT_THROW(sgd({&q.p}, {.learning_rate = 0.1, .momentum = 1.0}), error);
+    EXPECT_THROW(sgd({&q.p}, {.learning_rate = 0.1, .weight_decay = -1.0}), error);
+    EXPECT_THROW(sgd({&q.p}, {.learning_rate = -0.1}), error);
+}
+
+TEST(Optimizer, RejectsEmptyParams) {
+    EXPECT_THROW(sgd({}, {}), error);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+    quadratic q({10.0f, -7.0f}, {1.0f, 2.0f});
+    adam opt({&q.p}, {.learning_rate = 0.2});
+    for (int i = 0; i < 300; ++i) {
+        opt.zero_grad();
+        q.compute_grad();
+        opt.step();
+    }
+    EXPECT_LT(q.loss(), 1e-4);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+    // Bias correction makes the very first Adam update ≈ lr * sign(grad).
+    quadratic q({5.0f}, {0.0f});
+    adam opt({&q.p}, {.learning_rate = 0.1});
+    opt.zero_grad();
+    q.compute_grad();
+    opt.step();
+    EXPECT_NEAR(q.p.value[0], 5.0f - 0.1f, 1e-3f);
+}
+
+TEST(Adam, MaskedWeightsStayZero) {
+    quadratic q({2.0f, 2.0f}, {8.0f, 8.0f});
+    q.p.mask = tensor::from_values({1.0f, 0.0f});
+    q.p.apply_mask();
+    adam opt({&q.p}, {.learning_rate = 0.3});
+    for (int i = 0; i < 50; ++i) {
+        opt.zero_grad();
+        q.compute_grad();
+        opt.step();
+        EXPECT_FLOAT_EQ(q.p.value[1], 0.0f);
+    }
+    EXPECT_GT(q.p.value[0], 5.0f);
+}
+
+TEST(Adam, RejectsBadConfig) {
+    quadratic q({1.0f}, {0.0f});
+    EXPECT_THROW(adam({&q.p}, {.beta1 = 1.0}), error);
+    EXPECT_THROW(adam({&q.p}, {.beta2 = -0.1}), error);
+    EXPECT_THROW(adam({&q.p}, {.eps = 0.0}), error);
+}
+
+TEST(ZeroGrad, ClearsAllParameters) {
+    quadratic q({1.0f, 2.0f}, {0.0f, 0.0f});
+    sgd opt({&q.p}, {.learning_rate = 0.1});
+    q.compute_grad();
+    EXPECT_NE(q.p.grad.sum(), 0.0);
+    opt.zero_grad();
+    EXPECT_EQ(q.p.grad.sum(), 0.0);
+}
+
+TEST(LrSchedules, ConstantIsConstant) {
+    const constant_lr sched(0.05);
+    EXPECT_DOUBLE_EQ(sched.rate_at(0), 0.05);
+    EXPECT_DOUBLE_EQ(sched.rate_at(1000000), 0.05);
+}
+
+TEST(LrSchedules, StepDecayHalves) {
+    const step_decay_lr sched(1.0, 0.5, 10);
+    EXPECT_DOUBLE_EQ(sched.rate_at(0), 1.0);
+    EXPECT_DOUBLE_EQ(sched.rate_at(9), 1.0);
+    EXPECT_DOUBLE_EQ(sched.rate_at(10), 0.5);
+    EXPECT_DOUBLE_EQ(sched.rate_at(25), 0.25);
+}
+
+TEST(LrSchedules, CosineEndsAtFloor) {
+    const cosine_lr sched(1.0, 0.1, 100);
+    EXPECT_DOUBLE_EQ(sched.rate_at(0), 1.0);
+    EXPECT_NEAR(sched.rate_at(50), 0.55, 1e-9);
+    EXPECT_DOUBLE_EQ(sched.rate_at(100), 0.1);
+    EXPECT_DOUBLE_EQ(sched.rate_at(500), 0.1);
+}
+
+TEST(LrSchedules, CosineIsMonotoneNonincreasing) {
+    const cosine_lr sched(0.5, 0.0, 64);
+    double prev = sched.rate_at(0);
+    for (std::size_t s = 1; s <= 64; ++s) {
+        const double cur = sched.rate_at(s);
+        EXPECT_LE(cur, prev + 1e-12);
+        prev = cur;
+    }
+}
+
+TEST(LrSchedules, RejectBadConfigs) {
+    EXPECT_THROW(constant_lr(-1.0), error);
+    EXPECT_THROW(step_decay_lr(1.0, 0.0, 10), error);
+    EXPECT_THROW(step_decay_lr(1.0, 0.5, 0), error);
+    EXPECT_THROW(cosine_lr(0.1, 0.5, 10), error);
+    EXPECT_THROW(cosine_lr(0.5, 0.1, 0), error);
+}
+
+TEST(GradClip, ScalesDownLargeGradients) {
+    quadratic q({0.0f, 0.0f}, {-30.0f, -40.0f});  // grad = (30, 40), norm 50
+    q.compute_grad();
+    const double pre = clip_grad_norm({&q.p}, 5.0);
+    EXPECT_NEAR(pre, 50.0, 1e-4);
+    EXPECT_NEAR(l2_norm(q.p.grad), 5.0, 1e-4);
+}
+
+TEST(GradClip, LeavesSmallGradientsAlone) {
+    quadratic q({0.0f}, {-3.0f});  // grad = 3
+    q.compute_grad();
+    clip_grad_norm({&q.p}, 10.0);
+    EXPECT_FLOAT_EQ(q.p.grad[0], 3.0f);
+}
+
+TEST(SetLearningRate, Validated) {
+    quadratic q({1.0f}, {0.0f});
+    sgd opt({&q.p}, {.learning_rate = 0.1});
+    opt.set_learning_rate(0.5);
+    EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+    EXPECT_THROW(opt.set_learning_rate(-1.0), error);
+}
+
+}  // namespace
+}  // namespace reduce

@@ -1,0 +1,119 @@
+// VGG11 under fault masks: the paper's architecture (width-scaled) through
+// the masking and training machinery — exercises conv tiling on arrays
+// smaller than the patch dimension.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fault/mask_builder.h"
+#include "fault/models.h"
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "nn/optim.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+vgg11_config tiny_vgg_config() {
+    vgg11_config cfg;
+    cfg.input = {3, 8, 8};
+    cfg.num_classes = 5;
+    cfg.width_multiplier = 0.0625;  // channels 4..32
+    return cfg;
+}
+
+TEST(VggFault, MaskedFractionTracksFaultRate) {
+    rng gen(1);
+    auto model = make_vgg11(tiny_vgg_config(), gen);
+    array_config array;
+    array.rows = 16;
+    array.cols = 16;
+    random_fault_config fc;
+    fc.fault_rate = 0.2;
+    const fault_grid faults = generate_random_faults(array, fc, 2);
+    const mask_stats stats = attach_fault_masks(*model, array, faults);
+    EXPECT_EQ(stats.layers, 9u);  // 8 convs + classifier
+    // Deep stacks tile a 16x16 array heavily, so the overall masked
+    // fraction concentrates near the array fault rate.
+    EXPECT_NEAR(stats.masked_fraction(), faults.fault_rate(), 0.05);
+}
+
+TEST(VggFault, ForwardShapeUnchangedByMasks) {
+    rng gen(3);
+    auto model = make_vgg11(tiny_vgg_config(), gen);
+    array_config array;
+    array.rows = 16;
+    array.cols = 16;
+    random_fault_config fc;
+    fc.fault_rate = 0.15;
+    attach_fault_masks(*model, array, generate_random_faults(array, fc, 4));
+
+    tensor x({2, 3, 8, 8});
+    rng data_gen(5);
+    uniform_init(x, -1.0f, 1.0f, data_gen);
+    const tensor y = model->forward(x);
+    EXPECT_EQ(y.shape(), shape_t({2, 5}));
+}
+
+TEST(VggFault, OneTrainingStepKeepsPrunedWeightsZero) {
+    rng gen(6);
+    auto model = make_vgg11(tiny_vgg_config(), gen);
+    array_config array;
+    array.rows = 16;
+    array.cols = 16;
+    random_fault_config fc;
+    fc.fault_rate = 0.25;
+    attach_fault_masks(*model, array, generate_random_faults(array, fc, 7));
+
+    synthetic_images_config data_cfg;
+    data_cfg.num_classes = 5;
+    data_cfg.samples_per_class = 4;
+    const dataset data = make_synthetic_images(data_cfg);
+
+    sgd opt(model->parameters(), {.learning_rate = 0.01, .momentum = 0.9});
+    std::vector<std::size_t> indices(8);
+    for (std::size_t i = 0; i < indices.size(); ++i) { indices[i] = i; }
+    const batch b = gather_batch(data, indices);
+    for (int step = 0; step < 2; ++step) {
+        const loss_result loss = cross_entropy_loss(model->forward(b.features), b.labels);
+        opt.zero_grad();
+        model->backward(loss.grad);
+        opt.step();
+    }
+    for (parameter* p : model->parameters()) {
+        if (!p->has_mask()) { continue; }
+        for (std::size_t i = 0; i < p->value.numel(); ++i) {
+            if (p->mask[i] == 0.0f) {
+                ASSERT_EQ(p->value[i], 0.0f) << "pruned VGG weight drifted";
+            }
+        }
+    }
+}
+
+TEST(VggFault, WidthMultiplierScalesParameters) {
+    rng gen(8);
+    vgg11_config narrow = tiny_vgg_config();
+    vgg11_config wide = tiny_vgg_config();
+    wide.width_multiplier = 0.125;
+    const std::size_t n_narrow = parameter_count(make_vgg11(narrow, gen)->parameters());
+    const std::size_t n_wide = parameter_count(make_vgg11(wide, gen)->parameters());
+    EXPECT_GT(n_wide, 3 * n_narrow);  // ~4x in conv-conv terms
+}
+
+TEST(VggFault, BatchNormVariantRuns) {
+    rng gen(9);
+    vgg11_config cfg = tiny_vgg_config();
+    cfg.batch_norm = true;
+    cfg.classifier_dropout = 0.3;
+    auto model = make_vgg11(cfg, gen);
+    tensor x({4, 3, 8, 8});
+    rng data_gen(10);
+    uniform_init(x, -1.0f, 1.0f, data_gen);
+    EXPECT_EQ(model->forward(x).shape(), shape_t({4, 5}));
+    model->set_training(false);
+    EXPECT_EQ(model->forward(x).shape(), shape_t({4, 5}));
+}
+
+}  // namespace
+}  // namespace reduce

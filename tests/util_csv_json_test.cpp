@@ -1,0 +1,180 @@
+// Tests for the CSV table writer and the JSON document model used to
+// persist fault maps and resilience tables.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace reduce {
+namespace {
+
+TEST(CsvTable, HeaderAndRows) {
+    csv_table t({"a", "b"});
+    t.add_row({std::string("x"), 1.5});
+    t.add_row({std::string("y"), 2.0});
+    std::ostringstream oss;
+    t.set_precision(2);
+    t.write(oss);
+    EXPECT_EQ(oss.str(), "a,b\nx,1.50\ny,2.00\n");
+}
+
+TEST(CsvTable, IntegerCells) {
+    csv_table t({"n"});
+    t.add_row({static_cast<long long>(42)});
+    std::ostringstream oss;
+    t.write(oss);
+    EXPECT_EQ(oss.str(), "n\n42\n");
+}
+
+TEST(CsvTable, EscapesSpecialCharacters) {
+    csv_table t({"text"});
+    t.add_row({std::string("hello, \"world\"")});
+    std::ostringstream oss;
+    t.write(oss);
+    EXPECT_EQ(oss.str(), "text\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(CsvTable, RejectsWrongArity) {
+    csv_table t({"a", "b"});
+    EXPECT_THROW(t.add_row({std::string("only one")}), error);
+}
+
+TEST(CsvTable, RejectsEmptyColumns) {
+    EXPECT_THROW(csv_table({}), error);
+}
+
+TEST(CsvTable, PrettyAlignsColumns) {
+    csv_table t({"name", "v"});
+    t.add_row({std::string("long-name"), 1.0});
+    std::ostringstream oss;
+    t.write_pretty(oss);
+    EXPECT_NE(oss.str().find("long-name"), std::string::npos);
+}
+
+TEST(CsvTable, SaveAndReadBack) {
+    csv_table t({"k", "v"});
+    t.add_row({std::string("a"), 3.25});
+    const std::string path = testing::TempDir() + "reduce_csv_test.csv";
+    t.save(path);
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "k,v");
+    std::remove(path.c_str());
+}
+
+TEST(Json, ScalarRoundTrips) {
+    EXPECT_EQ(json_parse("42").as_int(), 42);
+    EXPECT_DOUBLE_EQ(json_parse("-2.5e1").as_number(), -25.0);
+    EXPECT_TRUE(json_parse("true").as_bool());
+    EXPECT_FALSE(json_parse("false").as_bool());
+    EXPECT_TRUE(json_parse("null").is_null());
+    EXPECT_EQ(json_parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(Json, ArrayRoundTrip) {
+    const json_value v = json_parse("[1, 2, 3]");
+    ASSERT_TRUE(v.is_array());
+    ASSERT_EQ(v.as_array().size(), 3u);
+    EXPECT_EQ(v.as_array()[2].as_int(), 3);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+    json_object obj;
+    obj.set("zeta", json_value(1));
+    obj.set("alpha", json_value(2));
+    obj.set("mid", json_value(3));
+    const json_value v(std::move(obj));
+    const std::string out = v.dump();
+    EXPECT_LT(out.find("zeta"), out.find("alpha"));
+    EXPECT_LT(out.find("alpha"), out.find("mid"));
+}
+
+TEST(Json, ObjectOverwriteKeepsPosition) {
+    json_object obj;
+    obj.set("a", json_value(1));
+    obj.set("b", json_value(2));
+    obj.set("a", json_value(99));
+    EXPECT_EQ(obj.size(), 2u);
+    EXPECT_EQ(obj.at("a").as_int(), 99);
+}
+
+TEST(Json, NestedDocumentRoundTrip) {
+    const std::string doc =
+        R"({"rows": 4, "faults": [{"r": 0, "c": 1, "kind": "bypassed"}], "ok": true})";
+    const json_value v = json_parse(doc);
+    const json_value reparsed = json_parse(v.dump());
+    EXPECT_EQ(reparsed.as_object().at("rows").as_int(), 4);
+    EXPECT_EQ(reparsed.as_object().at("faults").as_array()[0].as_object().at("kind").as_string(),
+              "bypassed");
+    EXPECT_TRUE(reparsed.as_object().at("ok").as_bool());
+}
+
+TEST(Json, PrettyPrintParses) {
+    json_object obj;
+    obj.set("x", json_value(json_array{json_value(1), json_value(2)}));
+    const json_value v(std::move(obj));
+    const json_value back = json_parse(v.dump(2));
+    EXPECT_EQ(back.as_object().at("x").as_array()[1].as_int(), 2);
+}
+
+TEST(Json, StringEscapes) {
+    json_value v(std::string("a\"b\\c\td"));
+    EXPECT_EQ(json_parse(v.dump()).as_string(), "a\"b\\c\td");
+}
+
+TEST(Json, UnicodeEscapeAscii) {
+    EXPECT_EQ(json_parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(Json, MalformedInputsThrow) {
+    EXPECT_THROW(json_parse(""), error);
+    EXPECT_THROW(json_parse("{"), error);
+    EXPECT_THROW(json_parse("[1,]"), error);
+    EXPECT_THROW(json_parse("{\"a\" 1}"), error);
+    EXPECT_THROW(json_parse("tru"), error);
+    EXPECT_THROW(json_parse("1 2"), error);
+    EXPECT_THROW(json_parse("\"unterminated"), error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+    const json_value v = json_parse("3");
+    EXPECT_THROW(v.as_string(), error);
+    EXPECT_THROW(v.as_array(), error);
+    EXPECT_THROW(v.as_object(), error);
+    EXPECT_THROW(v.as_bool(), error);
+}
+
+TEST(Json, AsIntRejectsFractional) {
+    EXPECT_THROW(json_parse("2.5").as_int(), error);
+}
+
+TEST(Json, MissingKeyThrows) {
+    const json_value v = json_parse("{\"a\": 1}");
+    EXPECT_THROW(v.as_object().at("b"), error);
+}
+
+TEST(Json, FileRoundTrip) {
+    json_object obj;
+    obj.set("answer", json_value(42));
+    const std::string path = testing::TempDir() + "reduce_json_test.json";
+    json_save_file(path, json_value(std::move(obj)));
+    const json_value back = json_load_file(path);
+    EXPECT_EQ(back.as_object().at("answer").as_int(), 42);
+    std::remove(path.c_str());
+    EXPECT_THROW(json_load_file(path), error);
+}
+
+TEST(Json, LargeNumbersSurvive) {
+    const double x = 123456789.123456;
+    json_value v(x);
+    EXPECT_NEAR(json_parse(v.dump()).as_number(), x, 1e-6);
+}
+
+}  // namespace
+}  // namespace reduce
