@@ -9,12 +9,13 @@
 //
 // Output: CSV (num_bins, jobs, total_epochs, overhead_pct), then one
 // verification row per policy.
-// Options: --chips 30, --constraint 91, --verify-bins 4.
+// Options: --chips 30, --constraint 91, --verify-bins 4, --threads 1.
 
 #include <iostream>
 
 #include "core/binning.h"
-#include "core/pipeline.h"
+#include "core/fleet_executor.h"
+#include "core/policy.h"
 #include "core/workload.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -38,14 +39,15 @@ int main(int argc, char** argv) {
         workload w = make_standard_workload();
         std::cerr << "[binning] clean accuracy " << w.clean_accuracy * 100.0 << "%\n";
 
-        reduce_pipeline pipeline(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
-                                 w.trainer_cfg);
+        const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 1));
+        fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
+                                w.trainer_cfg, fleet_executor_config{.threads = threads});
         resilience_config rc;
         rc.fault_rates = {0.0, 0.1, 0.2, 0.3};
         rc.repeats = 4;
         rc.max_epochs = 5.0;
         rc.seed = seed;
-        const resilience_table table = pipeline.analyze(rc);
+        const resilience_table table = executor.analyze(rc);
 
         fleet_config fc;
         fc.num_chips = num_chips;
@@ -79,23 +81,13 @@ int main(int argc, char** argv) {
                   << " epochs across " << num_chips << " chips\n";
         sweep.write(std::cout);
 
-        // Verification: actually retrain with per-chip vs binned amounts.
-        const policy_outcome per_chip = pipeline.run_reduce(fleet, table, sel, "per-chip");
-        const binning_result bins = bin_retraining_amounts(amounts, verify_bins);
-        std::vector<double> binned_amounts(amounts.size(), 0.0);
-        for (const epoch_bin& bin : bins.bins) {
-            for (const std::size_t m : bin.members) { binned_amounts[m] = bin.epochs; }
-        }
-        // Run the binned schedule chip by chip through the fixed-policy
-        // primitive (each chip gets its bin's allocation).
-        policy_outcome binned;
-        binned.policy_name = "binned-" + std::to_string(verify_bins);
-        binned.accuracy_constraint = constraint;
-        for (std::size_t i = 0; i < fleet.size(); ++i) {
-            const policy_outcome one =
-                pipeline.run_fixed({fleet[i]}, binned_amounts[i], constraint, "bin-job");
-            binned.chips.push_back(one.chips.front());
-        }
+        // Verification: actually retrain with per-chip vs binned amounts —
+        // binned_policy reuses the same DP partition through its plan() hook.
+        const policy_outcome per_chip =
+            executor.run(reduce_policy(table, sel, "per-chip"), fleet);
+        const policy_outcome binned =
+            executor.run(binned_policy(table, sel, verify_bins), fleet,
+                         "binned-" + std::to_string(verify_bins));
 
         csv_table verify({"policy", "avg_epochs", "pct_meeting"});
         verify.set_precision(3);

@@ -11,11 +11,13 @@
 //
 // Output: one CSV row per selector configuration.
 // Options: --chips N (default 40), --constraint A (default 91),
-//          --budget E (default 6), --repeats N (default 4).
+//          --budget E (default 6), --repeats N (default 4),
+//          --threads N (executor workers, default 1).
 
 #include <iostream>
 
-#include "core/pipeline.h"
+#include "core/fleet_executor.h"
+#include "core/policy.h"
 #include "core/workload.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -40,14 +42,15 @@ int main(int argc, char** argv) {
         std::cerr << "[ablation-selector] clean accuracy " << w.clean_accuracy * 100.0
                   << "%\n";
 
-        reduce_pipeline pipeline(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
-                                 w.trainer_cfg);
+        const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 1));
+        fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
+                                w.trainer_cfg, fleet_executor_config{.threads = threads});
         resilience_config rc;
         rc.fault_rates = {0.0, 0.1, 0.2, 0.3};
         rc.repeats = repeats;
         rc.max_epochs = budget;
         rc.seed = seed;
-        const resilience_table table = pipeline.analyze(rc);
+        const resilience_table table = executor.analyze(rc);
         std::cerr << "[ablation-selector] resilience done (" << timer.seconds() << " s)\n";
 
         fleet_config fc;
@@ -74,8 +77,8 @@ int main(int argc, char** argv) {
             selector_config sel;
             sel.accuracy_target = constraint;
             sel.stat = stat;
-            const policy_outcome outcome =
-                pipeline.run_reduce(fleet, table, sel, "stat-" + to_string(stat));
+            const policy_outcome outcome = executor.run(
+                reduce_policy(table, sel, "stat-" + to_string(stat)), fleet);
             out.add_row({to_string(stat), std::string("used_subarray"), 0.0,
                          outcome.mean_epochs(), outcome.fraction_meeting() * 100.0});
             std::cerr << "[ablation-selector] stat=" << to_string(stat) << " done ("
@@ -88,8 +91,8 @@ int main(int argc, char** argv) {
             sel.accuracy_target = constraint;
             sel.stat = statistic::max;
             sel.rate_kind = kind;
-            const policy_outcome outcome =
-                pipeline.run_reduce(fleet, table, sel, std::string("est-") + name);
+            const policy_outcome outcome = executor.run(
+                reduce_policy(table, sel, std::string("est-") + name), fleet);
             out.add_row({std::string("max"), std::string(name), 0.0, outcome.mean_epochs(),
                          outcome.fraction_meeting() * 100.0});
             std::cerr << "[ablation-selector] estimator=" << name << " done ("
@@ -103,8 +106,9 @@ int main(int argc, char** argv) {
             sel.accuracy_target = constraint;
             sel.stat = statistic::mean;
             sel.safety_margin = margin;
-            const policy_outcome outcome = pipeline.run_reduce(
-                fleet, table, sel, "margin-" + std::to_string(margin).substr(0, 4));
+            const policy_outcome outcome = executor.run(
+                reduce_policy(table, sel, "margin-" + std::to_string(margin).substr(0, 4)),
+                fleet);
             out.add_row({std::string("mean"), std::string("used_subarray"), margin,
                          outcome.mean_epochs(), outcome.fraction_meeting() * 100.0});
             std::cerr << "[ablation-selector] margin=" << margin << " done ("
@@ -118,8 +122,8 @@ int main(int argc, char** argv) {
             sel.stat = statistic::max;
             sel.interp = upper ? resilience_table::interpolation::upper
                                : resilience_table::interpolation::linear;
-            const policy_outcome outcome = pipeline.run_reduce(
-                fleet, table, sel, upper ? "interp-upper" : "interp-linear");
+            const policy_outcome outcome = executor.run(
+                reduce_policy(table, sel, upper ? "interp-upper" : "interp-linear"), fleet);
             out.add_row({std::string(upper ? "max/upper" : "max/linear"),
                          std::string("used_subarray"), 0.0, outcome.mean_epochs(),
                          outcome.fraction_meeting() * 100.0});

@@ -1,30 +1,41 @@
-// Fig. 3 — Reduce vs fixed-policy retraining over a fleet of faulty chips.
+// Fig. 3 — retraining-policy comparison over a fleet of faulty chips.
 //
-// Panels (a)-(e): per-chip scatter of (final accuracy, epochs spent) for
-//   (a) Reduce with the MAX statistic   (the paper's recommendation)
-//   (b) Reduce with the MEAN statistic  (under-trains; more misses)
-//   (c)(d)(e) fixed-epoch policies (low / mid / high)
+// Panels (a)-(e): per-chip scatter of (final accuracy, epochs spent), one
+// panel per policy run. The default run list reproduces the paper:
+//   (a) reduce        — Reduce with the MAX statistic (the recommendation)
+//   (b) reduce-mean   — Reduce with the MEAN statistic (under-trains)
+//   (c)(d)(e) fixed   — fixed-epoch policies (low / mid / high)
 // Panel (f): summary — % of chips meeting the accuracy constraint vs the
 // average number of retraining epochs per chip. Reduce-max falls on the
 // Pareto front: fewer average epochs for at least the robustness of the
 // larger fixed policies.
 //
+// Policies are resolved by name through the policy registry, so any
+// registered policy (oracle, binned, ...) can join the comparison; the
+// fleet fans out over a thread pool with thread-count-independent results.
+//
 // Output: per-policy CSV scatter sections, then the panel-(f) summary CSV.
 // Options:
+//   --policy a,b,c   registry names to run    (default reduce,reduce-mean,fixed;
+//                    "fixed" expands to one run per --fixed level)
+//   --threads N      executor worker threads  (default 1; 0 = all cores)
 //   --chips N        fleet size               (default 100, as the paper)
 //   --constraint A   accuracy constraint in % (default 91)
 //   --fixed a,b,c    fixed policies (epochs)  (default 0.25,0.5,1.0)
+//   --bins K         binned policy job count  (default 4)
 //   --rate-lo/--rate-hi   fleet fault-rate range (default 0.01..0.3)
 //   --budget E       resilience budget        (default 6)
 //   --repeats N      resilience repeats       (default 5)
-//   --paper-scale    synonyms for the defaults (kept for symmetry)
+//   --list-policies  print the registry and exit
 
 #include <iostream>
 
-#include "core/pipeline.h"
+#include "core/fleet_executor.h"
+#include "core/policy.h"
 #include "core/workload.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/error.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 
@@ -57,10 +68,27 @@ int main(int argc, char** argv) {
         set_log_level(args.get_flag("verbose") ? log_level::info : log_level::warn);
         stopwatch timer;
 
+        const policy_registry& registry = policy_registry::global();
+        if (args.get_flag("list-policies")) {
+            for (const std::string& name : registry.names()) {
+                std::cout << name << "\t" << registry.describe(name) << '\n';
+            }
+            return 0;
+        }
+
+        const std::vector<std::string> policy_names =
+            args.get_string_list("policy", {"reduce", "reduce-mean", "fixed"});
+        // Fail on typos before paying for the workload + resilience analysis.
+        for (const std::string& name : policy_names) {
+            REDUCE_CHECK(registry.contains(name), "unknown retraining policy '"
+                                                      << name << "'; see --list-policies");
+        }
+        const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 1));
         const std::size_t num_chips = static_cast<std::size_t>(args.get_int("chips", 100));
         const double constraint = args.get_double("constraint", 91.0) / 100.0;
         const std::vector<double> fixed_levels =
             args.get_double_list("fixed", {0.25, 0.5, 1.0});
+        const std::size_t bins = static_cast<std::size_t>(args.get_int("bins", 4));
         const double rate_lo = args.get_double("rate-lo", 0.01);
         const double rate_hi = args.get_double("rate-hi", 0.30);
         const double budget = args.get_double("budget", 6.0);
@@ -71,16 +99,16 @@ int main(int argc, char** argv) {
         std::cerr << "[fig3] workload ready: clean accuracy " << w.clean_accuracy * 100.0
                   << "%\n";
 
-        reduce_pipeline pipeline(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
-                                 w.trainer_cfg);
+        fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
+                                w.trainer_cfg, fleet_executor_config{.threads = threads});
 
-        // Step 1 (shared by both Reduce variants).
+        // Step 1 (shared by every table-driven policy).
         resilience_config rc;
         rc.fault_rates = {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3};
         rc.repeats = repeats;
         rc.max_epochs = budget;
         rc.seed = seed;
-        const resilience_table table = pipeline.analyze(rc);
+        const resilience_table table = executor.analyze(rc);
         std::cerr << "[fig3] resilience analysis done (" << timer.seconds() << " s)\n";
 
         // The fleet of faulty chips.
@@ -91,19 +119,32 @@ int main(int argc, char** argv) {
         fc.seed = seed + 1;
         const std::vector<chip> fleet = make_fleet(w.array, fc);
 
+        policy_context ctx;
+        ctx.table = &table;
+        ctx.selector.accuracy_target = constraint;
+        ctx.selector.stat = statistic::max;
+        ctx.num_bins = bins;
+
         std::vector<policy_outcome> outcomes;
-        selector_config sel;
-        sel.accuracy_target = constraint;
-        sel.stat = statistic::max;
-        outcomes.push_back(pipeline.run_reduce(fleet, table, sel, "reduce-max"));
-        std::cerr << "[fig3] reduce-max done (" << timer.seconds() << " s)\n";
-        sel.stat = statistic::mean;
-        outcomes.push_back(pipeline.run_reduce(fleet, table, sel, "reduce-mean"));
-        std::cerr << "[fig3] reduce-mean done (" << timer.seconds() << " s)\n";
-        for (const double epochs : fixed_levels) {
-            const std::string name = "fixed-" + std::to_string(epochs).substr(0, 4);
-            outcomes.push_back(pipeline.run_fixed(fleet, epochs, constraint, name));
-            std::cerr << "[fig3] " << name << " done (" << timer.seconds() << " s)\n";
+        for (const std::string& name : policy_names) {
+            // "fixed" expands into one run per requested epoch level, as in
+            // the paper's panels (c)-(e).
+            if (name == "fixed") {
+                for (const double epochs : fixed_levels) {
+                    ctx.fixed_epochs = epochs;
+                    const auto policy = registry.make(name, ctx);
+                    const std::string run_name =
+                        "fixed-" + std::to_string(epochs).substr(0, 4);
+                    outcomes.push_back(executor.run(*policy, fleet, run_name));
+                    std::cerr << "[fig3] " << run_name << " done (" << timer.seconds()
+                              << " s, " << threads << " thread(s))\n";
+                }
+                continue;
+            }
+            const auto policy = registry.make(name, ctx);
+            outcomes.push_back(executor.run(*policy, fleet));
+            std::cerr << "[fig3] " << name << " done (" << timer.seconds() << " s, "
+                      << threads << " thread(s))\n";
         }
 
         const char* panels[] = {"a", "b", "c", "d", "e", "?", "?", "?"};

@@ -7,17 +7,24 @@
 // writes the tuned models and the fleet manifest to an output directory.
 //
 // Usage: chip_fleet [--chips 20] [--constraint 0.91] [--out /tmp/fleet_out]
-//          [--distribution uniform|lognormal|fixed] [--clustered]
+//          [--distribution uniform|lognormal|fixed] [--policy reduce]
+//          [--threads 1] [--fixed-epochs 1.0]
+//
+// The policy under test is resolved by name from the policy registry
+// (reduce, reduce-mean, oracle, binned, ...) and compared against the
+// fixed-epochs baseline; tuning fans out over --threads workers.
 
 #include <filesystem>
 #include <iostream>
 
-#include "core/pipeline.h"
+#include "core/fleet_executor.h"
+#include "core/policy.h"
 #include "core/workload.h"
 #include "fault/serialization.h"
 #include "nn/serialize.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/error.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
 
@@ -32,6 +39,12 @@ int main(int argc, char** argv) {
         const std::size_t num_chips = static_cast<std::size_t>(args.get_int("chips", 20));
         const double constraint = args.get_double("constraint", 0.91);
         const std::string out_dir = args.get("out", "");
+        const std::string policy_name = args.get("policy", "reduce");
+        const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 1));
+        const double fixed_epochs = args.get_double("fixed-epochs", 1.0);
+        // Fail on typos before paying for the workload + resilience analysis.
+        REDUCE_CHECK(policy_registry::global().contains(policy_name),
+                     "unknown retraining policy '" << policy_name << "'");
 
         std::cout << "== Chip-fleet retraining service ==\n";
         workload w = make_standard_workload();
@@ -50,33 +63,38 @@ int main(int argc, char** argv) {
                   << fc.rate_lo << ".." << fc.rate_hi << " ("
                   << args.get("distribution", "uniform") << ")\n\n";
 
-        reduce_pipeline pipeline(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
-                                 w.trainer_cfg);
+        fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
+                                w.trainer_cfg, fleet_executor_config{.threads = threads});
 
         // Step 1 once for the whole lot.
         resilience_config rc;
         rc.fault_rates = {0.0, 0.1, 0.2, 0.3};
         rc.repeats = 4;
         rc.max_epochs = 5.0;
-        const resilience_table table = pipeline.analyze(rc);
+        const resilience_table table = executor.analyze(rc);
         std::cout << "resilience analysis: " << timer.seconds() << " s\n";
 
         // Optionally persist every tuned model (Step 3's "distribute").
         if (!out_dir.empty()) {
             std::filesystem::create_directories(out_dir);
             save_fleet(out_dir + "/fleet.json", fleet);
-            pipeline.set_model_sink([&](const chip& c, const model_snapshot& snap) {
+            executor.set_model_sink([&](const chip& c, const model_snapshot& snap) {
                 save_snapshot(out_dir + "/chip_" + std::to_string(c.id) + ".rdnn", snap);
             });
         }
 
-        selector_config sel;
-        sel.accuracy_target = constraint;
-        sel.stat = statistic::max;
-        const policy_outcome reduce_run = pipeline.run_reduce(fleet, table, sel, "reduce-max");
-        pipeline.set_model_sink(nullptr);
-        const policy_outcome fixed_run =
-            pipeline.run_fixed(fleet, 1.0, constraint, "fixed-1.0");
+        // The policy under test, by registry name.
+        policy_context ctx;
+        ctx.table = &table;
+        ctx.selector.accuracy_target = constraint;
+        ctx.selector.stat = statistic::max;
+        ctx.fixed_epochs = fixed_epochs;
+        const auto policy = policy_registry::global().make(policy_name, ctx);
+        const policy_outcome reduce_run = executor.run(*policy, fleet);
+        executor.set_model_sink(nullptr);
+        const policy_outcome fixed_run = executor.run(
+            fixed_policy(fixed_epochs, constraint), fleet,
+            "fixed-" + std::to_string(fixed_epochs).substr(0, 4));
 
         csv_table out({"policy", "chips_meeting", "total_chips", "avg_epochs",
                        "total_epochs"});
@@ -92,7 +110,7 @@ int main(int argc, char** argv) {
 
         const double savings = 100.0 * (1.0 - reduce_run.total_epochs() /
                                                   fixed_run.total_epochs());
-        std::cout << "\nReduce spends " << savings
+        std::cout << "\n'" << reduce_run.policy_name << "' spends " << savings
                   << "% fewer total retraining epochs than the fixed policy\n";
         if (!out_dir.empty()) {
             std::cout << "tuned models and fleet manifest written to " << out_dir << '\n';

@@ -12,7 +12,8 @@
 
 #include <iostream>
 
-#include "core/pipeline.h"
+#include "core/resilience.h"
+#include "core/selector.h"
 #include "core/workload.h"
 #include "fault/mask_builder.h"
 #include "util/cli.h"
@@ -49,13 +50,13 @@ int main(int argc, char** argv) {
         clear_fault_masks(*w.model);
 
         // 3. Step 1: resilience analysis (coarse grid for the demo).
-        reduce_pipeline pipeline(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
-                                 w.trainer_cfg);
+        resilience_analyzer analyzer(*w.model, w.pretrained, w.train_data, w.test_data,
+                                     w.array, w.trainer_cfg);
         resilience_config res_cfg;
         res_cfg.fault_rates = {0.0, 0.1, 0.2, 0.3};
         res_cfg.repeats = 3;
         res_cfg.max_epochs = 6.0;
-        const resilience_table table = pipeline.analyze(res_cfg);
+        const resilience_table table = analyzer.analyze(res_cfg);
         std::cout << "resilience analysis done (" << timer.seconds() << " s total)\n";
 
         // 4. Step 2: amount selection for this chip.

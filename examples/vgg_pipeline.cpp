@@ -12,7 +12,8 @@
 
 #include <iostream>
 
-#include "core/pipeline.h"
+#include "core/resilience.h"
+#include "core/selector.h"
 #include "core/workload.h"
 #include "data/synthetic.h"
 #include "fault/mask_builder.h"
@@ -79,13 +80,13 @@ int main(int argc, char** argv) {
         clear_fault_masks(*model);
 
         // Steps 1-3 on a coarse grid (the expensive part for conv models).
-        reduce_pipeline pipeline(*model, pretrained, split.train, split.test, array,
-                                 trainer_cfg);
+        resilience_analyzer analyzer(*model, pretrained, split.train, split.test, array,
+                                     trainer_cfg);
         resilience_config rc;
         rc.fault_rates = {0.0, 0.15, 0.3};
         rc.repeats = 2;
         rc.max_epochs = 3.0;
-        const resilience_table table = pipeline.analyze(rc);
+        const resilience_table table = analyzer.analyze(rc);
         std::cout << "resilience analysis done (" << timer.seconds() << " s total)\n";
 
         selector_config sel;

@@ -1,0 +1,212 @@
+#include "core/fleet_executor.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "fault/mask_builder.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace reduce {
+
+double policy_outcome::mean_epochs() const {
+    if (chips.empty()) { return 0.0; }
+    return total_epochs() / static_cast<double>(chips.size());
+}
+
+double policy_outcome::total_epochs() const {
+    double total = 0.0;
+    for (const chip_outcome& c : chips) { total += c.epochs_run; }
+    return total;
+}
+
+double policy_outcome::fraction_meeting() const {
+    if (chips.empty()) { return 0.0; }
+    std::size_t meeting = 0;
+    for (const chip_outcome& c : chips) {
+        if (c.meets_constraint) { ++meeting; }
+    }
+    return static_cast<double>(meeting) / static_cast<double>(chips.size());
+}
+
+chip_tuner::chip_tuner(const sequential& prototype, const model_snapshot& pretrained,
+                       const dataset& train_data, const dataset& test_data,
+                       const array_config& array, fat_config trainer_cfg)
+    : model_(clone_model(prototype)),
+      pretrained_(pretrained),
+      train_data_(train_data),
+      test_data_(test_data),
+      array_(array),
+      trainer_cfg_(trainer_cfg) {}
+
+chip_outcome chip_tuner::tune(const chip& c, const epoch_allocation& alloc,
+                              double constraint, double effective_rate) {
+    restore_parameters(model_->parameters(), pretrained_);
+    // The guard clears masks and re-restores the weights on every exit path,
+    // so a throwing train() cannot leave the tuner's model corrupted.
+    fault_state_guard guard(*model_, pretrained_);
+    const mask_stats stats = attach_fault_masks(*model_, array_, c.faults);
+
+    fault_aware_trainer trainer(*model_, train_data_, test_data_, trainer_cfg_);
+    chip_outcome outcome;
+    outcome.chip_id = c.id;
+    outcome.nominal_fault_rate = c.nominal_fault_rate;
+    outcome.effective_fault_rate = effective_rate;
+    outcome.masked_weight_fraction = stats.masked_fraction();
+    outcome.epochs_allocated = alloc.epochs;
+    outcome.selection_failed = alloc.selection_failed;
+    outcome.accuracy_before = trainer.evaluate();
+
+    if (alloc.train_to_target && alloc.epochs > 0.0) {
+        // Oracle accounting: run the budget on the shared checkpoint grid and
+        // charge only up to the first checkpoint that meets the target.
+        const std::vector<double> grid = make_eval_grid(alloc.epochs, 1.0, 0.05, 0.5);
+        const fat_result result = trainer.train(alloc.epochs, grid);
+        const std::optional<double> reached =
+            epochs_to_reach(result.trajectory, constraint);
+        if (reached.has_value()) {
+            outcome.epochs_run = *reached;
+            outcome.final_accuracy = accuracy_at_epochs(result.trajectory, *reached);
+            if (capture_tuned_ && *reached < result.epochs_run) {
+                // The model now holds the full-budget weights; re-train to the
+                // charged checkpoint so the distributed snapshot matches the
+                // reported accuracy (training is deterministic per config, so
+                // this replays the exact prefix of the budget run).
+                restore_parameters(model_->parameters(), pretrained_);
+                (void)trainer.train(*reached);
+            }
+        } else {
+            outcome.epochs_run = result.epochs_run;
+            outcome.final_accuracy = result.final_accuracy;
+        }
+    } else {
+        const fat_result result = trainer.train(alloc.epochs);
+        outcome.epochs_run = result.epochs_run;
+        outcome.final_accuracy = result.final_accuracy;
+    }
+    outcome.meets_constraint = outcome.final_accuracy >= constraint;
+
+    if (capture_tuned_) { last_tuned_ = snapshot_parameters(model_->parameters()); }
+    return outcome;
+}
+
+fleet_executor::fleet_executor(sequential& model, const model_snapshot& pretrained,
+                               const dataset& train_data, const dataset& test_data,
+                               const array_config& array, fat_config trainer_cfg,
+                               fleet_executor_config cfg)
+    : model_(model),
+      pretrained_(pretrained),
+      train_data_(train_data),
+      test_data_(test_data),
+      array_(array),
+      trainer_cfg_(trainer_cfg),
+      cfg_(cfg) {}
+
+resilience_table fleet_executor::analyze(const resilience_config& cfg) {
+    resilience_analyzer analyzer(model_, pretrained_, train_data_, test_data_, array_,
+                                 trainer_cfg_);
+    return analyzer.analyze(cfg);
+}
+
+policy_outcome fleet_executor::run(const retraining_policy& policy,
+                                   const std::vector<chip>& fleet,
+                                   const std::string& run_name) {
+    REDUCE_CHECK(!fleet.empty(), "fleet executor run over an empty fleet");
+    const double constraint = policy.accuracy_target();
+    REDUCE_CHECK(constraint >= 0.0 && constraint <= 1.0,
+                 "accuracy constraint must be a fraction in [0, 1], got " << constraint);
+
+    // Per-chip views. Rate estimation only reads layer geometry — cheap
+    // enough to stay serial, which keeps view order trivially deterministic.
+    const resilience_table* table = policy.table();
+    std::vector<chip_view> views;
+    views.reserve(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        chip_view view;
+        view.index = i;
+        view.device = &fleet[i];
+        view.effective_fault_rate =
+            effective_fault_rate(model_, array_, fleet[i].faults, policy.rate_kind());
+        view.table = table;
+        view.epoch_budget = table != nullptr ? table->max_epochs() : 0.0;
+        views.push_back(view);
+    }
+
+    const std::vector<epoch_allocation> allocations = policy.plan(views);
+    REDUCE_CHECK(allocations.size() == fleet.size(),
+                 "policy '" << policy.name() << "' planned " << allocations.size()
+                            << " allocations for " << fleet.size() << " chips");
+
+    policy_outcome outcome;
+    outcome.policy_name = run_name.empty() ? policy.name() : run_name;
+    outcome.accuracy_constraint = constraint;
+    outcome.chips.resize(fleet.size());
+
+    // Completed-but-not-yet-sunk snapshots. Flushed as a fleet-order prefix
+    // so memory stays bounded by worker skew, not O(fleet).
+    std::vector<model_snapshot> pending;
+    std::vector<bool> ready;
+    std::size_t next_sink = 0;
+    if (sink_) {
+        pending.resize(fleet.size());
+        ready.assign(fleet.size(), false);
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::size_t completed = 0;  // guarded by progress_mutex
+    std::mutex progress_mutex;
+    auto worker = [&]() {
+        chip_tuner tuner(model_, pretrained_, train_data_, test_data_, array_,
+                         trainer_cfg_);
+        tuner.set_capture_tuned(static_cast<bool>(sink_));
+        for (;;) {
+            // Stop picking up work once any chip has failed — the whole
+            // outcome is void, so finishing the fleet would be wasted epochs.
+            if (failed.load(std::memory_order_relaxed)) { return; }
+            const std::size_t i = next.fetch_add(1);
+            if (i >= fleet.size()) { return; }
+            try {
+                outcome.chips[i] = tuner.tune(fleet[i], allocations[i], constraint,
+                                              views[i].effective_fault_rate);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                throw;
+            }
+            LOG_DEBUG << outcome.policy_name << ": chip " << fleet[i].id
+                      << " rate=" << views[i].effective_fault_rate
+                      << " epochs=" << allocations[i].epochs
+                      << " acc=" << outcome.chips[i].final_accuracy;
+            {
+                // Count, notify, and sink under one lock: the reported
+                // 'completed' sequence is strictly increasing and sinks fire
+                // in fleet order regardless of which worker finished first.
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                ++completed;
+                if (progress_) { progress_(completed, fleet.size(), outcome.chips[i]); }
+                if (sink_) {
+                    pending[i] = tuner.take_tuned();
+                    ready[i] = true;
+                    while (next_sink < fleet.size() && ready[next_sink]) {
+                        sink_(fleet[next_sink], pending[next_sink]);
+                        pending[next_sink] = model_snapshot{};  // free eagerly
+                        ++next_sink;
+                    }
+                }
+            }
+        }
+    };
+
+    const std::size_t workers = resolve_thread_count(cfg_.threads, fleet.size());
+    if (workers <= 1) {
+        worker();
+    } else {
+        thread_pool pool(workers);
+        for (std::size_t i = 0; i < workers; ++i) { pool.submit(worker); }
+        pool.wait();
+    }
+    return outcome;
+}
+
+}  // namespace reduce

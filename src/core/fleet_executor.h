@@ -1,0 +1,160 @@
+// Parallel per-chip retraining over a fleet (Steps 2+3, executor side).
+//
+// The executor separates the *decision* (a retraining_policy allocating
+// epochs per chip) from the *work* (chip_tuner: restore weights, mask for
+// the chip's faults, run FAT, report). Work fans out over a configurable
+// thread pool; results are deterministic and thread-count-independent
+// because every tune starts from a per-worker clone of the prototype model
+// restored to the pretrained snapshot — chip i's outcome depends only on
+// chip i. (Caveat: stochastic layers such as dropout carry per-construction
+// RNG streams; models without them — all pipeline workloads in this repo —
+// are bit-identical at any thread count.)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fat_trainer.h"
+#include "core/policy.h"
+#include "core/resilience.h"
+#include "fault/chip.h"
+#include "nn/serialize.h"
+
+namespace reduce {
+
+/// Per-chip result of a retraining policy.
+struct chip_outcome {
+    std::size_t chip_id = 0;
+    double nominal_fault_rate = 0.0;
+    double effective_fault_rate = 0.0;
+    double masked_weight_fraction = 0.0;
+    double epochs_allocated = 0.0;
+    double epochs_run = 0.0;
+    double accuracy_before = 0.0;  ///< after FAP, before retraining
+    double final_accuracy = 0.0;
+    bool meets_constraint = false;
+    bool selection_failed = false;  ///< table deemed the target unreachable
+};
+
+/// Fleet-level summary of a policy run (one panel of Fig. 3).
+struct policy_outcome {
+    std::string policy_name;
+    double accuracy_constraint = 0.0;
+    std::vector<chip_outcome> chips;
+
+    /// Average retraining epochs per chip (x-axis of Fig. 3f).
+    double mean_epochs() const;
+
+    /// Total epochs across the fleet (the aggregate cost Reduce minimizes).
+    double total_epochs() const;
+
+    /// Fraction of chips with final accuracy >= constraint (y-axis of
+    /// Fig. 3f), in [0, 1].
+    double fraction_meeting() const;
+};
+
+/// Hook invoked after each chip is tuned — the "distribute the fault-aware
+/// DNN to its chip" step. Receives the chip and the tuned weights. The
+/// executor streams sinks as a fleet-order prefix (chip i sinks once chips
+/// 0..i have finished), so the callback sequence is identical at any thread
+/// count while snapshot memory stays bounded by worker skew. Called under
+/// the executor's lock, possibly from a worker thread.
+using model_sink = std::function<void(const chip&, const model_snapshot&)>;
+
+/// Progress hook: (chips completed so far, fleet size, the outcome that just
+/// finished). Invoked under a lock in completion order — safe to touch
+/// shared state from the callback, but completion order is thread-timing
+/// dependent; only the *set* of calls is deterministic.
+using progress_sink =
+    std::function<void(std::size_t completed, std::size_t total, const chip_outcome&)>;
+
+/// Self-contained per-chip retraining worker. Owns a deep clone of the
+/// prototype model, so concurrent tuners never share mutable state; the
+/// referenced datasets/snapshot are read-only and shared.
+class chip_tuner {
+public:
+    /// Clones `prototype`; the references must outlive the tuner.
+    chip_tuner(const sequential& prototype, const model_snapshot& pretrained,
+               const dataset& train_data, const dataset& test_data,
+               const array_config& array, fat_config trainer_cfg);
+
+    /// Restores the pretrained weights, masks for the chip's faults, trains
+    /// per the allocation, and reports the outcome. The owned model is back
+    /// in the clean pretrained state on return — also when training throws.
+    chip_outcome tune(const chip& c, const epoch_allocation& alloc, double constraint,
+                      double effective_rate);
+
+    /// When enabled, tune() captures the tuned weights (pre-restore) so the
+    /// executor can feed model sinks. Off by default — snapshots cost memory.
+    void set_capture_tuned(bool capture) { capture_tuned_ = capture; }
+
+    /// Tuned weights of the last tune() (requires set_capture_tuned(true)).
+    const model_snapshot& last_tuned() const { return last_tuned_; }
+
+    /// Moves the last tune()'s captured weights out of the tuner.
+    model_snapshot take_tuned() { return std::move(last_tuned_); }
+
+private:
+    std::unique_ptr<sequential> model_;
+    const model_snapshot& pretrained_;
+    const dataset& train_data_;
+    const dataset& test_data_;
+    array_config array_;
+    fat_config trainer_cfg_;
+    bool capture_tuned_ = false;
+    model_snapshot last_tuned_;
+};
+
+/// Executor knobs.
+struct fleet_executor_config {
+    /// Worker threads for the fan-out; 0 → hardware concurrency. The thread
+    /// count never changes per-chip outcomes, only wall-clock time.
+    std::size_t threads = 1;
+};
+
+/// Runs a retraining policy over a fleet, one chip_tuner per worker.
+class fleet_executor {
+public:
+    /// References must outlive the executor; `pretrained` is the golden
+    /// snapshot every chip's retraining starts from. The prototype model is
+    /// only read (cloned and rate-estimated), never mutated.
+    fleet_executor(sequential& model, const model_snapshot& pretrained,
+                   const dataset& train_data, const dataset& test_data,
+                   const array_config& array, fat_config trainer_cfg,
+                   fleet_executor_config cfg = {});
+
+    /// Step 1 convenience wrapper (serial; see ROADMAP for sharded sweeps).
+    resilience_table analyze(const resilience_config& cfg);
+
+    /// Steps 2+3: allocates epochs via the policy, tunes every chip, and
+    /// aggregates. `run_name` overrides the reported policy name (empty →
+    /// policy.name()). Outcomes are ordered by fleet position and identical
+    /// at any thread count. If any chip's tuning throws, workers stop picking
+    /// up new chips and the first exception is re-thrown to the caller.
+    policy_outcome run(const retraining_policy& policy, const std::vector<chip>& fleet,
+                       const std::string& run_name = "");
+
+    /// Installs the tuned-model hook (pass nullptr to remove).
+    void set_model_sink(model_sink sink) { sink_ = std::move(sink); }
+
+    /// Installs the progress hook (pass nullptr to remove).
+    void set_progress_sink(progress_sink sink) { progress_ = std::move(sink); }
+
+    const fleet_executor_config& config() const { return cfg_; }
+
+private:
+    sequential& model_;
+    const model_snapshot& pretrained_;
+    const dataset& train_data_;
+    const dataset& test_data_;
+    array_config array_;
+    fat_config trainer_cfg_;
+    fleet_executor_config cfg_;
+    model_sink sink_;
+    progress_sink progress_;
+};
+
+}  // namespace reduce

@@ -2,29 +2,8 @@
 
 #include "fault/mask_builder.h"
 #include "util/error.h"
-#include "util/log.h"
 
 namespace reduce {
-
-double policy_outcome::mean_epochs() const {
-    if (chips.empty()) { return 0.0; }
-    return total_epochs() / static_cast<double>(chips.size());
-}
-
-double policy_outcome::total_epochs() const {
-    double total = 0.0;
-    for (const chip_outcome& c : chips) { total += c.epochs_run; }
-    return total;
-}
-
-double policy_outcome::fraction_meeting() const {
-    if (chips.empty()) { return 0.0; }
-    std::size_t meeting = 0;
-    for (const chip_outcome& c : chips) {
-        if (c.meets_constraint) { ++meeting; }
-    }
-    return static_cast<double>(meeting) / static_cast<double>(chips.size());
-}
 
 reduce_pipeline::reduce_pipeline(sequential& model, const model_snapshot& pretrained,
                                  const dataset& train_data, const dataset& test_data,
@@ -42,29 +21,18 @@ resilience_table reduce_pipeline::analyze(const resilience_config& cfg) {
     return analyzer.analyze(cfg);
 }
 
-chip_outcome reduce_pipeline::tune_chip(const chip& c, double epochs, double constraint,
-                                        double effective_rate, bool selection_failed) {
-    restore_parameters(model_.parameters(), pretrained_);
-    const mask_stats stats = attach_fault_masks(model_, array_, c.faults);
-
-    fault_aware_trainer trainer(model_, train_data_, test_data_, trainer_cfg_);
-    chip_outcome outcome;
-    outcome.chip_id = c.id;
-    outcome.nominal_fault_rate = c.nominal_fault_rate;
-    outcome.effective_fault_rate = effective_rate;
-    outcome.masked_weight_fraction = stats.masked_fraction();
-    outcome.epochs_allocated = epochs;
-    outcome.selection_failed = selection_failed;
-    outcome.accuracy_before = trainer.evaluate();
-
-    const fat_result result = trainer.train(epochs);
-    outcome.epochs_run = result.epochs_run;
-    outcome.final_accuracy = result.final_accuracy;
-    outcome.meets_constraint = result.final_accuracy >= constraint;
-
-    if (sink_) { sink_(c, snapshot_parameters(model_.parameters())); }
-
+policy_outcome reduce_pipeline::run_policy(const retraining_policy& policy,
+                                           const std::vector<chip>& fleet,
+                                           const std::string& name) {
+    fleet_executor executor(model_, pretrained_, train_data_, test_data_, array_,
+                            trainer_cfg_, fleet_executor_config{.threads = 1});
+    executor.set_model_sink(sink_);
+    policy_outcome outcome = executor.run(policy, fleet, name);
+    // Legacy postcondition: the shared model ends at the pretrained weights,
+    // unmasked — even if the caller left masks attached before the run (the
+    // executor itself never mutates the prototype).
     clear_fault_masks(model_);
+    restore_parameters(model_.parameters(), pretrained_);
     return outcome;
 }
 
@@ -73,40 +41,18 @@ policy_outcome reduce_pipeline::run_reduce(const std::vector<chip>& fleet,
                                            const selector_config& sel_cfg,
                                            const std::string& name) {
     REDUCE_CHECK(!fleet.empty(), "run_reduce over an empty fleet");
-    retraining_selector selector(table, sel_cfg);
-    policy_outcome outcome;
-    outcome.policy_name = name;
-    outcome.accuracy_constraint = sel_cfg.accuracy_target;
-    outcome.chips.reserve(fleet.size());
-    for (const chip& c : fleet) {
-        const selection sel = selector.select(model_, array_, c.faults);
-        // Unreachable target → fall back to the full budget (conservative).
-        const double epochs = sel.epochs.value_or(table.max_epochs());
-        outcome.chips.push_back(tune_chip(c, epochs, sel_cfg.accuracy_target,
-                                          sel.effective_fault_rate, !sel.epochs.has_value()));
-        LOG_DEBUG << name << ": chip " << c.id << " rate=" << sel.effective_fault_rate
-                  << " epochs=" << epochs
-                  << " acc=" << outcome.chips.back().final_accuracy;
-    }
-    restore_parameters(model_.parameters(), pretrained_);
-    return outcome;
+    const reduce_policy policy(table, sel_cfg);
+    return run_policy(policy, fleet, name);
 }
 
 policy_outcome reduce_pipeline::run_fixed(const std::vector<chip>& fleet, double epochs,
                                           double constraint, const std::string& name) {
     REDUCE_CHECK(!fleet.empty(), "run_fixed over an empty fleet");
-    REDUCE_CHECK(epochs >= 0.0, "fixed policy epochs must be non-negative");
-    policy_outcome outcome;
-    outcome.policy_name = name;
-    outcome.accuracy_constraint = constraint;
-    outcome.chips.reserve(fleet.size());
-    for (const chip& c : fleet) {
-        const double effective_rate =
-            effective_fault_rate(model_, array_, c.faults, effective_rate_kind::used_subarray);
-        outcome.chips.push_back(tune_chip(c, epochs, constraint, effective_rate, false));
-    }
-    restore_parameters(model_.parameters(), pretrained_);
-    return outcome;
+    REDUCE_CHECK(epochs >= 0.0, "fixed policy epochs must be non-negative, got " << epochs);
+    REDUCE_CHECK(constraint >= 0.0 && constraint <= 1.0,
+                 "accuracy constraint must be a fraction in [0, 1], got " << constraint);
+    const fixed_policy policy(epochs, constraint);
+    return run_policy(policy, fleet, name);
 }
 
 }  // namespace reduce

@@ -1,60 +1,36 @@
-// End-to-end Reduce pipeline (Steps 1–3) and the fixed-policy baseline.
+// DEPRECATED legacy façade over the policy/executor API.
 //
-// run_reduce() is the paper's proposal: per chip, select the retraining
-// amount from the resilience table, then run FAT for exactly that amount.
-// run_fixed() is the state-of-the-art baseline (Zhang et al. VTS'18): every
-// chip gets the same pre-specified number of epochs. Fig. 3 compares the
-// two on a 100-chip fleet.
+// reduce_pipeline predates the pluggable-policy redesign: it hard-coded the
+// paper's two policies (run_reduce / run_fixed) and tuned fleets strictly
+// serially through one shared mutable model. It is now a thin shim over
+// core/policy.h + core/fleet_executor.h, kept for one release so existing
+// call sites migrate gradually. New code should use:
+//
+//     fleet_executor executor(model, pretrained, train, test, array, cfg,
+//                             {.threads = N});
+//     reduce_policy policy(table, sel_cfg);
+//     policy_outcome out = executor.run(policy, fleet);
+//     // or by name through the registry:
+//     auto from_registry = policy_registry::global().make("reduce", ctx);
+//     policy_outcome out2 = executor.run(*from_registry, fleet);
+//
+// The outcome types (chip_outcome, policy_outcome, model_sink) moved to
+// core/fleet_executor.h; this header re-exports them via its include.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "core/fleet_executor.h"
 #include "core/resilience.h"
 #include "core/selector.h"
 #include "fault/chip.h"
 
 namespace reduce {
 
-/// Per-chip result of a retraining policy.
-struct chip_outcome {
-    std::size_t chip_id = 0;
-    double nominal_fault_rate = 0.0;
-    double effective_fault_rate = 0.0;
-    double masked_weight_fraction = 0.0;
-    double epochs_allocated = 0.0;
-    double epochs_run = 0.0;
-    double accuracy_before = 0.0;  ///< after FAP, before retraining
-    double final_accuracy = 0.0;
-    bool meets_constraint = false;
-    bool selection_failed = false;  ///< table deemed the target unreachable
-};
-
-/// Fleet-level summary of a policy run (one panel of Fig. 3).
-struct policy_outcome {
-    std::string policy_name;
-    double accuracy_constraint = 0.0;
-    std::vector<chip_outcome> chips;
-
-    /// Average retraining epochs per chip (x-axis of Fig. 3f).
-    double mean_epochs() const;
-
-    /// Total epochs across the fleet (the aggregate cost Reduce minimizes).
-    double total_epochs() const;
-
-    /// Fraction of chips with final accuracy >= constraint (y-axis of
-    /// Fig. 3f), in [0, 1].
-    double fraction_meeting() const;
-};
-
-/// Optional hook invoked after each chip is tuned — the "distribute the
-/// fault-aware DNN to its chip" step. Receives the chip and the tuned
-/// weights.
-using model_sink = std::function<void(const chip&, const model_snapshot&)>;
-
-/// Orchestrates resilience analysis and per-chip retraining for one
-/// (model, dataset, accelerator) triple.
+/// DEPRECATED: orchestrates resilience analysis and per-chip retraining for
+/// one (model, dataset, accelerator) triple — serial, two hard-coded
+/// policies. Prefer fleet_executor + retraining_policy.
 class reduce_pipeline {
 public:
     /// References must outlive the pipeline; `pretrained` is the golden
@@ -68,11 +44,12 @@ public:
 
     /// Steps 2+3: Reduce policy over a fleet. `constraint` is a fraction
     /// (e.g. 0.91). Chips whose selection fails get the full table budget
-    /// (the conservative fallback).
+    /// (the conservative fallback). Shim over reduce_policy + fleet_executor.
     policy_outcome run_reduce(const std::vector<chip>& fleet, const resilience_table& table,
                               const selector_config& sel_cfg, const std::string& name);
 
-    /// Baseline: fixed `epochs` of FAT per chip.
+    /// Baseline: fixed `epochs` of FAT per chip (`constraint` in [0, 1]).
+    /// Shim over fixed_policy + fleet_executor.
     policy_outcome run_fixed(const std::vector<chip>& fleet, double epochs, double constraint,
                              const std::string& name);
 
@@ -80,10 +57,8 @@ public:
     void set_model_sink(model_sink sink) { sink_ = std::move(sink); }
 
 private:
-    /// Restores weights, masks for the chip's faults, trains `epochs`, and
-    /// reports the outcome.
-    chip_outcome tune_chip(const chip& c, double epochs, double constraint,
-                           double effective_rate, bool selection_failed);
+    policy_outcome run_policy(const retraining_policy& policy, const std::vector<chip>& fleet,
+                              const std::string& name);
 
     sequential& model_;
     const model_snapshot& pretrained_;

@@ -77,6 +77,13 @@ void clear_fault_masks(sequential& model) {
     for (parameter* p : model.parameters()) { p->clear_mask(); }
 }
 
+fault_state_guard::~fault_state_guard() {
+    // Masks first, then weights: restore_parameters leaves masks untouched,
+    // so the reverse order would re-expose pruned weights through stale masks.
+    clear_fault_masks(model_);
+    restore_parameters(model_.parameters(), snapshot_);
+}
+
 double effective_fault_rate(sequential& model, const array_config& array,
                             const fault_grid& faults, effective_rate_kind kind) {
     REDUCE_CHECK(faults.rows() == array.rows && faults.cols() == array.cols,

@@ -14,6 +14,7 @@
 #include "accel/fault_grid.h"
 #include "accel/mapping.h"
 #include "nn/models.h"
+#include "nn/serialize.h"
 #include "tensor/tensor.h"
 
 namespace reduce {
@@ -51,6 +52,26 @@ mask_stats attach_fault_masks_permuted(sequential& model, const array_config& ar
 /// Removes masks from every parameter of the model (weights keep their
 /// current values; call restore_parameters to undo pruning).
 void clear_fault_masks(sequential& model);
+
+/// RAII guard around a masked-training episode: on destruction, clears all
+/// fault masks and restores the given snapshot, even if training threw.
+/// Guarantees the model is returned to a clean (unmasked, snapshot-weight)
+/// state no matter how the scope exits — the per-chip tuning invariant.
+class fault_state_guard {
+public:
+    /// The model and snapshot must outlive the guard.
+    fault_state_guard(sequential& model, const model_snapshot& restore_to)
+        : model_(model), snapshot_(restore_to) {}
+
+    fault_state_guard(const fault_state_guard&) = delete;
+    fault_state_guard& operator=(const fault_state_guard&) = delete;
+
+    ~fault_state_guard();
+
+private:
+    sequential& model_;
+    const model_snapshot& snapshot_;
+};
 
 /// Effective fault-rate estimators for Step 2 of Reduce (ablation knobs).
 enum class effective_rate_kind {

@@ -34,6 +34,15 @@ tensor conv2d_layer::backward(const tensor& grad_output) {
 
 std::vector<parameter*> conv2d_layer::parameters() { return {&weight_, &bias_}; }
 
+std::unique_ptr<module> conv2d_layer::clone() const {
+    rng scratch(0);
+    auto copy = std::make_unique<conv2d_layer>(spec_, scratch);
+    copy->weight_ = weight_;
+    copy->bias_ = bias_;
+    copy->training_ = training_;
+    return copy;
+}
+
 max_pool2d_layer::max_pool2d_layer(pool2d_spec spec) : spec_(spec) {
     REDUCE_CHECK(spec_.kernel > 0 && spec_.stride > 0, "pool spec must be positive");
 }
@@ -50,6 +59,12 @@ tensor max_pool2d_layer::backward(const tensor& grad_output) {
     return max_pool2d_backward(grad_output, cached_argmax_, cached_input_shape_);
 }
 
+std::unique_ptr<module> max_pool2d_layer::clone() const {
+    auto copy = std::make_unique<max_pool2d_layer>(spec_);
+    copy->training_ = training_;
+    return copy;
+}
+
 tensor global_avg_pool_layer::forward(const tensor& input) {
     cached_input_shape_ = input.shape();
     return global_avg_pool_forward(input);
@@ -58,6 +73,12 @@ tensor global_avg_pool_layer::forward(const tensor& input) {
 tensor global_avg_pool_layer::backward(const tensor& grad_output) {
     REDUCE_CHECK(!cached_input_shape_.empty(), "global_avg_pool backward before forward");
     return global_avg_pool_backward(grad_output, cached_input_shape_);
+}
+
+std::unique_ptr<module> global_avg_pool_layer::clone() const {
+    auto copy = std::make_unique<global_avg_pool_layer>();
+    copy->training_ = training_;
+    return copy;
 }
 
 }  // namespace reduce

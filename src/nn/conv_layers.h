@@ -19,6 +19,7 @@ public:
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "conv2d"; }
 
     const conv2d_spec& spec() const { return spec_; }
@@ -39,6 +40,7 @@ public:
 
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "max_pool2d"; }
 
 private:
@@ -52,6 +54,7 @@ class global_avg_pool_layer : public module {
 public:
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "global_avg_pool"; }
 
 private:

@@ -41,6 +41,17 @@ tensor linear::backward(const tensor& grad_output) {
 
 std::vector<parameter*> linear::parameters() { return {&weight_, &bias_}; }
 
+std::unique_ptr<module> linear::clone() const {
+    // Construct through the public ctor (the throwaway init is overwritten by
+    // the state copy below, masks included).
+    rng scratch(0);
+    auto copy = std::make_unique<linear>(in_features_, out_features_, scratch);
+    copy->weight_ = weight_;
+    copy->bias_ = bias_;
+    copy->training_ = training_;
+    return copy;
+}
+
 tensor relu_layer::forward(const tensor& input) {
     cached_input_ = input;
     return relu(input);
@@ -49,6 +60,12 @@ tensor relu_layer::forward(const tensor& input) {
 tensor relu_layer::backward(const tensor& grad_output) {
     REDUCE_CHECK(cached_input_.numel() > 0, "relu backward before forward");
     return relu_backward(grad_output, cached_input_);
+}
+
+std::unique_ptr<module> relu_layer::clone() const {
+    auto copy = std::make_unique<relu_layer>();
+    copy->training_ = training_;
+    return copy;
 }
 
 tensor flatten::forward(const tensor& input) {
@@ -61,6 +78,12 @@ tensor flatten::forward(const tensor& input) {
 tensor flatten::backward(const tensor& grad_output) {
     REDUCE_CHECK(!cached_shape_.empty(), "flatten backward before forward");
     return grad_output.reshaped(cached_shape_);
+}
+
+std::unique_ptr<module> flatten::clone() const {
+    auto copy = std::make_unique<flatten>();
+    copy->training_ = training_;
+    return copy;
 }
 
 dropout::dropout(double p, std::uint64_t seed) : p_(p), gen_(seed) {
@@ -84,6 +107,13 @@ tensor dropout::forward(const tensor& input) {
 tensor dropout::backward(const tensor& grad_output) {
     if (kept_scale_.empty()) { return grad_output; }
     return mul(grad_output, kept_scale_);
+}
+
+std::unique_ptr<module> dropout::clone() const {
+    auto copy = std::make_unique<dropout>(p_, 0);
+    copy->gen_ = gen_;  // clone continues the original's random stream
+    copy->training_ = training_;
+    return copy;
 }
 
 }  // namespace reduce

@@ -19,6 +19,7 @@ public:
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "linear"; }
 
     std::size_t in_features() const { return in_features_; }
@@ -41,6 +42,7 @@ class relu_layer : public module {
 public:
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "relu"; }
 
 private:
@@ -52,6 +54,7 @@ class flatten : public module {
 public:
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "flatten"; }
 
 private:
@@ -67,6 +70,7 @@ public:
 
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "dropout"; }
 
 private:

@@ -52,6 +52,21 @@ void sequential::set_training(bool training) {
     for (auto& layer : layers_) { layer->set_training(training); }
 }
 
+std::unique_ptr<module> sequential::clone() const {
+    auto copy = std::make_unique<sequential>();
+    for (const auto& layer : layers_) { copy->add(layer->clone()); }
+    copy->training_ = training_;
+    return copy;
+}
+
+std::unique_ptr<sequential> clone_model(const sequential& model) {
+    std::unique_ptr<module> copy = model.clone();
+    auto* seq = dynamic_cast<sequential*>(copy.get());
+    REDUCE_CHECK(seq != nullptr, "sequential::clone produced a non-sequential module");
+    copy.release();
+    return std::unique_ptr<sequential>(seq);
+}
+
 module& sequential::layer(std::size_t index) {
     REDUCE_CHECK(index < layers_.size(),
                  "layer index " << index << " out of range (size " << layers_.size() << ")");

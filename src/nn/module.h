@@ -61,6 +61,14 @@ public:
     /// Trainable parameters of this module (possibly empty).
     virtual std::vector<parameter*> parameters() { return {}; }
 
+    /// Deep copy of the module's persistent state: parameters (values,
+    /// gradients, and any attached fault masks), configuration, RNG state of
+    /// stochastic layers, and running statistics. Forward/backward caches are
+    /// NOT copied — the clone behaves like a freshly constructed layer that
+    /// happens to hold the same state. Enables per-worker model replicas in
+    /// the parallel fleet executor.
+    virtual std::unique_ptr<module> clone() const = 0;
+
     /// Switches train/eval behaviour (dropout, batch norm).
     virtual void set_training(bool training) { training_ = training; }
 
@@ -95,6 +103,7 @@ public:
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override;
     void set_training(bool training) override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "sequential"; }
 
     /// Number of child layers.
@@ -106,6 +115,10 @@ public:
 private:
     std::vector<std::unique_ptr<module>> layers_;
 };
+
+/// Deep-copies a model (see module::clone) with the concrete sequential type
+/// preserved — the form every pipeline-facing API consumes.
+std::unique_ptr<sequential> clone_model(const sequential& model);
 
 /// Total number of scalar weights across parameters.
 std::size_t parameter_count(const std::vector<parameter*>& params);

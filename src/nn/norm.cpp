@@ -121,6 +121,16 @@ tensor batch_norm1d::backward(const tensor& grad_output) {
 
 std::vector<parameter*> batch_norm1d::parameters() { return {&gamma_, &beta_}; }
 
+std::unique_ptr<module> batch_norm1d::clone() const {
+    auto copy = std::make_unique<batch_norm1d>(features_, momentum_, eps_);
+    copy->gamma_ = gamma_;
+    copy->beta_ = beta_;
+    copy->running_mean_ = running_mean_;
+    copy->running_var_ = running_var_;
+    copy->training_ = training_;
+    return copy;
+}
+
 batch_norm2d::batch_norm2d(std::size_t channels, double momentum, double eps)
     : channels_(channels), momentum_(momentum), eps_(eps) {
     REDUCE_CHECK(channels > 0, "batch_norm2d needs positive channel count");
@@ -240,5 +250,15 @@ tensor batch_norm2d::backward(const tensor& grad_output) {
 }
 
 std::vector<parameter*> batch_norm2d::parameters() { return {&gamma_, &beta_}; }
+
+std::unique_ptr<module> batch_norm2d::clone() const {
+    auto copy = std::make_unique<batch_norm2d>(channels_, momentum_, eps_);
+    copy->gamma_ = gamma_;
+    copy->beta_ = beta_;
+    copy->running_mean_ = running_mean_;
+    copy->running_var_ = running_var_;
+    copy->training_ = training_;
+    return copy;
+}
 
 }  // namespace reduce

@@ -17,6 +17,7 @@ public:
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "batch_norm1d"; }
 
     /// Running statistics (exposed for serialization and tests).
@@ -45,6 +46,7 @@ public:
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override;
+    std::unique_ptr<module> clone() const override;
     std::string name() const override { return "batch_norm2d"; }
 
     const tensor& running_mean() const { return running_mean_; }

@@ -85,4 +85,19 @@ std::vector<double> cli_args::get_double_list(const std::string& name,
     return values;
 }
 
+std::vector<std::string> cli_args::get_string_list(
+    const std::string& name, const std::vector<std::string>& fallback) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) { return fallback; }
+    std::vector<std::string> values;
+    std::stringstream ss(it->second);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        REDUCE_CHECK(!item.empty(), "option --" << name << " has an empty element");
+        values.push_back(item);
+    }
+    REDUCE_CHECK(!values.empty(), "option --" << name << " is an empty list");
+    return values;
+}
+
 }  // namespace reduce

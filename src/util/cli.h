@@ -42,6 +42,11 @@ public:
     std::vector<double> get_double_list(const std::string& name,
                                         const std::vector<double>& fallback) const;
 
+    /// Comma-separated list of strings, e.g. `--policy reduce,fixed`.
+    /// Empty elements are rejected; an absent option yields the fallback.
+    std::vector<std::string> get_string_list(
+        const std::string& name, const std::vector<std::string>& fallback) const;
+
 private:
     std::string program_;
     std::map<std::string, std::string> options_;

@@ -1,0 +1,62 @@
+// Minimal fixed-size worker pool for fan-out/join parallelism.
+//
+// Built for the fleet executor: a handful of long-running jobs (one per
+// worker, each draining a shared atomic work counter) rather than a
+// fine-grained task graph. Jobs may throw; the first exception is captured
+// and re-thrown from wait(), after every other job has finished, so callers
+// observe failures without leaking detached threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reduce {
+
+/// Resolves a thread-count request: 0 → hardware concurrency (at least 1),
+/// anything else unchanged. `cap` bounds the result when non-zero (no point
+/// spawning more workers than work items).
+std::size_t resolve_thread_count(std::size_t requested, std::size_t cap = 0);
+
+/// Fixed pool of worker threads consuming a FIFO job queue.
+class thread_pool {
+public:
+    /// Spawns `num_threads` workers (must be >= 1).
+    explicit thread_pool(std::size_t num_threads);
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Drains the queue, then joins all workers.
+    ~thread_pool();
+
+    /// Number of worker threads.
+    std::size_t size() const { return workers_.size(); }
+
+    /// Enqueues a job. Must not be called after the destructor has begun.
+    void submit(std::function<void()> job);
+
+    /// Blocks until every submitted job has finished. If any job threw, the
+    /// first captured exception is re-thrown here (subsequent calls do not
+    /// re-throw it again).
+    void wait();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_done_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace reduce

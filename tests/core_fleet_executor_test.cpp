@@ -1,0 +1,247 @@
+// Tests for chip_tuner and fleet_executor: byte-identical equivalence with
+// the legacy reduce_pipeline entry points, thread-count independence of the
+// parallel fan-out, sink/progress ordering, and input validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/fleet_executor.h"
+#include "core/pipeline.h"
+#include "core/policy.h"
+#include "core/workload.h"
+#include "util/error.h"
+
+namespace reduce {
+namespace {
+
+void expect_identical(const policy_outcome& a, const policy_outcome& b) {
+    EXPECT_DOUBLE_EQ(a.accuracy_constraint, b.accuracy_constraint);
+    ASSERT_EQ(a.chips.size(), b.chips.size());
+    for (std::size_t i = 0; i < a.chips.size(); ++i) {
+        const chip_outcome& x = a.chips[i];
+        const chip_outcome& y = b.chips[i];
+        EXPECT_EQ(x.chip_id, y.chip_id) << "chip " << i;
+        // Exact (bit-level) equality is the contract: both paths must run the
+        // same float operations in the same order.
+        EXPECT_EQ(x.nominal_fault_rate, y.nominal_fault_rate) << "chip " << i;
+        EXPECT_EQ(x.effective_fault_rate, y.effective_fault_rate) << "chip " << i;
+        EXPECT_EQ(x.masked_weight_fraction, y.masked_weight_fraction) << "chip " << i;
+        EXPECT_EQ(x.epochs_allocated, y.epochs_allocated) << "chip " << i;
+        EXPECT_EQ(x.epochs_run, y.epochs_run) << "chip " << i;
+        EXPECT_EQ(x.accuracy_before, y.accuracy_before) << "chip " << i;
+        EXPECT_EQ(x.final_accuracy, y.final_accuracy) << "chip " << i;
+        EXPECT_EQ(x.meets_constraint, y.meets_constraint) << "chip " << i;
+        EXPECT_EQ(x.selection_failed, y.selection_failed) << "chip " << i;
+    }
+}
+
+class FleetExecutorFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        shared_ = new workload(make_standard_workload(make_test_workload_config()));
+        fleet_config fc;
+        fc.num_chips = 4;
+        fc.rate_lo = 0.05;
+        fc.rate_hi = 0.3;
+        fc.seed = 91;
+        fleet_ = new std::vector<chip>(make_fleet(shared_->array, fc));
+        fleet_executor executor(*shared_->model, shared_->pretrained, shared_->train_data,
+                                shared_->test_data, shared_->array, shared_->trainer_cfg);
+        resilience_config rc;
+        rc.fault_rates = {0.0, 0.15, 0.3};
+        rc.repeats = 2;
+        rc.max_epochs = 3.0;
+        table_ = new resilience_table(executor.analyze(rc));
+    }
+    static void TearDownTestSuite() {
+        delete shared_;
+        delete fleet_;
+        delete table_;
+        shared_ = nullptr;
+        fleet_ = nullptr;
+        table_ = nullptr;
+    }
+
+    workload& w() { return *shared_; }
+    const std::vector<chip>& fleet() { return *fleet_; }
+    const resilience_table& table() { return *table_; }
+
+    fleet_executor make_executor(std::size_t threads = 1) {
+        return fleet_executor(*shared_->model, shared_->pretrained, shared_->train_data,
+                              shared_->test_data, shared_->array, shared_->trainer_cfg,
+                              fleet_executor_config{.threads = threads});
+    }
+
+    selector_config sel_config() {
+        selector_config sel;
+        sel.accuracy_target = 0.85;
+        return sel;
+    }
+
+    static workload* shared_;
+    static std::vector<chip>* fleet_;
+    static resilience_table* table_;
+};
+
+workload* FleetExecutorFixture::shared_ = nullptr;
+std::vector<chip>* FleetExecutorFixture::fleet_ = nullptr;
+resilience_table* FleetExecutorFixture::table_ = nullptr;
+
+TEST_F(FleetExecutorFixture, ReducePolicyMatchesLegacyRunReduce) {
+    reduce_pipeline legacy(*shared_->model, shared_->pretrained, shared_->train_data,
+                           shared_->test_data, shared_->array, shared_->trainer_cfg);
+    const policy_outcome old_api =
+        legacy.run_reduce(fleet(), table(), sel_config(), "reduce-max");
+
+    fleet_executor executor = make_executor();
+    const reduce_policy policy(table(), sel_config());
+    const policy_outcome new_api = executor.run(policy, fleet(), "reduce-max");
+
+    EXPECT_EQ(old_api.policy_name, new_api.policy_name);
+    expect_identical(old_api, new_api);
+}
+
+TEST_F(FleetExecutorFixture, FixedPolicyMatchesLegacyRunFixed) {
+    reduce_pipeline legacy(*shared_->model, shared_->pretrained, shared_->train_data,
+                           shared_->test_data, shared_->array, shared_->trainer_cfg);
+    const policy_outcome old_api = legacy.run_fixed(fleet(), 0.5, 0.85, "fixed-0.5");
+
+    fleet_executor executor = make_executor();
+    const fixed_policy policy(0.5, 0.85);
+    const policy_outcome new_api = executor.run(policy, fleet(), "fixed-0.5");
+
+    expect_identical(old_api, new_api);
+}
+
+TEST_F(FleetExecutorFixture, OutcomesAreThreadCountIndependent) {
+    const reduce_policy reduce(table(), sel_config());
+    const fixed_policy fixed(0.4, 0.85);
+    const policy_outcome reduce_serial = make_executor(1).run(reduce, fleet());
+    const policy_outcome fixed_serial = make_executor(1).run(fixed, fleet());
+    for (const std::size_t threads : {2u, 8u}) {
+        fleet_executor executor = make_executor(threads);
+        expect_identical(reduce_serial, executor.run(reduce, fleet()));
+        expect_identical(fixed_serial, executor.run(fixed, fleet()));
+    }
+}
+
+TEST_F(FleetExecutorFixture, RunNameDefaultsToPolicyName) {
+    const fixed_policy policy(0.0, 0.85, "my-fixed");
+    fleet_executor executor = make_executor();
+    EXPECT_EQ(executor.run(policy, fleet()).policy_name, "my-fixed");
+    EXPECT_EQ(executor.run(policy, fleet(), "override").policy_name, "override");
+}
+
+TEST_F(FleetExecutorFixture, SinksFireInFleetOrderAtAnyThreadCount) {
+    for (const std::size_t threads : {1u, 4u}) {
+        fleet_executor executor = make_executor(threads);
+        std::vector<std::size_t> seen_ids;
+        executor.set_model_sink([&](const chip& c, const model_snapshot& snap) {
+            seen_ids.push_back(c.id);
+            EXPECT_EQ(snap.size(), w().pretrained.size());
+        });
+        (void)executor.run(fixed_policy(0.1, 0.85), fleet());
+        ASSERT_EQ(seen_ids.size(), fleet().size());
+        for (std::size_t i = 0; i < fleet().size(); ++i) {
+            EXPECT_EQ(seen_ids[i], fleet()[i].id) << "threads=" << threads;
+        }
+    }
+}
+
+TEST_F(FleetExecutorFixture, ProgressReportsEveryChipExactlyOnce) {
+    fleet_executor executor = make_executor(2);
+    std::vector<std::size_t> completed_counts;
+    std::vector<std::size_t> chip_ids;
+    executor.set_progress_sink(
+        [&](std::size_t completed, std::size_t total, const chip_outcome& outcome) {
+            EXPECT_EQ(total, fleet().size());
+            completed_counts.push_back(completed);
+            chip_ids.push_back(outcome.chip_id);
+        });
+    (void)executor.run(fixed_policy(0.1, 0.85), fleet());
+    ASSERT_EQ(completed_counts.size(), fleet().size());
+    // Completion order is timing-dependent, but the count set and the chip
+    // set are not.
+    std::sort(completed_counts.begin(), completed_counts.end());
+    std::sort(chip_ids.begin(), chip_ids.end());
+    for (std::size_t i = 0; i < fleet().size(); ++i) {
+        EXPECT_EQ(completed_counts[i], i + 1);
+        EXPECT_EQ(chip_ids[i], fleet()[i].id);
+    }
+}
+
+TEST_F(FleetExecutorFixture, PrototypeModelIsNeverMutated) {
+    // The executor clones per worker; the shared prototype must stay bitwise
+    // intact through a run — no restore needed afterwards.
+    restore_parameters(w().model->parameters(), w().pretrained);
+    fleet_executor executor = make_executor(2);
+    (void)executor.run(fixed_policy(0.3, 0.85), fleet());
+    for (std::size_t i = 0; i < w().pretrained.size(); ++i) {
+        EXPECT_TRUE(w().model->parameters()[i]->value == w().pretrained.values[i]);
+        EXPECT_FALSE(w().model->parameters()[i]->has_mask());
+    }
+}
+
+TEST_F(FleetExecutorFixture, OracleChargesAtMostTheBudgetAndStopsAtTarget) {
+    fleet_executor executor = make_executor();
+    const oracle_policy policy(table(), 0.85);
+    const policy_outcome outcome = executor.run(policy, fleet());
+    ASSERT_EQ(outcome.chips.size(), fleet().size());
+    for (const chip_outcome& c : outcome.chips) {
+        EXPECT_DOUBLE_EQ(c.epochs_allocated, table().max_epochs());
+        EXPECT_LE(c.epochs_run, table().max_epochs() + 1e-9);
+        if (c.meets_constraint) {
+            // The charged amount is the first checkpoint meeting the target,
+            // and the reported accuracy is the accuracy at that checkpoint.
+            EXPECT_GE(c.final_accuracy, 0.85);
+        }
+    }
+    // The oracle is the cost lower bound among target-meeting policies: it
+    // never charges more than the fixed-at-budget baseline.
+    const policy_outcome full =
+        executor.run(fixed_policy(table().max_epochs(), 0.85), fleet());
+    EXPECT_LE(outcome.total_epochs(), full.total_epochs() + 1e-9);
+}
+
+TEST_F(FleetExecutorFixture, ValidatesFleetAndConstraint) {
+    fleet_executor executor = make_executor();
+    const fixed_policy policy(0.1, 0.85);
+    EXPECT_THROW((void)executor.run(policy, {}), error);
+
+    // A policy reporting an out-of-range target is rejected up front.
+    class bad_target_policy : public retraining_policy {
+    public:
+        std::string name() const override { return "bad"; }
+        double accuracy_target() const override { return 1.5; }
+        epoch_allocation allocate(const chip_view&) const override { return {}; }
+    };
+    EXPECT_THROW((void)executor.run(bad_target_policy{}, fleet()), error);
+
+    // Legacy shim: same validation through run_fixed.
+    reduce_pipeline legacy(*shared_->model, shared_->pretrained, shared_->train_data,
+                           shared_->test_data, shared_->array, shared_->trainer_cfg);
+    EXPECT_THROW((void)legacy.run_fixed(fleet(), 0.1, -0.2, "x"), error);
+    EXPECT_THROW((void)legacy.run_fixed(fleet(), 0.1, 1.2, "x"), error);
+}
+
+TEST_F(FleetExecutorFixture, ChipTunerRecoversFromMidTuneFailure) {
+    // A tuner whose training throws must come back clean: masks cleared,
+    // weights restored, next tune unaffected (the RAII guard contract).
+    chip_tuner tuner(*w().model, w().pretrained, w().train_data, w().test_data, w().array,
+                     w().trainer_cfg);
+    epoch_allocation ok;
+    ok.epochs = 0.2;
+    const chip_outcome before = tuner.tune(fleet()[0], ok, 0.85, 0.1);
+
+    epoch_allocation bad;
+    bad.epochs = -1.0;  // the trainer rejects this AFTER masks were attached
+    EXPECT_THROW((void)tuner.tune(fleet()[0], bad, 0.85, 0.1), error);
+
+    const chip_outcome after = tuner.tune(fleet()[0], ok, 0.85, 0.1);
+    EXPECT_EQ(before.final_accuracy, after.final_accuracy);
+    EXPECT_EQ(before.accuracy_before, after.accuracy_before);
+}
+
+}  // namespace
+}  // namespace reduce

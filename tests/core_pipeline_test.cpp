@@ -1,5 +1,8 @@
-// Tests for the end-to-end pipeline (Steps 2+3 over a fleet) and the
-// mitigation-comparison harness.
+// Tests for the DEPRECATED reduce_pipeline shim (Steps 2+3 over a fleet)
+// and the mitigation-comparison harness. The shim must keep the legacy
+// contract — run_reduce/run_fixed semantics, model restored afterwards —
+// while delegating to the policy/executor API underneath; equivalence with
+// that API is asserted in core_fleet_executor_test.cpp.
 #include <gtest/gtest.h>
 
 #include "core/mitigation.h"
@@ -96,6 +99,10 @@ TEST_F(PipelineFixture, ZeroEpochFixedPolicyIsEvaluationOnly) {
 
 TEST_F(PipelineFixture, ModelRestoredBetweenChips) {
     reduce_pipeline pipeline = make_pipeline();
+    // Simulate a caller that probed the shared model and left a mask behind:
+    // the legacy contract still guarantees an unmasked model afterwards.
+    parameter* first = w().model->parameters()[0];
+    first->mask = tensor(first->value.shape(), 1.0f);
     (void)pipeline.run_fixed(fleet(), 0.2, 0.85, "fixed");
     // After the run the model must hold the pretrained weights, unmasked.
     for (std::size_t i = 0; i < w().pretrained.size(); ++i) {

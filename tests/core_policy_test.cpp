@@ -1,0 +1,201 @@
+// Tests for the pluggable retraining-policy API: the policy implementations
+// (reduce / fixed / oracle / binned) over synthetic resilience tables, the
+// default plan() fan-out, and the string-keyed registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/policy.h"
+#include "util/error.h"
+
+namespace reduce {
+namespace {
+
+/// Table where epochs-to-target(rate) = 10*rate exactly (single repeat,
+/// fine checkpoints) and the budget is 5 epochs. Rates above 0.5 are not in
+/// the grid; the selector clamps.
+resilience_table linear_table() {
+    std::vector<resilience_run> runs;
+    for (const double rate : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+        resilience_run run;
+        run.fault_rate = rate;
+        run.repeat = 0;
+        for (double e = 0.0; e <= 5.0 + 1e-9; e += 0.01) {
+            run.trajectory.push_back({e, e + 1e-12 >= 10.0 * rate ? 0.95 : 0.5});
+        }
+        runs.push_back(std::move(run));
+    }
+    return resilience_table(std::move(runs), 5.0);
+}
+
+/// Views with the given effective rates (no chips/table attached — policies
+/// under test only read the rate).
+std::vector<chip_view> views_for(const std::vector<double>& rates) {
+    std::vector<chip_view> views;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        chip_view view;
+        view.index = i;
+        view.effective_fault_rate = rates[i];
+        views.push_back(view);
+    }
+    return views;
+}
+
+selector_config exact_selector(double target = 0.9) {
+    selector_config cfg;
+    cfg.accuracy_target = target;
+    cfg.rounding_quantum = 0.0;
+    return cfg;
+}
+
+TEST(ReducePolicy, MatchesSelectorLookup) {
+    const resilience_table table = linear_table();
+    const reduce_policy policy(table, exact_selector());
+    EXPECT_EQ(policy.name(), "reduce");
+    EXPECT_DOUBLE_EQ(policy.accuracy_target(), 0.9);
+    EXPECT_EQ(policy.table(), &table);
+
+    chip_view view;
+    view.effective_fault_rate = 0.2;
+    const epoch_allocation alloc = policy.allocate(view);
+    EXPECT_NEAR(alloc.epochs, 2.0, 0.02);
+    EXPECT_FALSE(alloc.selection_failed);
+    EXPECT_FALSE(alloc.train_to_target);
+}
+
+TEST(ReducePolicy, UnreachableTargetFallsBackToFullBudget) {
+    const resilience_table table = linear_table();
+    const reduce_policy policy(table, exact_selector(0.99));  // above every trajectory
+    chip_view view;
+    view.effective_fault_rate = 0.3;
+    const epoch_allocation alloc = policy.allocate(view);
+    EXPECT_DOUBLE_EQ(alloc.epochs, table.max_epochs());
+    EXPECT_TRUE(alloc.selection_failed);
+}
+
+TEST(ReducePolicy, DefaultPlanMapsAllocateOverViews) {
+    const resilience_table table = linear_table();
+    const reduce_policy policy(table, exact_selector());
+    const std::vector<chip_view> fleet = views_for({0.1, 0.2, 0.4});
+    const std::vector<epoch_allocation> plan = policy.plan(fleet);
+    ASSERT_EQ(plan.size(), 3u);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        EXPECT_DOUBLE_EQ(plan[i].epochs, policy.allocate(fleet[i]).epochs);
+    }
+}
+
+TEST(FixedPolicy, AllocatesTheSameAmountEverywhere) {
+    const fixed_policy policy(1.5, 0.9);
+    const std::vector<chip_view> fleet = views_for({0.0, 0.25, 0.5});
+    for (const epoch_allocation& alloc : policy.plan(fleet)) {
+        EXPECT_DOUBLE_EQ(alloc.epochs, 1.5);
+        EXPECT_FALSE(alloc.selection_failed);
+    }
+}
+
+TEST(FixedPolicy, ValidatesEpochsAndTarget) {
+    EXPECT_THROW(fixed_policy(-0.5, 0.9), error);
+    EXPECT_THROW(fixed_policy(1.0, -0.1), error);
+    EXPECT_THROW(fixed_policy(1.0, 1.5), error);
+    EXPECT_NO_THROW(fixed_policy(0.0, 0.0));  // boundary values are valid
+    EXPECT_NO_THROW(fixed_policy(0.0, 1.0));
+}
+
+TEST(OraclePolicy, AllocatesBudgetWithEarlyStopFlag) {
+    const resilience_table table = linear_table();
+    const oracle_policy policy(table, 0.9);
+    chip_view view;
+    view.effective_fault_rate = 0.2;
+    const epoch_allocation alloc = policy.allocate(view);
+    EXPECT_DOUBLE_EQ(alloc.epochs, table.max_epochs());
+    EXPECT_TRUE(alloc.train_to_target);
+    EXPECT_THROW(oracle_policy(table, 1.2), error);
+}
+
+TEST(BinnedPolicy, NeverUnderAllocatesAndRespectsBinCount) {
+    const resilience_table table = linear_table();
+    const selector_config sel = exact_selector();
+    const binned_policy binned(table, sel, 2);
+    const reduce_policy raw(table, sel);
+    const std::vector<chip_view> fleet = views_for({0.05, 0.1, 0.2, 0.35, 0.4, 0.5});
+
+    const std::vector<epoch_allocation> raw_plan = raw.plan(fleet);
+    const std::vector<epoch_allocation> binned_plan = binned.plan(fleet);
+    ASSERT_EQ(binned_plan.size(), raw_plan.size());
+    std::set<double> distinct;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        // Binning rounds UP to the bin allocation — no chip under-trains.
+        EXPECT_GE(binned_plan[i].epochs, raw_plan[i].epochs - 1e-12) << "chip " << i;
+        distinct.insert(binned_plan[i].epochs);
+    }
+    EXPECT_LE(distinct.size(), 2u);
+    EXPECT_THROW(binned_policy(table, sel, 0), error);
+}
+
+TEST(PolicyRegistry, GlobalRegistryHasBuiltins) {
+    const policy_registry& registry = policy_registry::global();
+    for (const char* name : {"reduce", "reduce-mean", "fixed", "oracle", "binned"}) {
+        EXPECT_TRUE(registry.contains(name)) << name;
+        EXPECT_FALSE(registry.describe(name).empty()) << name;
+    }
+    EXPECT_FALSE(registry.contains("no-such-policy"));
+}
+
+TEST(PolicyRegistry, MakesPoliciesByName) {
+    const resilience_table table = linear_table();
+    policy_context ctx;
+    ctx.table = &table;
+    ctx.selector = exact_selector();
+    ctx.fixed_epochs = 0.75;
+    ctx.num_bins = 3;
+
+    const auto reduce = policy_registry::global().make("reduce", ctx);
+    EXPECT_EQ(reduce->name(), "reduce");
+    const auto mean = policy_registry::global().make("reduce-mean", ctx);
+    EXPECT_EQ(mean->name(), "reduce-mean");
+    const auto fixed = policy_registry::global().make("fixed", ctx);
+    chip_view view;
+    EXPECT_DOUBLE_EQ(fixed->allocate(view).epochs, 0.75);
+    const auto oracle = policy_registry::global().make("oracle", ctx);
+    EXPECT_TRUE(oracle->allocate(view).train_to_target);
+    const auto binned = policy_registry::global().make("binned", ctx);
+    EXPECT_EQ(binned->name(), "binned");
+}
+
+TEST(PolicyRegistry, UnknownNameListsKnownPolicies) {
+    try {
+        (void)policy_registry::global().make("bogus", policy_context{});
+        FAIL() << "expected invalid_argument_error";
+    } catch (const invalid_argument_error& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("bogus"), std::string::npos);
+        EXPECT_NE(message.find("reduce"), std::string::npos);
+    }
+}
+
+TEST(PolicyRegistry, TableDrivenPoliciesRequireTable) {
+    policy_context ctx;  // no table
+    ctx.selector = exact_selector();
+    EXPECT_THROW((void)policy_registry::global().make("reduce", ctx), error);
+    EXPECT_THROW((void)policy_registry::global().make("oracle", ctx), error);
+    EXPECT_THROW((void)policy_registry::global().make("binned", ctx), error);
+    EXPECT_NO_THROW((void)policy_registry::global().make("fixed", ctx));
+}
+
+TEST(PolicyRegistry, CustomPoliciesCanBeRegistered) {
+    policy_registry registry;
+    registry.add("always-two", "two epochs, unconditionally",
+                 [](const policy_context& ctx) -> std::unique_ptr<retraining_policy> {
+                     return std::make_unique<fixed_policy>(
+                         2.0, ctx.selector.accuracy_target, "always-two");
+                 });
+    policy_context ctx;
+    ctx.selector.accuracy_target = 0.8;
+    const auto policy = registry.make("always-two", ctx);
+    EXPECT_EQ(policy->name(), "always-two");
+    chip_view view;
+    EXPECT_DOUBLE_EQ(policy->allocate(view).epochs, 2.0);
+}
+
+}  // namespace
+}  // namespace reduce

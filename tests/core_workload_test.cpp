@@ -2,7 +2,8 @@
 // of every bench/example — including the conv path through the pipeline.
 #include <gtest/gtest.h>
 
-#include "core/pipeline.h"
+#include "core/fleet_executor.h"
+#include "core/policy.h"
 #include "core/workload.h"
 #include "fault/mask_builder.h"
 #include "fault/models.h"
@@ -87,13 +88,13 @@ TEST_F(ImageWorkloadFixture, ConvMasksDegradeAndFatRecovers) {
 }
 
 TEST_F(ImageWorkloadFixture, FullPipelineOnConvModel) {
-    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
-                             w().array, w().trainer_cfg);
+    fleet_executor executor(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg);
     resilience_config rc;
     rc.fault_rates = {0.0, 0.2};
     rc.repeats = 2;
     rc.max_epochs = 2.0;
-    const resilience_table table = pipeline.analyze(rc);
+    const resilience_table table = executor.analyze(rc);
 
     fleet_config fc;
     fc.num_chips = 3;
@@ -103,7 +104,8 @@ TEST_F(ImageWorkloadFixture, FullPipelineOnConvModel) {
 
     selector_config sel;
     sel.accuracy_target = 0.8;
-    const policy_outcome outcome = pipeline.run_reduce(fleet, table, sel, "conv-reduce");
+    const policy_outcome outcome =
+        executor.run(reduce_policy(table, sel, "conv-reduce"), fleet);
     ASSERT_EQ(outcome.chips.size(), 3u);
     for (const chip_outcome& c : outcome.chips) {
         EXPECT_GT(c.final_accuracy, 0.0);

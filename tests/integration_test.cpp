@@ -2,8 +2,9 @@
 // comparisons, and the paper's qualitative claims at reduced scale.
 #include <gtest/gtest.h>
 
+#include "core/fleet_executor.h"
 #include "core/mitigation.h"
-#include "core/pipeline.h"
+#include "core/policy.h"
 #include "core/workload.h"
 #include "fault/serialization.h"
 #include "util/log.h"
@@ -40,13 +41,13 @@ TEST_F(IntegrationFixture, CleanAccuracyIsHighEnoughForTargets) {
 }
 
 TEST_F(IntegrationFixture, AccuracyDegradesMonotonicallyWithFaultRateBeforeRetraining) {
-    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
-                             w().array, w().trainer_cfg);
+    fleet_executor executor(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg);
     resilience_config rc;
     rc.fault_rates = {0.0, 0.2, 0.5};
     rc.repeats = 3;
     rc.max_epochs = 0.1;  // we only need the epoch-0 points here
-    const resilience_table table = pipeline.analyze(rc);
+    const resilience_table table = executor.analyze(rc);
     const double acc0 = table.accuracy_at(0.0, 0.0, statistic::mean);
     const double acc2 = table.accuracy_at(0.2, 0.0, statistic::mean);
     const double acc5 = table.accuracy_at(0.5, 0.0, statistic::mean);
@@ -55,26 +56,26 @@ TEST_F(IntegrationFixture, AccuracyDegradesMonotonicallyWithFaultRateBeforeRetra
 }
 
 TEST_F(IntegrationFixture, RetrainingRecoversAccuracy) {
-    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
-                             w().array, w().trainer_cfg);
+    fleet_executor executor(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg);
     resilience_config rc;
     rc.fault_rates = {0.3};
     rc.repeats = 2;
     rc.max_epochs = 3.0;
-    const resilience_table table = pipeline.analyze(rc);
+    const resilience_table table = executor.analyze(rc);
     const double before = table.accuracy_at(0.3, 0.0, statistic::mean);
     const double after = table.accuracy_at(0.3, 3.0, statistic::mean);
     EXPECT_GT(after, before + 0.03) << "FAT must recover a damaged model";
 }
 
 TEST_F(IntegrationFixture, EndToEndReduceMeetsConstraintWithBoundedCost) {
-    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
-                             w().array, w().trainer_cfg);
+    fleet_executor executor(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg);
     resilience_config rc;
     rc.fault_rates = {0.0, 0.1, 0.2, 0.3};
     rc.repeats = 3;
     rc.max_epochs = 4.0;
-    const resilience_table table = pipeline.analyze(rc);
+    const resilience_table table = executor.analyze(rc);
 
     fleet_config fc;
     fc.num_chips = 6;
@@ -87,7 +88,8 @@ TEST_F(IntegrationFixture, EndToEndReduceMeetsConstraintWithBoundedCost) {
     selector_config sel;
     sel.accuracy_target = constraint;
     sel.stat = statistic::max;
-    const policy_outcome reduce_max = pipeline.run_reduce(fleet, table, sel, "reduce-max");
+    const policy_outcome reduce_max =
+        executor.run(reduce_policy(table, sel, "reduce-max"), fleet);
 
     // The paper's claim: most chips meet the constraint, and the average
     // retraining cost stays well below the full budget.
@@ -99,13 +101,13 @@ TEST_F(IntegrationFixture, ReduceParetoDominatesSomeFixedPolicy) {
     // Reproduces Fig. 3f's qualitative claim at small scale: against a
     // fixed policy with a similar epoch budget, Reduce-max achieves at
     // least the same constraint-hit fraction.
-    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
-                             w().array, w().trainer_cfg);
+    fleet_executor executor(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg);
     resilience_config rc;
     rc.fault_rates = {0.0, 0.1, 0.2, 0.3};
     rc.repeats = 3;
     rc.max_epochs = 4.0;
-    const resilience_table table = pipeline.analyze(rc);
+    const resilience_table table = executor.analyze(rc);
 
     fleet_config fc;
     fc.num_chips = 6;
@@ -117,21 +119,22 @@ TEST_F(IntegrationFixture, ReduceParetoDominatesSomeFixedPolicy) {
     const double constraint = 0.9;
     selector_config sel;
     sel.accuracy_target = constraint;
-    const policy_outcome reduce_max = pipeline.run_reduce(fleet, table, sel, "reduce-max");
+    const policy_outcome reduce_max =
+        executor.run(reduce_policy(table, sel, "reduce-max"), fleet);
     // Fixed policy spending half of Reduce's mean epochs on every chip.
-    const policy_outcome fixed_small =
-        pipeline.run_fixed(fleet, reduce_max.mean_epochs() * 0.5, constraint, "fixed-small");
+    const policy_outcome fixed_small = executor.run(
+        fixed_policy(reduce_max.mean_epochs() * 0.5, constraint), fleet, "fixed-small");
     EXPECT_GE(reduce_max.fraction_meeting(), fixed_small.fraction_meeting());
 }
 
 TEST_F(IntegrationFixture, ReduceMaxIsAtLeastAsRobustAsReduceMean) {
-    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
-                             w().array, w().trainer_cfg);
+    fleet_executor executor(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg);
     resilience_config rc;
     rc.fault_rates = {0.0, 0.15, 0.3};
     rc.repeats = 3;
     rc.max_epochs = 4.0;
-    const resilience_table table = pipeline.analyze(rc);
+    const resilience_table table = executor.analyze(rc);
 
     fleet_config fc;
     fc.num_chips = 6;
@@ -143,9 +146,11 @@ TEST_F(IntegrationFixture, ReduceMaxIsAtLeastAsRobustAsReduceMean) {
     selector_config sel;
     sel.accuracy_target = 0.9;
     sel.stat = statistic::max;
-    const policy_outcome with_max = pipeline.run_reduce(fleet, table, sel, "reduce-max");
+    const policy_outcome with_max =
+        executor.run(reduce_policy(table, sel, "reduce-max"), fleet);
     sel.stat = statistic::mean;
-    const policy_outcome with_mean = pipeline.run_reduce(fleet, table, sel, "reduce-mean");
+    const policy_outcome with_mean =
+        executor.run(reduce_policy(table, sel, "reduce-mean"), fleet);
 
     EXPECT_GE(with_max.fraction_meeting(), with_mean.fraction_meeting());
     EXPECT_GE(with_max.mean_epochs(), with_mean.mean_epochs() - 1e-9);
@@ -161,10 +166,10 @@ TEST_F(IntegrationFixture, FleetRoundTripsThroughJsonIntoPipeline) {
     save_fleet(path, fleet);
     const std::vector<chip> loaded = load_fleet(path);
 
-    reduce_pipeline pipeline(*w().model, w().pretrained, w().train_data, w().test_data,
-                             w().array, w().trainer_cfg);
-    const policy_outcome a = pipeline.run_fixed(fleet, 0.1, 0.9, "orig");
-    const policy_outcome b = pipeline.run_fixed(loaded, 0.1, 0.9, "loaded");
+    fleet_executor executor(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg);
+    const policy_outcome a = executor.run(fixed_policy(0.1, 0.9), fleet, "orig");
+    const policy_outcome b = executor.run(fixed_policy(0.1, 0.9), loaded, "loaded");
     ASSERT_EQ(a.chips.size(), b.chips.size());
     for (std::size_t i = 0; i < a.chips.size(); ++i) {
         EXPECT_DOUBLE_EQ(a.chips[i].final_accuracy, b.chips[i].final_accuracy);

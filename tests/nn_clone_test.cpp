@@ -1,0 +1,124 @@
+// Tests for module::clone / clone_model: deep-copy semantics across all
+// layer kinds, mask propagation, stochastic-stream copying, and isolation
+// (mutating one copy never touches the other) — the property the parallel
+// fleet executor's per-worker replicas rest on.
+#include <gtest/gtest.h>
+
+#include "nn/models.h"
+#include "nn/norm.h"
+#include "nn/serialize.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+tensor random_batch(std::size_t n, std::size_t features, std::uint64_t seed) {
+    tensor batch({n, features});
+    rng gen(seed);
+    for (float& v : batch.data()) { v = static_cast<float>(gen.normal()); }
+    return batch;
+}
+
+TEST(Clone, MlpCloneComputesIdenticalOutputs) {
+    rng gen(7);
+    const std::unique_ptr<sequential> model = make_mlp({8, 16, 4}, gen);
+    const std::unique_ptr<sequential> copy = clone_model(*model);
+    ASSERT_EQ(copy->size(), model->size());
+    ASSERT_EQ(copy->parameters().size(), model->parameters().size());
+
+    const tensor batch = random_batch(5, 8, 11);
+    const tensor original_out = model->forward(batch);
+    const tensor clone_out = copy->forward(batch);
+    EXPECT_TRUE(original_out == clone_out);
+}
+
+TEST(Clone, CloneIsIsolatedFromTheOriginal) {
+    rng gen(7);
+    const std::unique_ptr<sequential> model = make_mlp({8, 16, 4}, gen);
+    const std::unique_ptr<sequential> copy = clone_model(*model);
+    const model_snapshot before = snapshot_parameters(copy->parameters());
+
+    // Scribble over the original's weights; the clone must not move.
+    for (parameter* p : model->parameters()) {
+        for (float& v : p->value.data()) { v += 1.0f; }
+    }
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        EXPECT_TRUE(copy->parameters()[i]->value == before.values[i]) << "param " << i;
+        EXPECT_FALSE(copy->parameters()[i]->value == model->parameters()[i]->value);
+    }
+}
+
+TEST(Clone, MasksAreCopied) {
+    rng gen(3);
+    const std::unique_ptr<sequential> model = make_mlp({6, 6, 3}, gen);
+    parameter* first = model->parameters()[0];
+    first->mask = tensor(first->value.shape(), 1.0f);
+    first->mask.data()[0] = 0.0f;
+    first->apply_mask();
+
+    const std::unique_ptr<sequential> copy = clone_model(*model);
+    parameter* cloned = copy->parameters()[0];
+    ASSERT_TRUE(cloned->has_mask());
+    EXPECT_TRUE(cloned->mask == first->mask);
+    // And the mask objects are independent buffers.
+    first->clear_mask();
+    EXPECT_TRUE(cloned->has_mask());
+}
+
+TEST(Clone, TinyCnnCloneComputesIdenticalOutputs) {
+    rng gen(13);
+    const image_shape shape{1, 8, 8};
+    const std::unique_ptr<sequential> model = make_tiny_cnn(shape, 3, gen);
+    const std::unique_ptr<sequential> copy = clone_model(*model);
+
+    tensor batch({2, 1, 8, 8});
+    rng data_gen(5);
+    for (float& v : batch.data()) { v = static_cast<float>(data_gen.normal()); }
+    EXPECT_TRUE(model->forward(batch) == copy->forward(batch));
+}
+
+TEST(Clone, DropoutCloneContinuesTheSameStream) {
+    // Two clones taken at the same point must produce the same dropout masks
+    // from there on (the RNG state is part of the copied state).
+    sequential model;
+    model.emplace<dropout>(0.5, 42);
+    model.set_training(true);
+    const tensor batch = random_batch(4, 10, 1);
+    (void)model.forward(batch);  // advance the stream past the first mask
+
+    const std::unique_ptr<sequential> a = clone_model(model);
+    const std::unique_ptr<sequential> b = clone_model(model);
+    EXPECT_TRUE(a->forward(batch) == b->forward(batch));
+}
+
+TEST(Clone, BatchNormCloneCopiesRunningStatistics) {
+    sequential model;
+    auto& bn = model.emplace<batch_norm1d>(4);
+    model.set_training(true);
+    (void)model.forward(random_batch(16, 4, 9));  // move the running stats
+
+    const std::unique_ptr<sequential> copy = clone_model(model);
+    auto& cloned_bn = dynamic_cast<batch_norm1d&>(copy->layer(0));
+    EXPECT_TRUE(cloned_bn.running_mean() == bn.running_mean());
+    EXPECT_TRUE(cloned_bn.running_var() == bn.running_var());
+
+    // Eval-mode outputs depend only on running stats + affine params — the
+    // clone must match the original exactly.
+    model.set_training(false);
+    copy->set_training(false);
+    const tensor batch = random_batch(3, 4, 21);
+    EXPECT_TRUE(model.forward(batch) == copy->forward(batch));
+}
+
+TEST(Clone, TrainingModeIsPreserved) {
+    rng gen(1);
+    const std::unique_ptr<sequential> model = make_mlp({4, 4, 2}, gen);
+    model->set_training(false);
+    const std::unique_ptr<sequential> copy = clone_model(*model);
+    EXPECT_FALSE(copy->is_training());
+    EXPECT_FALSE(copy->layer(0).is_training());
+}
+
+}  // namespace
+}  // namespace reduce

@@ -99,6 +99,26 @@ TEST(Cli, DoubleListRejectsBadElement) {
     EXPECT_THROW(args.get_double_list("rates", {}), error);
 }
 
+TEST(Cli, StringList) {
+    const cli_args args = parse({"--policy", "reduce,fixed,oracle"});
+    const std::vector<std::string> names = args.get_string_list("policy", {});
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "reduce");
+    EXPECT_EQ(names[2], "oracle");
+}
+
+TEST(Cli, StringListFallback) {
+    const cli_args args = parse({});
+    const std::vector<std::string> names = args.get_string_list("policy", {"reduce"});
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "reduce");
+}
+
+TEST(Cli, StringListRejectsEmptyElement) {
+    const cli_args args = parse({"--policy", "reduce,,fixed"});
+    EXPECT_THROW(args.get_string_list("policy", {}), error);
+}
+
 TEST(Cli, NegativeNumberAsValue) {
     // A negative value is not an option token (it starts with '-', not '--').
     const cli_args args = parse({"--offset", "-3"});
