@@ -12,6 +12,10 @@
 //   --repeats N           fault maps per rate    (default 3)
 //   --paper-scale         5 repeats
 //   --seed S              experiment seed
+//   --sweep-threads N     sweep worker threads   (default 1; 0 = all cores)
+//   --shard I/N           run shard I of N cells (CSV covers the shard only)
+//   --cache-dir P         reuse/store the Step-1 table under P
+//   --save-table P        dump the (shard) resilience table JSON to P
 
 #include <iostream>
 
@@ -36,24 +40,47 @@ int main(int argc, char** argv) {
         std::size_t repeats = static_cast<std::size_t>(args.get_int("repeats", 3));
         if (args.get_flag("paper-scale")) { repeats = 5; }
         const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20230221));
-
-        workload w = make_standard_workload();
-        std::cerr << "[fig2a] workload ready: clean accuracy " << w.clean_accuracy * 100.0
-                  << "%\n";
+        sweep_options sweep;
+        sweep.threads = static_cast<std::size_t>(args.get_int("sweep-threads", 1));
+        const shard_spec shard = args.get_shard("shard");
+        sweep.shard_index = shard.index;
+        sweep.shard_count = shard.count;
 
         double budget = 0.0;
         for (const double level : levels) { budget = std::max(budget, level); }
         if (budget == 0.0) { budget = 1.0; }
 
-        resilience_analyzer analyzer(*w.model, w.pretrained, w.train_data, w.test_data,
-                                     w.array, w.trainer_cfg);
         resilience_config cfg;
         cfg.fault_rates = rates;
         cfg.repeats = repeats;
         cfg.max_epochs = budget;
         cfg.eval_grid = levels;  // evaluate exactly at the series levels
         cfg.seed = seed;
-        const resilience_table table = analyzer.analyze(cfg);
+        cfg.context = workload_context();
+
+        const resilience_table table = [&]() -> resilience_table {
+            // A warm cache answers before the workload is even built — no
+            // dataset synthesis, no pretraining.
+            if (args.has("cache-dir")) {
+                const resilience_cache cache(args.get("cache-dir", ""));
+                if (std::optional<resilience_table> cached = cache.load(cfg, sweep)) {
+                    std::cerr << "[fig2a] Step-1 cache hit: "
+                              << cache.path_for(cfg, sweep) << '\n';
+                    return std::move(*cached);
+                }
+            }
+            workload w = make_standard_workload();
+            std::cerr << "[fig2a] workload ready: clean accuracy "
+                      << w.clean_accuracy * 100.0 << "%\n";
+            resilience_analyzer analyzer(*w.model, w.pretrained, w.train_data, w.test_data,
+                                         w.array, w.trainer_cfg);
+            return run_resilience_sweep(analyzer, cfg, sweep, args.get("cache-dir", ""));
+        }();
+        if (args.has("save-table")) {
+            json_save_file(args.get("save-table", ""), table.to_json());
+            std::cerr << "[fig2a] resilience table saved to " << args.get("save-table", "")
+                      << '\n';
+        }
 
         std::vector<std::string> columns = {"fault_rate"};
         for (const double level : levels) {
@@ -62,7 +89,17 @@ int main(int argc, char** argv) {
         }
         csv_table out(columns);
         out.set_precision(4);
-        for (const double rate : rates) {
+        // A shard covers only its subset of the grid, so iterate what the
+        // table actually holds rather than the requested rates — and say so
+        // in the output: a rate can be present with fewer repeats than the
+        // full sweep, making its statistics a shard-local preview.
+        if (table.grid_cells() != 0 && table.runs().size() < table.grid_cells()) {
+            std::cout << "# WARNING: partial shard table (" << table.runs().size() << " of "
+                      << table.grid_cells()
+                      << " cells); statistics preview this shard's repeats only — merge "
+                         "all shards for the real figure\n";
+        }
+        for (const double rate : table.fault_rates()) {
             std::vector<csv_cell> row = {rate};
             for (const double level : levels) {
                 row.push_back(table.accuracy_at(rate, level, statistic::mean) * 100.0);

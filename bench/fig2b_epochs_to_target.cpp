@@ -4,6 +4,11 @@
 // The paper repeats each point five times and reports min/max error bars;
 // the spread is the argument for selecting by MAX (mean under-trains).
 //
+// The sweep behind this figure is Step 1 of Reduce — the expensive stage —
+// so this harness exposes the full sweep engine: parallel workers, shard
+// selection for multi-machine runs, the fingerprint-keyed cache, and a
+// merge mode that fuses shard tables back into the single-shot result.
+//
 // Output: CSV on stdout
 //   (fault_rate, target_acc, min_epochs, mean_epochs, max_epochs, censored).
 // Options:
@@ -12,7 +17,12 @@
 //   --repeats N      fault maps per rate      (default 5, as the paper)
 //   --budget E       epoch budget             (default 6)
 //   --paper-scale    finer rate grid (0:0.05:0.5), budget 10
-//   --save-table P   also dump the resilience table JSON to path P
+//   --sweep-threads N  sweep worker threads   (default 1; 0 = all cores)
+//   --shard I/N      run shard I of N cells   (CSV covers the shard only)
+//   --cache-dir P    reuse/store the Step-1 table under P
+//   --save-table P   dump the resilience table JSON to path P
+//   --load-tables a,b,...  skip the sweep: merge shard tables from JSON
+//                    files (must share config) and report from the result
 
 #include <iostream>
 
@@ -41,20 +51,53 @@ int main(int argc, char** argv) {
             budget = 10.0;
         }
         const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20230305));
+        sweep_options sweep;
+        sweep.threads = static_cast<std::size_t>(args.get_int("sweep-threads", 1));
+        const shard_spec shard = args.get_shard("shard");
+        sweep.shard_index = shard.index;
+        sweep.shard_count = shard.count;
 
-        workload w = make_standard_workload();
-        std::cerr << "[fig2b] workload ready: clean accuracy " << w.clean_accuracy * 100.0
-                  << "%\n";
+        const auto build_table = [&]() -> resilience_table {
+            if (args.has("load-tables")) {
+                // Merge mode: fuse shard artifacts without touching the
+                // workload — the whole point of sharding across machines.
+                std::vector<resilience_table> shards;
+                for (const std::string& path : args.get_string_list("load-tables", {})) {
+                    shards.push_back(resilience_table::from_json(json_load_file(path)));
+                    std::cerr << "[fig2b] loaded shard table " << path << " ("
+                              << shards.back().runs().size() << " runs)\n";
+                }
+                return resilience_table::merge(shards);
+            }
 
-        resilience_analyzer analyzer(*w.model, w.pretrained, w.train_data, w.test_data,
-                                     w.array, w.trainer_cfg);
-        resilience_config cfg;
-        cfg.fault_rates = rates;
-        cfg.repeats = repeats;
-        cfg.max_epochs = budget;
-        cfg.eval_grid = make_eval_grid(budget, 1.0, 0.05, 0.25);
-        cfg.seed = seed;
-        const resilience_table table = analyzer.analyze(cfg);
+            resilience_config cfg;
+            cfg.fault_rates = rates;
+            cfg.repeats = repeats;
+            cfg.max_epochs = budget;
+            cfg.eval_grid = make_eval_grid(budget, 1.0, 0.05, 0.25);
+            cfg.seed = seed;
+            cfg.context = workload_context();
+
+            // A warm cache answers before the workload is even built — no
+            // dataset synthesis, no pretraining.
+            if (args.has("cache-dir")) {
+                const resilience_cache cache(args.get("cache-dir", ""));
+                if (std::optional<resilience_table> cached = cache.load(cfg, sweep)) {
+                    std::cerr << "[fig2b] Step-1 cache hit: "
+                              << cache.path_for(cfg, sweep) << '\n';
+                    return std::move(*cached);
+                }
+            }
+
+            workload w = make_standard_workload();
+            std::cerr << "[fig2b] workload ready: clean accuracy "
+                      << w.clean_accuracy * 100.0 << "%\n";
+
+            resilience_analyzer analyzer(*w.model, w.pretrained, w.train_data, w.test_data,
+                                         w.array, w.trainer_cfg);
+            return run_resilience_sweep(analyzer, cfg, sweep, args.get("cache-dir", ""));
+        };
+        const resilience_table table = build_table();
 
         if (args.has("save-table")) {
             json_save_file(args.get("save-table", ""), table.to_json());
@@ -65,7 +108,17 @@ int main(int argc, char** argv) {
         csv_table out({"fault_rate", "target_accuracy", "min_epochs", "mean_epochs",
                        "max_epochs", "censored_runs"});
         out.set_precision(4);
-        for (const double rate : rates) {
+        // A shard covers only its subset of the grid, so iterate what the
+        // table actually holds rather than the requested rates — and say so
+        // in the output: a rate can be present with fewer repeats than the
+        // full sweep, making its statistics a shard-local preview.
+        if (table.grid_cells() != 0 && table.runs().size() < table.grid_cells()) {
+            std::cout << "# WARNING: partial shard table (" << table.runs().size() << " of "
+                      << table.grid_cells()
+                      << " cells); statistics preview this shard's repeats only — merge "
+                         "all shards for the real figure\n";
+        }
+        for (const double rate : table.fault_rates()) {
             for (const double target_pct : targets) {
                 const auto sample = table.epochs_to_target_at(rate, target_pct / 100.0);
                 const summary_stats stats = sample.stats();
@@ -74,8 +127,9 @@ int main(int argc, char** argv) {
             }
         }
         std::cout << "# Fig 2b: epochs of FAT needed to reach each accuracy target\n"
-                  << "# (min/mean/max over " << repeats
-                  << " fault maps; censored runs pinned at budget " << budget << ")\n";
+                  << "# (min/mean/max over repeated fault maps; censored runs pinned at "
+                     "budget "
+                  << table.max_epochs() << ")\n";
         out.write(std::cout);
         std::cerr << "[fig2b] done in " << timer.seconds() << " s\n";
         return 0;

@@ -19,6 +19,8 @@
 //   --policy a,b,c   registry names to run    (default reduce,reduce-mean,fixed;
 //                    "fixed" expands to one run per --fixed level)
 //   --threads N      executor worker threads  (default 1; 0 = all cores)
+//   --sweep-threads N  Step-1 sweep threads   (default: --threads)
+//   --cache-dir P    reuse/store the Step-1 table under P
 //   --chips N        fleet size               (default 100, as the paper)
 //   --constraint A   accuracy constraint in % (default 91)
 //   --fixed a,b,c    fixed policies (epochs)  (default 0.25,0.5,1.0)
@@ -102,13 +104,21 @@ int main(int argc, char** argv) {
         fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
                                 w.trainer_cfg, fleet_executor_config{.threads = threads});
 
-        // Step 1 (shared by every table-driven policy).
+        // Step 1 (shared by every table-driven policy) — parallel, and
+        // reusable across invocations via the fingerprint-keyed cache.
         resilience_config rc;
         rc.fault_rates = {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3};
         rc.repeats = repeats;
         rc.max_epochs = budget;
         rc.seed = seed;
-        const resilience_table table = executor.analyze(rc);
+        rc.context = w.context;
+        sweep_options sweep;
+        sweep.threads =
+            static_cast<std::size_t>(args.get_int("sweep-threads", args.get_int("threads", 1)));
+        resilience_analyzer analyzer(*w.model, w.pretrained, w.train_data, w.test_data,
+                                     w.array, w.trainer_cfg);
+        const resilience_table table =
+            run_resilience_sweep(analyzer, rc, sweep, args.get("cache-dir", ""));
         std::cerr << "[fig3] resilience analysis done (" << timer.seconds() << " s)\n";
 
         // The fleet of faulty chips.

@@ -104,9 +104,16 @@ fleet_executor::fleet_executor(sequential& model, const model_snapshot& pretrain
       cfg_(cfg) {}
 
 resilience_table fleet_executor::analyze(const resilience_config& cfg) {
+    sweep_options opts;
+    opts.threads = cfg_.threads;
+    return analyze(cfg, opts);
+}
+
+resilience_table fleet_executor::analyze(const resilience_config& cfg,
+                                         const sweep_options& opts) {
     resilience_analyzer analyzer(model_, pretrained_, train_data_, test_data_, array_,
                                  trainer_cfg_);
-    return analyzer.analyze(cfg);
+    return analyzer.analyze(cfg, opts);
 }
 
 policy_outcome fleet_executor::run(const retraining_policy& policy,
@@ -199,13 +206,7 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
     };
 
     const std::size_t workers = resolve_thread_count(cfg_.threads, fleet.size());
-    if (workers <= 1) {
-        worker();
-    } else {
-        thread_pool pool(workers);
-        for (std::size_t i = 0; i < workers; ++i) { pool.submit(worker); }
-        pool.wait();
-    }
+    run_workers(workers, worker);
     return outcome;
 }
 

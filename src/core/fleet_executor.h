@@ -126,8 +126,13 @@ public:
                    const array_config& array, fat_config trainer_cfg,
                    fleet_executor_config cfg = {});
 
-    /// Step 1 convenience wrapper (serial; see ROADMAP for sharded sweeps).
+    /// Step 1 convenience wrapper: runs the sweep on the executor's thread
+    /// budget (cfg_.threads). Results are bit-identical at any thread count.
     resilience_table analyze(const resilience_config& cfg);
+
+    /// Step 1 with explicit execution knobs (thread count, shard split) —
+    /// see resilience_analyzer::analyze for the determinism contract.
+    resilience_table analyze(const resilience_config& cfg, const sweep_options& opts);
 
     /// Steps 2+3: allocates epochs via the policy, tunes every chip, and
     /// aggregates. `run_name` overrides the reported policy name (empty →

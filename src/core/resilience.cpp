@@ -1,28 +1,86 @@
 #include "core/resilience.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
 
 #include "fault/mask_builder.h"
+#include "nn/module.h"
 #include "util/error.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace reduce {
 
-resilience_table::resilience_table(std::vector<resilience_run> runs, double max_epochs)
-    : runs_(std::move(runs)), max_epochs_(max_epochs) {
+resilience_table::resilience_table(std::vector<resilience_run> runs, double max_epochs,
+                                   std::string fingerprint, std::size_t grid_cells)
+    : runs_(std::move(runs)),
+      max_epochs_(max_epochs),
+      fingerprint_(std::move(fingerprint)),
+      grid_cells_(grid_cells) {
     REDUCE_CHECK(!runs_.empty(), "resilience table needs at least one run");
     REDUCE_CHECK(max_epochs_ > 0.0, "max_epochs must be positive");
     for (const resilience_run& run : runs_) {
         REDUCE_CHECK(!run.trajectory.empty() && run.trajectory.front().epochs == 0.0,
                      "every run needs a trajectory starting at epoch 0");
-        rates_.push_back(run.fault_rate);
     }
-    std::sort(rates_.begin(), rates_.end());
+    // Canonical order: ascending (fault_rate, repeat). Tables built from any
+    // shard split, merge order, or thread count serialize byte-identically.
+    std::stable_sort(runs_.begin(), runs_.end(),
+                     [](const resilience_run& a, const resilience_run& b) {
+                         if (a.fault_rate != b.fault_rate) { return a.fault_rate < b.fault_rate; }
+                         return a.repeat < b.repeat;
+                     });
+    for (const resilience_run& run : runs_) { rates_.push_back(run.fault_rate); }
     rates_.erase(std::unique(rates_.begin(), rates_.end(),
                              [](double a, double b) { return std::abs(a - b) < 1e-12; }),
                  rates_.end());
+}
+
+resilience_table::resilience_table(const resilience_table& other)
+    : runs_(other.runs_),
+      rates_(other.rates_),
+      max_epochs_(other.max_epochs_),
+      fingerprint_(other.fingerprint_),
+      grid_cells_(other.grid_cells_),
+      clamp_warned_(false) {}
+
+resilience_table& resilience_table::operator=(const resilience_table& other) {
+    if (this != &other) {
+        runs_ = other.runs_;
+        rates_ = other.rates_;
+        max_epochs_ = other.max_epochs_;
+        fingerprint_ = other.fingerprint_;
+        grid_cells_ = other.grid_cells_;
+        clamp_warned_.store(false);
+    }
+    return *this;
+}
+
+resilience_table::resilience_table(resilience_table&& other) noexcept
+    : runs_(std::move(other.runs_)),
+      rates_(std::move(other.rates_)),
+      max_epochs_(other.max_epochs_),
+      fingerprint_(std::move(other.fingerprint_)),
+      grid_cells_(other.grid_cells_),
+      clamp_warned_(false) {}
+
+resilience_table& resilience_table::operator=(resilience_table&& other) noexcept {
+    if (this != &other) {
+        runs_ = std::move(other.runs_);
+        rates_ = std::move(other.rates_);
+        max_epochs_ = other.max_epochs_;
+        fingerprint_ = std::move(other.fingerprint_);
+        grid_cells_ = other.grid_cells_;
+        clamp_warned_.store(false);
+    }
+    return *this;
 }
 
 namespace {
@@ -80,6 +138,13 @@ std::optional<double> resilience_table::epochs_for(double fault_rate, double tar
     // Clamp outside the grid; interpolate between bracketing grid points.
     const double lo_rate = rates_.front();
     const double hi_rate = rates_.back();
+    if ((fault_rate < lo_rate - 1e-12 || fault_rate > hi_rate + 1e-12) &&
+        !clamp_warned_.exchange(true)) {
+        LOG_WARN << "resilience_table::epochs_for: fault rate " << fault_rate
+                 << " outside the characterized grid [" << lo_rate << ", " << hi_rate
+                 << "]; clamping to the nearest grid end (extrapolated answer; "
+                    "warning once per table)";
+    }
     const double r = std::clamp(fault_rate, lo_rate, hi_rate);
 
     const auto value_at = [&](double grid_rate) -> std::optional<double> {
@@ -104,15 +169,66 @@ std::optional<double> resilience_table::epochs_for(double fault_rate, double tar
     return *v0 + t * (*v1 - *v0);
 }
 
+resilience_table resilience_table::merge(const std::vector<resilience_table>& shards) {
+    REDUCE_CHECK(!shards.empty(), "resilience_table::merge needs at least one shard");
+    const double max_epochs = shards.front().max_epochs_;
+    const std::string& fingerprint = shards.front().fingerprint_;
+    const std::size_t grid_cells = shards.front().grid_cells_;
+    if (shards.size() > 1 && fingerprint.empty()) {
+        LOG_WARN << "resilience_table::merge: tables carry no config fingerprint "
+                    "(hand-built or pre-fingerprint artifacts); cannot verify they "
+                    "come from the same sweep";
+    }
+    std::vector<resilience_run> runs;
+    for (const resilience_table& shard : shards) {
+        REDUCE_CHECK(shard.max_epochs_ == max_epochs,
+                     "shard tables disagree on max_epochs: " << shard.max_epochs_
+                                                             << " vs " << max_epochs);
+        REDUCE_CHECK(shard.fingerprint_ == fingerprint,
+                     "shard tables come from different sweep configs (fingerprint '"
+                         << shard.fingerprint_ << "' vs '" << fingerprint << "')");
+        REDUCE_CHECK(shard.grid_cells_ == grid_cells,
+                     "shard tables disagree on the sweep grid size: "
+                         << shard.grid_cells_ << " vs " << grid_cells << " cells");
+        runs.insert(runs.end(), shard.runs_.begin(), shard.runs_.end());
+    }
+    // Disjoint is not enough: shards from mismatched I/N splits can be
+    // disjoint yet leave holes. A known grid size pins completeness.
+    REDUCE_CHECK(grid_cells == 0 || runs.size() == grid_cells,
+                 "merged shards cover " << runs.size() << " of " << grid_cells
+                                        << " sweep cells — missing shards or mismatched "
+                                           "shard splits");
+    std::vector<std::pair<double, std::size_t>> cells;
+    cells.reserve(runs.size());
+    for (const resilience_run& run : runs) { cells.emplace_back(run.fault_rate, run.repeat); }
+    std::sort(cells.begin(), cells.end());
+    const auto duplicate = std::adjacent_find(
+        cells.begin(), cells.end(), [](const auto& a, const auto& b) {
+            return same_rate(a.first, b.first) && a.second == b.second;
+        });
+    if (duplicate != cells.end()) {
+        REDUCE_CHECK(false, "shard tables overlap: cell (rate=" << duplicate->first
+                                                                << ", repeat="
+                                                                << duplicate->second
+                                                                << ") appears in more than "
+                                                                   "one shard");
+    }
+    return resilience_table(std::move(runs), max_epochs, fingerprint, grid_cells);
+}
+
 json_value resilience_table::to_json() const {
     json_object root;
     root.set("max_epochs", json_value(max_epochs_));
+    if (!fingerprint_.empty()) { root.set("fingerprint", json_value(fingerprint_)); }
+    if (grid_cells_ != 0) { root.set("grid_cells", json_value(grid_cells_)); }
     json_array runs;
     for (const resilience_run& run : runs_) {
         json_object entry;
         entry.set("fault_rate", json_value(run.fault_rate));
         entry.set("repeat", json_value(run.repeat));
-        entry.set("map_seed", json_value(static_cast<double>(run.map_seed)));
+        // Decimal string: 64-bit seeds are not exactly representable as
+        // JSON numbers (doubles), and seeds must survive shard round-trips.
+        entry.set("map_seed", json_value(std::to_string(run.map_seed)));
         entry.set("masked_weight_fraction", json_value(run.masked_weight_fraction));
         json_array traj;
         for (const training_point& p : run.trajectory) {
@@ -136,7 +252,21 @@ resilience_table resilience_table::from_json(const json_value& value) {
         resilience_run run;
         run.fault_rate = obj.at("fault_rate").as_number();
         run.repeat = static_cast<std::size_t>(obj.at("repeat").as_int());
-        run.map_seed = static_cast<std::uint64_t>(obj.at("map_seed").as_number());
+        const json_value& seed = obj.at("map_seed");
+        if (seed.is_string()) {
+            const std::string& text = seed.as_string();
+            // Digits only: strtoull would silently wrap "-1" to 2^64-1.
+            REDUCE_CHECK(!text.empty() &&
+                             text.find_first_not_of("0123456789") == std::string::npos,
+                         "malformed map_seed '" << text << "' in resilience table JSON");
+            errno = 0;
+            run.map_seed = std::strtoull(text.c_str(), nullptr, 10);
+            REDUCE_CHECK(errno != ERANGE, "map_seed '" << text
+                                                       << "' overflows 64 bits in "
+                                                          "resilience table JSON");
+        } else {
+            run.map_seed = static_cast<std::uint64_t>(seed.as_number());
+        }
         run.masked_weight_fraction = obj.at("masked_weight_fraction").as_number();
         for (const json_value& p : obj.at("trajectory").as_array()) {
             const json_object& point = p.as_object();
@@ -145,10 +275,151 @@ resilience_table resilience_table::from_json(const json_value& value) {
         }
         runs.push_back(std::move(run));
     }
-    return resilience_table(std::move(runs), root.at("max_epochs").as_number());
+    const std::string fingerprint =
+        root.contains("fingerprint") ? root.at("fingerprint").as_string() : "";
+    const std::size_t grid_cells =
+        root.contains("grid_cells")
+            ? static_cast<std::size_t>(root.at("grid_cells").as_int())
+            : 0;
+    return resilience_table(std::move(runs), root.at("max_epochs").as_number(), fingerprint,
+                            grid_cells);
 }
 
-resilience_analyzer::resilience_analyzer(sequential& model, const model_snapshot& pretrained,
+namespace {
+
+std::vector<double> resolved_eval_grid(const resilience_config& cfg) {
+    return cfg.eval_grid.empty() ? make_eval_grid(cfg.max_epochs, 1.0, 0.05, 0.5)
+                                 : cfg.eval_grid;
+}
+
+void append_exact(std::string& out, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+    out += ',';
+}
+
+std::uint64_t fnv1a(const std::string& text, std::uint64_t hash) {
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+}  // namespace
+
+std::string resilience_fingerprint(const resilience_config& cfg) {
+    std::string canon = "reduce-step1-v1|ctx=" + cfg.context + "|rates=";
+    for (const double rate : cfg.fault_rates) { append_exact(canon, rate); }
+    canon += "|repeats=" + std::to_string(cfg.repeats);
+    canon += "|budget=";
+    append_exact(canon, cfg.max_epochs);
+    canon += "|grid=";
+    for (const double point : resolved_eval_grid(cfg)) { append_exact(canon, point); }
+    canon += "|fault=" + std::to_string(static_cast<int>(cfg.fault_model.count_mode)) + "," +
+             std::to_string(static_cast<int>(cfg.fault_model.kind_mix));
+    canon += "|seed=" + std::to_string(cfg.seed);
+
+    const std::uint64_t h1 = fnv1a(canon, 14695981039346656037ULL);
+    const std::uint64_t h2 = mix_seed(h1, canon.size());
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(h1),
+                  static_cast<unsigned long long>(h2));
+    return buf;
+}
+
+std::vector<sweep_cell> enumerate_sweep_cells(const resilience_config& cfg) {
+    REDUCE_CHECK(!cfg.fault_rates.empty(), "resilience sweep needs fault rates");
+    REDUCE_CHECK(cfg.repeats > 0, "resilience sweep needs repeats >= 1");
+    REDUCE_CHECK(cfg.max_epochs > 0.0, "resilience sweep needs a positive epoch budget");
+    for (std::size_t i = 0; i < cfg.fault_rates.size(); ++i) {
+        const double rate = cfg.fault_rates[i];
+        REDUCE_CHECK(rate >= 0.0 && rate <= 1.0, "fault rate out of range: " << rate);
+        for (std::size_t j = i + 1; j < cfg.fault_rates.size(); ++j) {
+            REDUCE_CHECK(!same_rate(rate, cfg.fault_rates[j]),
+                         "duplicate fault rate " << rate
+                                                 << " in the sweep grid — cells would collide");
+        }
+    }
+    std::vector<sweep_cell> cells;
+    cells.reserve(cfg.fault_rates.size() * cfg.repeats);
+    for (std::size_t rate_index = 0; rate_index < cfg.fault_rates.size(); ++rate_index) {
+        for (std::size_t repeat = 0; repeat < cfg.repeats; ++repeat) {
+            sweep_cell cell;
+            cell.rate_index = rate_index;
+            cell.repeat = repeat;
+            cell.fault_rate = cfg.fault_rates[rate_index];
+            cell.map_seed = mix_seed(cfg.seed, rate_index, repeat);
+            cells.push_back(cell);
+        }
+    }
+    return cells;
+}
+
+std::vector<sweep_cell> shard_sweep_cells(const std::vector<sweep_cell>& cells,
+                                          std::size_t shard_index, std::size_t shard_count) {
+    REDUCE_CHECK(shard_count >= 1, "shard count must be >= 1");
+    REDUCE_CHECK(shard_index < shard_count,
+                 "shard index " << shard_index << " out of range for " << shard_count
+                                << " shard(s)");
+    std::vector<sweep_cell> mine;
+    mine.reserve(cells.size() / shard_count + 1);
+    for (std::size_t k = shard_index; k < cells.size(); k += shard_count) {
+        mine.push_back(cells[k]);
+    }
+    return mine;
+}
+
+resilience_cache::resilience_cache(std::string dir) : dir_(std::move(dir)) {
+    REDUCE_CHECK(!dir_.empty(), "resilience cache needs a directory");
+}
+
+std::string resilience_cache::path_for(const resilience_config& cfg,
+                                       const sweep_options& opts) const {
+    std::string name = "step1-" + resilience_fingerprint(cfg);
+    if (opts.shard_count > 1) {
+        name += ".shard" + std::to_string(opts.shard_index) + "of" +
+                std::to_string(opts.shard_count);
+    }
+    name += ".json";
+    return (std::filesystem::path(dir_) / name).string();
+}
+
+std::optional<resilience_table> resilience_cache::load(const resilience_config& cfg,
+                                                       const sweep_options& opts) const {
+    const std::string path = path_for(cfg, opts);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) { return std::nullopt; }
+    try {
+        resilience_table table = resilience_table::from_json(json_load_file(path));
+        const std::string expected = resilience_fingerprint(cfg);
+        if (table.fingerprint() != expected) {
+            LOG_WARN << "resilience cache: " << path << " holds fingerprint '"
+                     << table.fingerprint() << "' but the requested config is '" << expected
+                     << "'; treating as a miss";
+            return std::nullopt;
+        }
+        return table;
+    } catch (const std::exception& e) {
+        LOG_WARN << "resilience cache: failed to read " << path << " (" << e.what()
+                 << "); treating as a miss";
+        return std::nullopt;
+    }
+}
+
+void resilience_cache::store(const resilience_table& table, const resilience_config& cfg,
+                             const sweep_options& opts) const {
+    std::filesystem::create_directories(dir_);
+    const std::string path = path_for(cfg, opts);
+    const std::string tmp = path + ".tmp";
+    json_save_file(tmp, table.to_json());
+    std::filesystem::rename(tmp, path);
+    LOG_INFO << "resilience cache: stored " << path;
+}
+
+resilience_analyzer::resilience_analyzer(const sequential& model,
+                                         const model_snapshot& pretrained,
                                          const dataset& train_data, const dataset& test_data,
                                          const array_config& array, fat_config trainer_cfg)
     : model_(model),
@@ -158,53 +429,81 @@ resilience_analyzer::resilience_analyzer(sequential& model, const model_snapshot
       array_(array),
       trainer_cfg_(trainer_cfg) {}
 
-resilience_table resilience_analyzer::analyze(const resilience_config& cfg) {
-    REDUCE_CHECK(!cfg.fault_rates.empty(), "resilience sweep needs fault rates");
-    REDUCE_CHECK(cfg.repeats > 0, "resilience sweep needs repeats >= 1");
-    REDUCE_CHECK(cfg.max_epochs > 0.0, "resilience sweep needs a positive epoch budget");
+resilience_table resilience_analyzer::analyze(const resilience_config& cfg,
+                                              const sweep_options& opts) {
+    const std::vector<sweep_cell> grid = enumerate_sweep_cells(cfg);
+    const std::vector<sweep_cell> cells =
+        shard_sweep_cells(grid, opts.shard_index, opts.shard_count);
+    REDUCE_CHECK(!cells.empty(), "shard " << opts.shard_index << "/" << opts.shard_count
+                                          << " selects no cells from a grid of "
+                                          << grid.size());
+    const std::vector<double> eval_grid = resolved_eval_grid(cfg);
 
-    const std::vector<double> eval_grid =
-        cfg.eval_grid.empty() ? make_eval_grid(cfg.max_epochs, 1.0, 0.05, 0.5) : cfg.eval_grid;
-
-    std::vector<resilience_run> runs;
-    runs.reserve(cfg.fault_rates.size() * cfg.repeats);
-    fault_aware_trainer trainer(model_, train_data_, test_data_, trainer_cfg_);
-
-    for (std::size_t rate_idx = 0; rate_idx < cfg.fault_rates.size(); ++rate_idx) {
-        const double rate = cfg.fault_rates[rate_idx];
-        REDUCE_CHECK(rate >= 0.0 && rate <= 1.0, "fault rate out of range: " << rate);
-        // Rate 0 is deterministic: no faults → a single repeat suffices, but
-        // keep the repeat count uniform so downstream stats stay simple.
-        for (std::size_t rep = 0; rep < cfg.repeats; ++rep) {
-            const std::uint64_t map_seed = mix_seed(cfg.seed, rate_idx * 1000 + rep);
+    // Workers drain the cell list through an atomic cursor; each owns a deep
+    // clone restored from the pretrained snapshot before every cell, so a
+    // cell's result never depends on which worker ran it or in what order.
+    std::vector<resilience_run> runs(cells.size());
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        const std::unique_ptr<sequential> model = clone_model(model_);
+        // One restore up front covers the first cell; afterwards the guard's
+        // destructor leaves the clone at the pretrained snapshot between
+        // cells, so restoring again per cell would be pure waste.
+        restore_parameters(model->parameters(), pretrained_);
+        fault_aware_trainer trainer(*model, train_data_, test_data_, trainer_cfg_);
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= cells.size()) { return; }
+            const sweep_cell& cell = cells[i];
             random_fault_config fault_cfg = cfg.fault_model;
-            fault_cfg.fault_rate = rate;
-            const fault_grid faults = generate_random_faults(array_, fault_cfg, map_seed);
+            fault_cfg.fault_rate = cell.fault_rate;
+            const fault_grid faults = generate_random_faults(array_, fault_cfg, cell.map_seed);
 
-            restore_parameters(model_.parameters(), pretrained_);
-            const mask_stats stats = attach_fault_masks(model_, array_, faults);
-
+            fault_state_guard guard(*model, pretrained_);
+            const mask_stats stats = attach_fault_masks(*model, array_, faults);
             fat_result fat = trainer.train(cfg.max_epochs, eval_grid);
 
-            resilience_run run;
-            run.fault_rate = rate;
-            run.repeat = rep;
-            run.map_seed = map_seed;
+            resilience_run& run = runs[i];
+            run.fault_rate = cell.fault_rate;
+            run.repeat = cell.repeat;
+            run.map_seed = cell.map_seed;
             run.masked_weight_fraction = stats.masked_fraction();
             run.trajectory = std::move(fat.trajectory);
-            runs.push_back(std::move(run));
 
-            LOG_DEBUG << "resilience: rate=" << rate << " rep=" << rep
+            LOG_DEBUG << "resilience: rate=" << cell.fault_rate << " rep=" << cell.repeat
                       << " masked=" << stats.masked_fraction()
-                      << " final_acc=" << runs.back().trajectory.back().test_accuracy;
+                      << " final_acc=" << run.trajectory.back().test_accuracy;
         }
-        LOG_INFO << "resilience: fault rate " << rate << " done (" << cfg.repeats
-                 << " repeats)";
+    };
+
+    const std::size_t workers = resolve_thread_count(opts.threads, cells.size());
+    run_workers(workers, worker);
+
+    LOG_INFO << "resilience: swept " << cells.size() << " of " << grid.size()
+             << " cells (shard " << opts.shard_index << "/" << opts.shard_count << ", "
+             << workers << " worker(s))";
+    return resilience_table(std::move(runs), cfg.max_epochs, resilience_fingerprint(cfg),
+                            grid.size());
+}
+
+resilience_table resilience_analyzer::analyze_cached(const resilience_config& cfg,
+                                                     const sweep_options& opts,
+                                                     const resilience_cache& cache) {
+    if (std::optional<resilience_table> cached = cache.load(cfg, opts)) {
+        LOG_INFO << "resilience: cache hit (" << cache.path_for(cfg, opts) << ")";
+        return std::move(*cached);
     }
-    // Leave the model clean for the caller.
-    clear_fault_masks(model_);
-    restore_parameters(model_.parameters(), pretrained_);
-    return resilience_table(std::move(runs), cfg.max_epochs);
+    resilience_table table = analyze(cfg, opts);
+    cache.store(table, cfg, opts);
+    return table;
+}
+
+resilience_table run_resilience_sweep(resilience_analyzer& analyzer,
+                                      const resilience_config& cfg,
+                                      const sweep_options& opts,
+                                      const std::string& cache_dir) {
+    if (cache_dir.empty()) { return analyzer.analyze(cfg, opts); }
+    return analyzer.analyze_cached(cfg, opts, resilience_cache(cache_dir));
 }
 
 }  // namespace reduce

@@ -8,8 +8,27 @@
 //   * epochs_for(rate, target, stat) — the curves of Fig. 2b, with
 //     min/mean/max over repeats (the paper recommends max: mean
 //     under-trains, cf. the error bars of Fig. 2b).
+//
+// Step 1 is the single most expensive stage of the framework — the paper's
+// whole point is amortizing it over every fabricated chip — so the sweep
+// engine here is built for scale:
+//   * every (rate, repeat) cell is an independent experiment with a seed
+//     derived as mix_seed(cfg.seed, rate_index, repeat), so the table is
+//     bit-identical for any thread count and any shard split (caveat: like
+//     the fleet executor, this assumes the model carries no non-parameter
+//     state across runs — dropout RNG streams and batch-norm running
+//     statistics are NOT restored between cells; all in-tree workloads are
+//     free of both, see ROADMAP);
+//   * cells fan out over a thread pool, each worker owning a deep clone of
+//     the prototype model restored from the pretrained snapshot per cell;
+//   * `shard i of n` selects a deterministic cell subset for multi-machine
+//     sweeps, and resilience_table::merge fuses shard tables losslessly;
+//   * a config-fingerprint-keyed JSON cache (resilience_cache) lets benches
+//     and pipelines reuse Step-1 artifacts instead of recomputing them.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,14 +55,38 @@ struct resilience_run {
 class resilience_table {
 public:
     /// Builds from raw runs; `max_epochs` is the training budget that
-    /// censored runs were cut at.
-    resilience_table(std::vector<resilience_run> runs, double max_epochs);
+    /// censored runs were cut at. Runs are stored in canonical order —
+    /// ascending (fault_rate, repeat) — so tables built from any shard
+    /// split or thread count serialize byte-identically. `fingerprint`
+    /// names the sweep config that produced the runs and `grid_cells` the
+    /// full grid size (rates × repeats) of that sweep — a shard table
+    /// carries fewer runs than grid_cells; merge() uses both to reject
+    /// mixing incompatible sweeps and incomplete unions. Hand-built tables
+    /// leave them at ""/0, which disables those checks.
+    resilience_table(std::vector<resilience_run> runs, double max_epochs,
+                     std::string fingerprint = "", std::size_t grid_cells = 0);
+
+    // Copyable and movable despite the atomic warn-once flag (copies and
+    // moved-to tables warn afresh). Declared explicitly because the atomic
+    // deletes the defaults — and a missing move would silently deep-copy
+    // every trajectory on cache loads.
+    resilience_table(const resilience_table& other);
+    resilience_table& operator=(const resilience_table& other);
+    resilience_table(resilience_table&& other) noexcept;
+    resilience_table& operator=(resilience_table&& other) noexcept;
 
     /// Fault rates present in the grid (sorted ascending, unique).
     const std::vector<double>& fault_rates() const { return rates_; }
 
     /// Training budget (censoring point).
     double max_epochs() const { return max_epochs_; }
+
+    /// Fingerprint of the producing sweep config ("" for hand-built tables).
+    const std::string& fingerprint() const { return fingerprint_; }
+
+    /// Cell count of the producing sweep's full grid (0 for hand-built
+    /// tables). runs().size() < grid_cells() identifies a shard table.
+    std::size_t grid_cells() const { return grid_cells_; }
 
     /// Number of repeats at a grid rate.
     std::size_t repeats_at(double fault_rate) const;
@@ -71,15 +114,28 @@ public:
     };
 
     /// The Step-2 query: retraining amount for an arbitrary fault rate via
-    /// interpolation of the chosen statistic between grid rates (clamped at
-    /// the grid ends). Returns nullopt when the target is unreachable
-    /// (censored) at every relevant grid point.
+    /// interpolation of the chosen statistic between grid rates. Rates
+    /// outside the grid are clamped to the nearest end — a LOG_WARN flags
+    /// the extrapolation (once per table, so per-chip planning over a big
+    /// fleet cannot flood stderr), since the clamped answer can
+    /// under-estimate the retraining a beyond-grid chip needs. Returns
+    /// nullopt when the target is unreachable (censored) at every relevant
+    /// grid point. Thread-safe, as Step-2 planners query concurrently.
     std::optional<double> epochs_for(double fault_rate, double target_accuracy,
                                      statistic stat,
                                      interpolation mode = interpolation::linear) const;
 
-    /// Raw runs (benches re-plot trajectories directly).
+    /// Raw runs in canonical order (benches re-plot trajectories directly).
     const std::vector<resilience_run>& runs() const { return runs_; }
+
+    /// Fuses tables produced by sharded sweeps of the SAME config back into
+    /// the full table. Validates that every shard agrees on max_epochs,
+    /// fingerprint, and grid size, that no (fault_rate, repeat) cell
+    /// appears twice, and — when the shards carry a grid size — that the
+    /// union covers every cell (shards from mismatched `I/N` splits cannot
+    /// silently produce a partial table). The result's to_json() is
+    /// byte-identical to the single-shot sweep.
+    static resilience_table merge(const std::vector<resilience_table>& shards);
 
     /// JSON round-trip for caching the (expensive) Step-1 artifact.
     json_value to_json() const;
@@ -89,9 +145,14 @@ private:
     std::vector<resilience_run> runs_;
     std::vector<double> rates_;
     double max_epochs_;
+    std::string fingerprint_;
+    std::size_t grid_cells_;
+    mutable std::atomic<bool> clamp_warned_{false};
 };
 
-/// Configuration of the resilience sweep.
+/// Configuration of the resilience sweep — everything that determines the
+/// *numbers* in the table. Execution knobs (threads, shards) live in
+/// sweep_options and never change results.
 struct resilience_config {
     std::vector<double> fault_rates{0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
     std::size_t repeats = 5;
@@ -99,29 +160,117 @@ struct resilience_config {
     std::vector<double> eval_grid;  ///< empty → make_eval_grid(max,1,0.05,0.5)
     random_fault_config fault_model{};
     std::uint64_t seed = 20230305;
+    /// Names EVERYTHING the config alone cannot see that shapes the sweep's
+    /// numbers: model architecture, dataset, pretraining, trainer
+    /// hyper-parameters, and accelerator geometry (`workload::context`
+    /// provides this for the standard workloads). Part of the fingerprint,
+    /// so tables from different setups never merge or collide in the cache
+    /// even when every numeric knob here matches.
+    std::string context;
 };
 
-/// Runs Step 1: for each (rate, repeat), restores the pre-trained weights,
-/// injects a fresh fault map, attaches masks, retrains up to the budget,
-/// and records the trajectory.
+/// Execution knobs of a sweep. Any thread count produces a bit-identical
+/// table, and shard i of n computes a deterministic cell subset that
+/// resilience_table::merge fuses back losslessly.
+struct sweep_options {
+    std::size_t threads = 1;      ///< worker threads; 0 → hardware concurrency
+    std::size_t shard_index = 0;  ///< this process's shard (< shard_count)
+    std::size_t shard_count = 1;  ///< total shards the grid is split into
+};
+
+/// One (rate, repeat) cell of the sweep grid with its deterministic seed.
+/// A cell's outcome depends only on the cell itself — never on scheduling,
+/// thread count, or the shard split.
+struct sweep_cell {
+    std::size_t rate_index = 0;
+    std::size_t repeat = 0;
+    double fault_rate = 0.0;
+    std::uint64_t map_seed = 0;  ///< mix_seed(cfg.seed, rate_index, repeat)
+};
+
+/// Enumerates the full grid in canonical order (rate-major, repeat-minor)
+/// after validating the config (non-empty unique rates in [0, 1], repeats
+/// >= 1, positive budget).
+std::vector<sweep_cell> enumerate_sweep_cells(const resilience_config& cfg);
+
+/// Deterministic shard subset: cell k of the canonical order belongs to
+/// shard k % shard_count. Round-robin keeps shards cost-balanced because
+/// adjacent cells share a fault rate (and thus a similar training cost).
+std::vector<sweep_cell> shard_sweep_cells(const std::vector<sweep_cell>& cells,
+                                          std::size_t shard_index,
+                                          std::size_t shard_count);
+
+/// Stable hex fingerprint of everything that determines sweep results: the
+/// rate grid, repeats, budget, resolved eval grid, fault model, seed, and
+/// the workload context. Execution knobs (threads, shards) are excluded.
+std::string resilience_fingerprint(const resilience_config& cfg);
+
+/// On-disk JSON cache of Step-1 artifacts — the paper's overhead
+/// amortization made concrete: benches, examples, and services reuse a
+/// sweep instead of recomputing it. Entries are keyed by
+/// resilience_fingerprint(cfg) (set cfg.context so distinct workloads get
+/// distinct keys); sharded sweeps cache per-shard files side by side.
+class resilience_cache {
+public:
+    /// `dir` is created on first store.
+    explicit resilience_cache(std::string dir);
+
+    /// Cache file for a config: <dir>/step1-<fingerprint>.json, with a
+    /// ".shard<I>of<N>" infix when opts selects a proper shard.
+    std::string path_for(const resilience_config& cfg, const sweep_options& opts = {}) const;
+
+    /// The cached table, or nullopt on miss. Unreadable or
+    /// fingerprint-mismatched entries count as misses (reported via
+    /// LOG_WARN, never fatal).
+    std::optional<resilience_table> load(const resilience_config& cfg,
+                                         const sweep_options& opts = {}) const;
+
+    /// Persists the table atomically (write-temp-then-rename).
+    void store(const resilience_table& table, const resilience_config& cfg,
+               const sweep_options& opts = {}) const;
+
+    const std::string& directory() const { return dir_; }
+
+private:
+    std::string dir_;
+};
+
+/// Runs Step 1: for each (rate, repeat) cell, restores the pre-trained
+/// weights into a per-worker model clone, injects a fresh fault map,
+/// attaches masks, retrains up to the budget, and records the trajectory.
+/// The prototype model is only cloned, never mutated.
 class resilience_analyzer {
 public:
     /// References must outlive the analyzer. `pretrained` is the snapshot
     /// every run starts from.
-    resilience_analyzer(sequential& model, const model_snapshot& pretrained,
+    resilience_analyzer(const sequential& model, const model_snapshot& pretrained,
                         const dataset& train_data, const dataset& test_data,
                         const array_config& array, fat_config trainer_cfg);
 
-    /// Executes the sweep (deterministic given cfg.seed).
-    resilience_table analyze(const resilience_config& cfg);
+    /// Executes the sweep. Deterministic given cfg.seed: the resulting
+    /// table is bit-identical for any opts.threads, and the shard selected
+    /// by opts covers exactly its subset of the canonical cell order.
+    resilience_table analyze(const resilience_config& cfg, const sweep_options& opts = {});
+
+    /// Cache-aware sweep: returns the cached table when `cache` holds one
+    /// for (cfg, opts), otherwise runs analyze() and stores the result.
+    resilience_table analyze_cached(const resilience_config& cfg, const sweep_options& opts,
+                                    const resilience_cache& cache);
 
 private:
-    sequential& model_;
+    const sequential& model_;
     const model_snapshot& pretrained_;
     const dataset& train_data_;
     const dataset& test_data_;
     array_config array_;
     fat_config trainer_cfg_;
 };
+
+/// CLI convenience shared by the figure/example harnesses: analyze through
+/// a resilience_cache rooted at `cache_dir`, or plainly when it is empty.
+resilience_table run_resilience_sweep(resilience_analyzer& analyzer,
+                                      const resilience_config& cfg,
+                                      const sweep_options& opts,
+                                      const std::string& cache_dir);
 
 }  // namespace reduce

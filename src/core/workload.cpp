@@ -1,10 +1,50 @@
 #include "core/workload.h"
 
+#include <sstream>
+
 #include "util/error.h"
 #include "util/log.h"
 #include "util/rng.h"
 
 namespace reduce {
+
+namespace {
+
+void append_trainer_and_array(std::ostringstream& context, const fat_config& trainer,
+                              const array_config& array) {
+    context << "|bs" << trainer.batch_size << "-lr" << trainer.learning_rate << "-m"
+            << trainer.momentum << "-wd" << trainer.weight_decay << "-gc"
+            << trainer.grad_clip << "-sh" << trainer.shuffle_seed << "|arr" << array.rows
+            << 'x' << array.cols;
+}
+
+}  // namespace
+
+std::string workload_context(const workload_config& cfg) {
+    // Everything outside a resilience_config that shapes sweep numbers:
+    // architecture, data generation, split, workload seed, pretraining
+    // amount, trainer hyper-parameters, and accelerator geometry.
+    std::ostringstream context;
+    context << "mlp";
+    for (const std::size_t width : cfg.hidden) { context << '-' << width; }
+    context << "|gm-d" << cfg.data.dim << "-c" << cfg.data.num_classes << "-n"
+            << cfg.data.samples_per_class << "-sep" << cfg.data.class_separation << "-ns"
+            << cfg.data.noise_stddev << "-ds" << cfg.data.seed << "|tf"
+            << cfg.train_fraction << "|seed" << cfg.seed << "|pe" << cfg.pretrain_epochs;
+    append_trainer_and_array(context, cfg.trainer, cfg.array);
+    return context.str();
+}
+
+std::string image_workload_context(const image_workload_config& cfg) {
+    std::ostringstream context;
+    context << "cnn-b" << cfg.base_channels << "|img-" << cfg.data.shape.channels << 'x'
+            << cfg.data.shape.height << 'x' << cfg.data.shape.width;
+    context << "-c" << cfg.data.num_classes << "-n" << cfg.data.samples_per_class << "-ns"
+            << cfg.data.noise_stddev << "-ds" << cfg.data.seed << "|tf"
+            << cfg.train_fraction << "|seed" << cfg.seed << "|pe" << cfg.pretrain_epochs;
+    append_trainer_and_array(context, cfg.trainer, cfg.array);
+    return context.str();
+}
 
 workload make_standard_workload(const workload_config& cfg) {
     REDUCE_CHECK(cfg.pretrain_epochs > 0.0, "workload needs positive pretraining epochs");
@@ -31,6 +71,7 @@ workload make_standard_workload(const workload_config& cfg) {
     const fat_result result = trainer.train(cfg.pretrain_epochs);
     w.clean_accuracy = result.final_accuracy;
     w.pretrained = snapshot_parameters(w.model->parameters());
+    w.context = workload_context(cfg);
     LOG_INFO << "workload ready: clean accuracy " << w.clean_accuracy * 100.0 << "% after "
              << result.epochs_run << " epochs";
     return w;
@@ -55,6 +96,7 @@ workload make_image_workload(const image_workload_config& cfg) {
     const fat_result result = trainer.train(cfg.pretrain_epochs);
     w.clean_accuracy = result.final_accuracy;
     w.pretrained = snapshot_parameters(w.model->parameters());
+    w.context = image_workload_context(cfg);
     LOG_INFO << "image workload ready: clean accuracy " << w.clean_accuracy * 100.0
              << "% after " << result.epochs_run << " epochs";
     return w;

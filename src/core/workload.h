@@ -36,7 +36,17 @@ struct workload {
     double clean_accuracy = 0.0;  ///< test accuracy of the pretrained model
     array_config array;
     fat_config trainer_cfg;
+    /// Identity string for Step-1 caching/merging (resilience_config::
+    /// context): names the architecture, data geometry, and workload seed —
+    /// what a resilience_config cannot see.
+    std::string context;
 };
+
+/// Identity string of the workload a config describes (architecture, data
+/// geometry, seed) — what `make_standard_workload` stores in
+/// `workload::context`, computable *without* paying for pretraining. Lets
+/// cache-aware harnesses probe the Step-1 cache before building anything.
+std::string workload_context(const workload_config& cfg = {});
 
 /// Builds datasets, trains the model from scratch, and snapshots it.
 /// Deterministic given cfg. Takes a few hundred milliseconds at defaults.
@@ -55,6 +65,9 @@ struct image_workload_config {
     array_config array{};
     std::uint64_t seed = 4242;
 };
+
+/// `workload_context` counterpart for the image workload.
+std::string image_workload_context(const image_workload_config& cfg = {});
 
 /// Same bundle built around a tiny CNN on the synthetic-image task —
 /// exercises conv2d masking (patch-dimension mapping) through the whole

@@ -28,6 +28,16 @@ const json_value& json_object::at(const std::string& key) const {
     return *it->second;
 }
 
+bool operator==(const json_object& a, const json_object& b) {
+    if (a.order_ != b.order_) { return false; }
+    for (const std::string& key : a.order_) {
+        if (a.at(key) != b.at(key)) { return false; }
+    }
+    return true;
+}
+
+bool operator==(const json_value& a, const json_value& b) { return a.data_ == b.data_; }
+
 bool json_value::as_bool() const {
     if (const auto* b = std::get_if<bool>(&data_)) { return *b; }
     throw io_error("json value is not a bool");

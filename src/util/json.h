@@ -36,6 +36,12 @@ public:
     /// Number of members.
     std::size_t size() const { return order_.size(); }
 
+    /// Deep equality, sensitive to insertion order (two objects with the
+    /// same members in different order are *not* equal — matches the
+    /// serializer, so a == b iff a.dump() == b.dump() for finite numbers).
+    friend bool operator==(const json_object& a, const json_object& b);
+    friend bool operator!=(const json_object& a, const json_object& b) { return !(a == b); }
+
 private:
     std::vector<std::string> order_;
     std::map<std::string, std::shared_ptr<json_value>> members_;
@@ -76,6 +82,12 @@ public:
     /// Serializes; indent < 0 → compact single line, otherwise pretty-printed
     /// with the given indent width.
     std::string dump(int indent = -1) const;
+
+    /// Deep structural equality (numbers by ==, objects insertion-order
+    /// sensitive). Used to compare persisted artifacts such as merged shard
+    /// tables against single-shot sweeps.
+    friend bool operator==(const json_value& a, const json_value& b);
+    friend bool operator!=(const json_value& a, const json_value& b) { return !(a == b); }
 
 private:
     void dump_to(std::string& out, int indent, int depth) const;

@@ -2,6 +2,7 @@
 // stdout stays clean CSV for piping into plot scripts.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -24,6 +25,13 @@ log_level get_log_level();
 
 /// Emits one line to stderr if `level` passes the threshold.
 void log_message(log_level level, const std::string& message);
+
+/// Capture hook: while a sink is installed, messages that pass the
+/// threshold are delivered to it *instead of* stderr. Pass nullptr to
+/// restore stderr logging. Install/remove and delivery are serialized under
+/// one lock, so a sink may be used from multi-threaded code under test.
+using log_sink = std::function<void(log_level, const std::string&)>;
+void set_log_sink(log_sink sink);
 
 namespace detail {
 

@@ -24,6 +24,10 @@ std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream) {
     return splitmix64(mixed);
 }
 
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream_a, std::uint64_t stream_b) {
+    return mix_seed(mix_seed(base, stream_a), stream_b);
+}
+
 namespace {
 
 inline std::uint64_t rotl(std::uint64_t x, int k) {

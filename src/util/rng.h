@@ -20,6 +20,12 @@ std::uint64_t splitmix64(std::uint64_t& state);
 /// Used to derive per-chip / per-repeat seeds from a base seed.
 std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream);
 
+/// Mixes three integers into a seed: mix_seed(mix_seed(base, stream_a),
+/// stream_b). Used for two-dimensional stream families — e.g. the
+/// (rate_index, repeat) cells of a resilience sweep — where flattening the
+/// pair into one stream id would risk collisions between grid shapes.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream_a, std::uint64_t stream_b);
+
 /// xoshiro256** PRNG with convenience distributions.
 ///
 /// Distributions are implemented in-house (not std::) so streams are

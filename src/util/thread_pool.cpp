@@ -15,6 +15,17 @@ std::size_t resolve_thread_count(std::size_t requested, std::size_t cap) {
     return std::max<std::size_t>(1, count);
 }
 
+void run_workers(std::size_t workers, const std::function<void()>& job) {
+    REDUCE_CHECK(workers >= 1, "run_workers needs at least one worker");
+    if (workers == 1) {
+        job();
+        return;
+    }
+    thread_pool pool(workers);
+    for (std::size_t i = 0; i < workers; ++i) { pool.submit(job); }
+    pool.wait();
+}
+
 thread_pool::thread_pool(std::size_t num_threads) {
     REDUCE_CHECK(num_threads >= 1, "thread pool needs at least one worker");
     workers_.reserve(num_threads);

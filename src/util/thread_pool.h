@@ -23,6 +23,14 @@ namespace reduce {
 /// spawning more workers than work items).
 std::size_t resolve_thread_count(std::size_t requested, std::size_t cap = 0);
 
+/// Runs `workers` copies of `job` to completion — the shared fan-out idiom
+/// of the fleet executor and the resilience sweep engine, where each copy
+/// drains a common atomic work counter. With one worker the job runs inline
+/// on the calling thread (no pool, exceptions propagate directly); with
+/// more, a temporary pool runs the copies and wait() re-throws the first
+/// failure after every copy has finished.
+void run_workers(std::size_t workers, const std::function<void()>& job);
+
 /// Fixed pool of worker threads consuming a FIFO job queue.
 class thread_pool {
 public:

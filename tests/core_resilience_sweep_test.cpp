@@ -1,0 +1,299 @@
+// Tests for the parallel, shardable, cache-aware sweep engine behind
+// Step 1: cell enumeration and seeding, thread-count determinism
+// (byte-identical tables), shard/merge equivalence, merge validation, and
+// the fingerprint-keyed on-disk cache.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "core/resilience.h"
+#include "core/workload.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+resilience_config small_config() {
+    resilience_config cfg;
+    cfg.fault_rates = {0.0, 0.3};
+    cfg.repeats = 2;
+    cfg.max_epochs = 0.5;
+    cfg.seed = 77;
+    cfg.context = "sweep-test-workload";
+    return cfg;
+}
+
+TEST(SweepCells, EnumerationIsCanonicalRateMajor) {
+    resilience_config cfg;
+    cfg.fault_rates = {0.0, 0.2, 0.4};
+    cfg.repeats = 2;
+    const std::vector<sweep_cell> cells = enumerate_sweep_cells(cfg);
+    ASSERT_EQ(cells.size(), 6u);
+    EXPECT_EQ(cells[0].rate_index, 0u);
+    EXPECT_EQ(cells[0].repeat, 0u);
+    EXPECT_EQ(cells[1].repeat, 1u);
+    EXPECT_EQ(cells[2].rate_index, 1u);
+    EXPECT_DOUBLE_EQ(cells[4].fault_rate, 0.4);
+    for (const sweep_cell& cell : cells) {
+        EXPECT_EQ(cell.map_seed, mix_seed(cfg.seed, cell.rate_index, cell.repeat));
+    }
+    std::set<std::uint64_t> seeds;
+    for (const sweep_cell& cell : cells) { seeds.insert(cell.map_seed); }
+    EXPECT_EQ(seeds.size(), cells.size());  // no two cells share a seed
+}
+
+TEST(SweepCells, ShardsPartitionTheGrid) {
+    resilience_config cfg;
+    cfg.fault_rates = {0.0, 0.1, 0.2};
+    cfg.repeats = 3;
+    const std::vector<sweep_cell> cells = enumerate_sweep_cells(cfg);
+    std::set<std::uint64_t> covered;
+    std::size_t total = 0;
+    for (std::size_t shard = 0; shard < 4; ++shard) {
+        for (const sweep_cell& cell : shard_sweep_cells(cells, shard, 4)) {
+            covered.insert(cell.map_seed);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, cells.size());           // disjoint...
+    EXPECT_EQ(covered.size(), cells.size());  // ...and exhaustive
+}
+
+TEST(SweepCells, ShardSelectionValidates) {
+    const std::vector<sweep_cell> cells = enumerate_sweep_cells(small_config());
+    EXPECT_THROW(shard_sweep_cells(cells, 0, 0), error);
+    EXPECT_THROW(shard_sweep_cells(cells, 2, 2), error);
+}
+
+TEST(Fingerprint, StableAndSensitiveToScience) {
+    const resilience_config base = small_config();
+    const std::string fp = resilience_fingerprint(base);
+    EXPECT_EQ(fp, resilience_fingerprint(base));  // deterministic
+    EXPECT_EQ(fp.size(), 32u);
+
+    resilience_config changed = base;
+    changed.seed += 1;
+    EXPECT_NE(resilience_fingerprint(changed), fp);
+    changed = base;
+    changed.repeats += 1;
+    EXPECT_NE(resilience_fingerprint(changed), fp);
+    changed = base;
+    changed.fault_rates.push_back(0.5);
+    EXPECT_NE(resilience_fingerprint(changed), fp);
+    changed = base;
+    changed.max_epochs += 1.0;
+    EXPECT_NE(resilience_fingerprint(changed), fp);
+    // Context separates workloads whose numeric knobs all match — and since
+    // it feeds the fingerprint stamped into tables, merge() rejects mixing
+    // tables from different workloads too.
+    changed = base;
+    changed.context = "vgg11";
+    EXPECT_NE(resilience_fingerprint(changed), fp);
+}
+
+TEST(Fingerprint, ExplicitDefaultEvalGridMatchesEmpty) {
+    const resilience_config implicit = small_config();
+    resilience_config explicit_grid = implicit;
+    explicit_grid.eval_grid = make_eval_grid(implicit.max_epochs, 1.0, 0.05, 0.5);
+    EXPECT_EQ(resilience_fingerprint(implicit), resilience_fingerprint(explicit_grid));
+}
+
+/// Shares one (slow-to-build) workload across every sweep test.
+class SweepFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        shared_ = new workload(make_standard_workload(make_test_workload_config()));
+    }
+    static void TearDownTestSuite() {
+        delete shared_;
+        shared_ = nullptr;
+    }
+    workload& w() { return *shared_; }
+
+    resilience_analyzer make_analyzer() {
+        return resilience_analyzer(*w().model, w().pretrained, w().train_data, w().test_data,
+                                   w().array, w().trainer_cfg);
+    }
+
+    static workload* shared_;
+};
+
+workload* SweepFixture::shared_ = nullptr;
+
+TEST_F(SweepFixture, ParallelSweepIsByteIdenticalAtAnyThreadCount) {
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+
+    sweep_options serial;
+    serial.threads = 1;
+    const std::string reference = analyzer.analyze(cfg, serial).to_json().dump();
+
+    for (const std::size_t threads : {2u, 8u}) {
+        sweep_options opts;
+        opts.threads = threads;
+        EXPECT_EQ(analyzer.analyze(cfg, opts).to_json().dump(), reference)
+            << "table diverged at " << threads << " threads";
+    }
+}
+
+TEST_F(SweepFixture, ShardedSweepMergesToSingleShotByteIdentical) {
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+
+    const resilience_table full = analyzer.analyze(cfg, {});
+
+    sweep_options shard0;
+    shard0.shard_index = 0;
+    shard0.shard_count = 2;
+    sweep_options shard1 = shard0;
+    shard1.shard_index = 1;
+    const resilience_table t0 = analyzer.analyze(cfg, shard0);
+    const resilience_table t1 = analyzer.analyze(cfg, shard1);
+    EXPECT_EQ(t0.runs().size() + t1.runs().size(), full.runs().size());
+
+    // Merge order must not matter, and the fused table must serialize
+    // byte-identically to the single-shot sweep.
+    EXPECT_EQ(resilience_table::merge({t0, t1}).to_json().dump(), full.to_json().dump());
+    EXPECT_EQ(resilience_table::merge({t1, t0}).to_json().dump(), full.to_json().dump());
+
+    // Shard tables also survive a JSON round-trip before merging (the
+    // multi-machine path: each shard ships a file).
+    const resilience_table r0 = resilience_table::from_json(t0.to_json());
+    const resilience_table r1 = resilience_table::from_json(t1.to_json());
+    EXPECT_EQ(resilience_table::merge({r0, r1}).to_json().dump(), full.to_json().dump());
+}
+
+TEST_F(SweepFixture, MergeRejectsOverlappingShards) {
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+    sweep_options shard0;
+    shard0.shard_index = 0;
+    shard0.shard_count = 2;
+    const resilience_table t0 = analyzer.analyze(cfg, shard0);
+    const resilience_table full = analyzer.analyze(cfg, {});
+    EXPECT_THROW(resilience_table::merge({t0, t0}), error);    // same shard twice
+    EXPECT_THROW(resilience_table::merge({full, t0}), error);  // shard within full
+}
+
+TEST_F(SweepFixture, MergeRejectsIncompleteUnions) {
+    // Shards from mismatched I/N splits can be disjoint yet leave holes —
+    // merge must refuse rather than hand back a silently partial table.
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();  // 2 rates × 2 repeats = 4 cells
+    sweep_options half0;
+    half0.shard_index = 0;
+    half0.shard_count = 2;
+    sweep_options quarter1;
+    quarter1.shard_index = 1;
+    quarter1.shard_count = 4;
+    const resilience_table t_half = analyzer.analyze(cfg, half0);     // cells {0, 2}
+    const resilience_table t_quarter = analyzer.analyze(cfg, quarter1);  // cell {1}
+    EXPECT_THROW(resilience_table::merge({t_half, t_quarter}), error);
+    // A lone shard is not the full sweep either.
+    EXPECT_THROW(resilience_table::merge({t_half}), error);
+    EXPECT_EQ(t_half.grid_cells(), 4u);
+    EXPECT_EQ(t_half.runs().size(), 2u);
+}
+
+TEST_F(SweepFixture, MergeRejectsMismatchedConfigs) {
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+    resilience_config other = cfg;
+    other.seed += 1;  // different sweep → different fingerprint
+    sweep_options shard0;
+    shard0.shard_index = 0;
+    shard0.shard_count = 2;
+    sweep_options shard1 = shard0;
+    shard1.shard_index = 1;
+    const resilience_table t0 = analyzer.analyze(cfg, shard0);
+    const resilience_table t1 = analyzer.analyze(other, shard1);
+    EXPECT_THROW(resilience_table::merge({t0, t1}), error);
+
+    // Same numeric knobs but a different workload context must be rejected
+    // too — the whole point of stamping context into the fingerprint.
+    resilience_config other_workload = cfg;
+    other_workload.context = "some-other-model";
+    const resilience_table t2 = analyzer.analyze(other_workload, shard1);
+    EXPECT_THROW(resilience_table::merge({t0, t2}), error);
+}
+
+TEST(ResilienceTableMerge, RejectsMismatchedBudgets) {
+    std::vector<resilience_run> runs_a(1);
+    runs_a[0].fault_rate = 0.0;
+    runs_a[0].trajectory = {{0.0, 0.5}};
+    std::vector<resilience_run> runs_b(1);
+    runs_b[0].fault_rate = 0.1;
+    runs_b[0].trajectory = {{0.0, 0.5}};
+    const resilience_table a(std::move(runs_a), 1.0);
+    const resilience_table b(std::move(runs_b), 2.0);
+    EXPECT_THROW(resilience_table::merge({a, b}), error);
+    EXPECT_THROW(resilience_table::merge({}), error);
+}
+
+TEST_F(SweepFixture, CacheMissComputesThenHitReuses) {
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / "reduce_step1_cache").string();
+    std::filesystem::remove_all(dir);
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+    const resilience_cache cache(dir);
+
+    EXPECT_FALSE(cache.load(cfg).has_value());  // cold cache
+
+    const resilience_table computed = analyzer.analyze_cached(cfg, {}, cache);
+    EXPECT_TRUE(std::filesystem::exists(cache.path_for(cfg)));
+
+    // Hit: loads the stored artifact and matches the computed table exactly.
+    const std::optional<resilience_table> cached = cache.load(cfg);
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_EQ(cached->to_json(), computed.to_json());
+    EXPECT_EQ(analyzer.analyze_cached(cfg, {}, cache).to_json().dump(),
+              computed.to_json().dump());
+
+    // A different config is a different key — still a miss.
+    resilience_config other = cfg;
+    other.seed += 1;
+    EXPECT_FALSE(cache.load(other).has_value());
+    EXPECT_NE(cache.path_for(other), cache.path_for(cfg));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResilienceCache, PathsSeparateShardsAndContexts) {
+    resilience_config cfg;
+    cfg.context = "ctx-a";
+    const resilience_cache cache("/tmp/step1");
+    sweep_options shard0;
+    shard0.shard_index = 0;
+    shard0.shard_count = 2;
+    sweep_options shard1 = shard0;
+    shard1.shard_index = 1;
+    EXPECT_NE(cache.path_for(cfg, shard0), cache.path_for(cfg));
+    EXPECT_NE(cache.path_for(cfg, shard0), cache.path_for(cfg, shard1));
+    EXPECT_NE(cache.path_for(cfg, shard0).find("shard0of2"), std::string::npos);
+    resilience_config other_ctx = cfg;
+    other_ctx.context = "ctx-b";
+    EXPECT_NE(cache.path_for(other_ctx), cache.path_for(cfg));
+    EXPECT_THROW(resilience_cache(""), error);
+}
+
+TEST(ResilienceCache, CorruptEntryIsAMiss) {
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / "reduce_corrupt_cache").string();
+    std::filesystem::create_directories(dir);
+    resilience_config cfg;
+    cfg.context = "corrupt-test";
+    const resilience_cache cache(dir);
+    {
+        std::ofstream out(cache.path_for(cfg));
+        out << "{not json";
+    }
+    EXPECT_FALSE(cache.load(cfg).has_value());
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace reduce

@@ -5,6 +5,7 @@
 #include "core/resilience.h"
 #include "core/workload.h"
 #include "util/error.h"
+#include "util/log.h"
 
 namespace reduce {
 namespace {
@@ -86,6 +87,46 @@ TEST(ResilienceTable, EpochsForClampsOutsideGrid) {
                      table.epochs_for(-0.0, 0.9, statistic::max).value());
 }
 
+/// Installs a capturing sink for the test's scope; removed on any exit path
+/// so a failing assertion cannot leave a dangling sink installed globally.
+class scoped_log_sink {
+public:
+    explicit scoped_log_sink(log_sink sink) { set_log_sink(std::move(sink)); }
+    ~scoped_log_sink() { set_log_sink(nullptr); }
+    scoped_log_sink(const scoped_log_sink&) = delete;
+    scoped_log_sink& operator=(const scoped_log_sink&) = delete;
+};
+
+TEST(ResilienceTable, EpochsForWarnsWhenClampExtrapolates) {
+    const resilience_table table = synthetic_table();  // grid [0.0, 0.4]
+    std::vector<std::string> warnings;
+    const scoped_log_sink capture([&](log_level level, const std::string& message) {
+        if (level == log_level::warn) { warnings.push_back(message); }
+    });
+
+    // Queries on and between grid points are interpolation — no warning.
+    (void)table.epochs_for(0.0, 0.9, statistic::max);
+    (void)table.epochs_for(0.4, 0.9, statistic::max);
+    (void)table.epochs_for(0.13, 0.9, statistic::max);
+    EXPECT_TRUE(warnings.empty());
+
+    // Beyond the upper grid end: clamped, and the extrapolation is flagged.
+    (void)table.epochs_for(0.9, 0.9, statistic::max);
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("0.9"), std::string::npos);
+    EXPECT_NE(warnings[0].find("clamping"), std::string::npos);
+
+    // Throttled to once per table: per-chip planning over a large fleet
+    // must not flood stderr with identical warnings.
+    (void)table.epochs_for(0.95, 0.9, statistic::max);
+    EXPECT_EQ(warnings.size(), 1u);
+
+    // A fresh copy warns afresh.
+    const resilience_table copy = table;
+    (void)copy.epochs_for(0.95, 0.9, statistic::max);
+    EXPECT_EQ(warnings.size(), 2u);
+}
+
 TEST(ResilienceTable, UpperInterpolationIsConservative) {
     const resilience_table table = synthetic_table();
     const double linear = table
@@ -131,6 +172,46 @@ TEST(ResilienceTable, JsonRoundTrip) {
     EXPECT_EQ(back.runs().size(), table.runs().size());
     EXPECT_DOUBLE_EQ(back.epochs_for(0.13, 0.9, statistic::max).value(),
                      table.epochs_for(0.13, 0.9, statistic::max).value());
+}
+
+TEST(ResilienceTable, JsonRoundTripPreservesFingerprintAnd64BitSeeds) {
+    std::vector<resilience_run> runs(1);
+    runs[0].fault_rate = 0.1;
+    runs[0].repeat = 0;
+    // Not exactly representable as a double — would corrupt if serialized
+    // as a JSON number.
+    runs[0].map_seed = 0xfedcba9876543211ULL;
+    runs[0].trajectory = {{0.0, 0.5}, {1.0, 0.8}};
+    const resilience_table table(std::move(runs), 1.0, "cafe0123");
+    const resilience_table back = resilience_table::from_json(table.to_json());
+    EXPECT_EQ(back.fingerprint(), "cafe0123");
+    EXPECT_EQ(back.runs()[0].map_seed, 0xfedcba9876543211ULL);
+    EXPECT_EQ(back.to_json().dump(), table.to_json().dump());
+
+    // Malformed seeds must fail loudly, not wrap (strtoull accepts "-1").
+    std::string doc = table.to_json().dump();
+    const auto at = doc.find("18364758544493064721");  // 0xfedcba9876543211
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, 20, "-1");
+    EXPECT_THROW(resilience_table::from_json(json_parse(doc)), error);
+}
+
+TEST(ResilienceTable, RunsStoredInCanonicalOrder) {
+    // Feed runs in scrambled order; the table must canonicalize so that any
+    // shard split / merge order serializes byte-identically.
+    std::vector<resilience_run> runs(3);
+    runs[0].fault_rate = 0.2;
+    runs[0].repeat = 1;
+    runs[1].fault_rate = 0.2;
+    runs[1].repeat = 0;
+    runs[2].fault_rate = 0.0;
+    runs[2].repeat = 0;
+    for (resilience_run& run : runs) { run.trajectory = {{0.0, 0.5}}; }
+    const resilience_table table(std::move(runs), 1.0);
+    EXPECT_DOUBLE_EQ(table.runs()[0].fault_rate, 0.0);
+    EXPECT_DOUBLE_EQ(table.runs()[1].fault_rate, 0.2);
+    EXPECT_EQ(table.runs()[1].repeat, 0u);
+    EXPECT_EQ(table.runs()[2].repeat, 1u);
 }
 
 TEST(ResilienceTable, RejectsEmptyAndMalformed) {
@@ -211,7 +292,7 @@ TEST_F(AnalyzerFixture, DeterministicGivenSeed) {
     }
 }
 
-TEST_F(AnalyzerFixture, RestoresModelAfterAnalysis) {
+TEST_F(AnalyzerFixture, PrototypeModelIsNeverMutated) {
     const model_snapshot before = snapshot_parameters(w().model->parameters());
     resilience_analyzer analyzer(*w().model, w().pretrained, w().train_data, w().test_data,
                                  w().array, w().trainer_cfg);
@@ -220,9 +301,10 @@ TEST_F(AnalyzerFixture, RestoresModelAfterAnalysis) {
     cfg.repeats = 1;
     cfg.max_epochs = 0.5;
     (void)analyzer.analyze(cfg);
-    // Weights restored to pretrained values, masks removed.
+    // The sweep trains per-worker clones; the prototype keeps its weights
+    // and never grows masks.
     for (std::size_t i = 0; i < before.size(); ++i) {
-        EXPECT_TRUE(w().model->parameters()[i]->value == w().pretrained.values[i]);
+        EXPECT_TRUE(w().model->parameters()[i]->value == before.values[i]);
         EXPECT_FALSE(w().model->parameters()[i]->has_mask());
     }
 }
@@ -241,6 +323,9 @@ TEST_F(AnalyzerFixture, RejectsBadConfigs) {
     EXPECT_THROW(analyzer.analyze(cfg), error);
     cfg.max_epochs = 1.0;
     cfg.fault_rates = {1.5};
+    EXPECT_THROW(analyzer.analyze(cfg), error);
+    // Duplicate rates would make sweep cells collide under sharding.
+    cfg.fault_rates = {0.1, 0.1};
     EXPECT_THROW(analyzer.analyze(cfg), error);
 }
 

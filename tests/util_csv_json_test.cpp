@@ -176,5 +176,35 @@ TEST(Json, LargeNumbersSurvive) {
     EXPECT_NEAR(json_parse(v.dump()).as_number(), x, 1e-6);
 }
 
+TEST(Json, EqualityIsDeepAndStructural) {
+    const json_value a = json_parse(R"({"x": [1, 2, {"y": "z"}], "n": null, "b": true})");
+    const json_value b = json_parse(R"({"x": [1, 2, {"y": "z"}], "n": null, "b": true})");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, json_parse(a.dump()));  // round-trip preserves equality
+}
+
+TEST(Json, EqualityDetectsDeepDifferences) {
+    const json_value base = json_parse(R"({"x": [1, 2], "s": "hi"})");
+    EXPECT_NE(base, json_parse(R"({"x": [1, 3], "s": "hi"})"));   // number deep in array
+    EXPECT_NE(base, json_parse(R"({"x": [1, 2], "s": "ho"})"));   // string
+    EXPECT_NE(base, json_parse(R"({"x": [1, 2, 3], "s": "hi"})"));  // arity
+    EXPECT_NE(base, json_parse(R"({"x": [1, 2]})"));              // missing key
+    EXPECT_NE(json_value(1.0), json_value(true));                 // type mismatch
+    EXPECT_NE(json_value(nullptr), json_value(0.0));
+}
+
+TEST(Json, EqualityIsInsertionOrderSensitive) {
+    // Matches the serializer: equal documents dump identically, so objects
+    // with reordered members must compare unequal.
+    json_object ab;
+    ab.set("a", json_value(1.0));
+    ab.set("b", json_value(2.0));
+    json_object ba;
+    ba.set("b", json_value(2.0));
+    ba.set("a", json_value(1.0));
+    EXPECT_NE(json_value(ab), json_value(ba));
+    EXPECT_NE(json_value(ab).dump(), json_value(ba).dump());
+}
+
 }  // namespace
 }  // namespace reduce

@@ -35,6 +35,22 @@ TEST(MixSeed, DistinctBasesDiffer) {
     EXPECT_NE(mix_seed(0, 0), mix_seed(0, 1));
 }
 
+TEST(MixSeed, ThreeArgIsNestedTwoArg) {
+    EXPECT_EQ(mix_seed(42, 3, 7), mix_seed(mix_seed(42, 3), 7));
+}
+
+TEST(MixSeed, ThreeArgStreamPairsDoNotAlias) {
+    // The 2D family exists so (a, b) never collides with (b, a) or with any
+    // flattened 1D encoding — the failure mode of seed schemes like
+    // base + a * K + b when a dimension exceeds K.
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t a = 0; a < 40; ++a) {
+        for (std::uint64_t b = 0; b < 40; ++b) { seeds.insert(mix_seed(7, a, b)); }
+    }
+    EXPECT_EQ(seeds.size(), 1600u);
+    EXPECT_NE(mix_seed(7, 1, 2), mix_seed(7, 2, 1));
+}
+
 TEST(Rng, SameSeedSameStream) {
     rng a(123);
     rng b(123);
