@@ -15,6 +15,8 @@
 //   --sweep-threads N     sweep worker threads   (default 1; 0 = all cores)
 //   --shard I/N           run shard I of N cells (CSV covers the shard only)
 //   --cache-dir P         reuse/store the Step-1 table under P
+//   --cache-gc            prune the Step-1 cache first (stale schemas, plus
+//                         oldest entries beyond --cache-gc-max-mb)
 //   --save-table P        dump the (shard) resilience table JSON to P
 
 #include <iostream>
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
         const cli_args args(argc, argv);
         set_log_level(args.get_flag("verbose") ? log_level::info : log_level::warn);
         stopwatch timer;
+        maybe_run_cache_gc(args);
 
         std::vector<double> rates =
             args.get_double_list("rates", {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8});

@@ -9,6 +9,7 @@
 // Usage: resilience_analysis [--rates 0,0.1,...] [--repeats 5]
 //          [--budget 6] [--targets 90,91,92] [--save table.json]
 //          [--sweep-threads N] [--shard I/N] [--cache-dir P]
+//          [--cache-gc [--cache-gc-max-mb M]]   prune the Step-1 cache first
 
 #include <iostream>
 
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
         const cli_args args(argc, argv);
         set_log_level(log_level::warn);
         stopwatch timer;
+        maybe_run_cache_gc(args);
 
         const std::vector<double> rates =
             args.get_double_list("rates", {0.0, 0.1, 0.2, 0.3, 0.4});

@@ -39,14 +39,12 @@ tensor systolic_array::run_gemm(const tensor& activations, const tensor& weight,
         for (const float w : weight.data()) { w_max = std::max(w_max, std::abs(w)); }
     }
 
-    // Precompute each (i mod R, o) → fault once; the modulo structure means a
-    // weight's fault state only depends on (i mod rows, o mod cols).
+    // The modulo structure means a weight's fault state only depends on
+    // (i mod rows, o mod cols) — read the grid's row-major storage directly
+    // instead of copying it into a per-call lookup table.
     const std::size_t rows = config_.rows;
     const std::size_t cols = config_.cols;
-    std::vector<pe_fault> fault_of(rows * cols);
-    for (std::size_t r = 0; r < rows; ++r) {
-        for (std::size_t c = 0; c < cols; ++c) { fault_of[r * cols + c] = faults_.at(r, c); }
-    }
+    const pe_fault* fault_of = faults_.states().data();
     const std::vector<std::size_t>& perm = mapping.column_permutation();
 
     tensor output({batch, fan_out});

@@ -62,12 +62,16 @@ fault_aware_trainer::fault_aware_trainer(sequential& model, const dataset& train
 double fault_aware_trainer::evaluate() {
     model_.set_training(false);
     // Evaluate in batches to bound activation memory on large test sets.
+    // The forward passes below draw their im2col/GEMM scratch from the
+    // calling thread's workspace arena, so repeated evaluations (one per
+    // trajectory checkpoint) reuse the same slabs.
     const std::size_t eval_batch = std::max<std::size_t>(cfg_.batch_size, 256);
     std::size_t correct = 0;
     std::size_t index = 0;
+    std::vector<std::size_t> indices;
     while (index < test_data_.size()) {
         const std::size_t count = std::min(eval_batch, test_data_.size() - index);
-        std::vector<std::size_t> indices(count);
+        indices.resize(count);
         for (std::size_t i = 0; i < count; ++i) { indices[i] = index + i; }
         const batch b = gather_batch(test_data_, indices);
         const tensor logits = model_.forward(b.features);

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "fault/mask_builder.h"
+#include "tensor/workspace.h"
 #include "util/error.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
@@ -167,13 +168,21 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
     auto worker = [&]() {
         chip_tuner tuner(model_, pretrained_, train_data_, test_data_, array_,
                          trainer_cfg_);
+        // Per-worker scratch: the tuner's retraining loops draw im2col/GEMM
+        // buffers from this thread's arena, warmed by the first chip and
+        // reused for every chip after it.
+        workspace& arena = workspace::local();
         tuner.set_capture_tuned(static_cast<bool>(sink_));
         for (;;) {
             // Stop picking up work once any chip has failed — the whole
             // outcome is void, so finishing the fleet would be wasted epochs.
             if (failed.load(std::memory_order_relaxed)) { return; }
             const std::size_t i = next.fetch_add(1);
-            if (i >= fleet.size()) { return; }
+            if (i >= fleet.size()) {
+                LOG_DEBUG << "fleet worker done; arena high-water "
+                          << arena.peak_floats() * sizeof(float) << " bytes";
+                return;
+            }
             try {
                 outcome.chips[i] = tuner.tune(fleet[i], allocations[i], constraint,
                                               views[i].effective_fault_rate);

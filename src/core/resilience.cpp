@@ -11,6 +11,7 @@
 
 #include "fault/mask_builder.h"
 #include "nn/module.h"
+#include "tensor/workspace.h"
 #include "util/error.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -218,6 +219,7 @@ resilience_table resilience_table::merge(const std::vector<resilience_table>& sh
 
 json_value resilience_table::to_json() const {
     json_object root;
+    root.set("schema_version", json_value(resilience_schema_version));
     root.set("max_epochs", json_value(max_epochs_));
     if (!fingerprint_.empty()) { root.set("fingerprint", json_value(fingerprint_)); }
     if (grid_cells_ != 0) { root.set("grid_cells", json_value(grid_cells_)); }
@@ -246,6 +248,18 @@ json_value resilience_table::to_json() const {
 
 resilience_table resilience_table::from_json(const json_value& value) {
     const json_object& root = value.as_object();
+    if (root.contains("schema_version")) {
+        const std::int64_t version = root.at("schema_version").as_int();
+        REDUCE_CHECK(version == resilience_schema_version,
+                     "resilience table carries schema version "
+                         << version << " but this build expects "
+                         << resilience_schema_version
+                         << " — regenerate the artifact (or run --cache-gc)");
+    }
+    // Tables without the field predate versioning (schema 1); their
+    // fingerprints can never match a current config, so the cache already
+    // treats them as misses — loading them directly stays permitted for
+    // offline inspection of old artifacts.
     std::vector<resilience_run> runs;
     for (const json_value& entry : root.at("runs").as_array()) {
         const json_object& obj = entry.as_object();
@@ -310,7 +324,11 @@ std::uint64_t fnv1a(const std::string& text, std::uint64_t hash) {
 }  // namespace
 
 std::string resilience_fingerprint(const resilience_config& cfg) {
-    std::string canon = "reduce-step1-v1|ctx=" + cfg.context + "|rates=";
+    // The schema version is hashed in, so a version bump retires every
+    // cached artifact produced by older code in one stroke.
+    std::string canon =
+        "reduce-step1-v" + std::to_string(resilience_schema_version) + "|ctx=" + cfg.context +
+        "|rates=";
     for (const double rate : cfg.fault_rates) { append_exact(canon, rate); }
     canon += "|repeats=" + std::to_string(cfg.repeats);
     canon += "|budget=";
@@ -418,6 +436,108 @@ void resilience_cache::store(const resilience_table& table, const resilience_con
     LOG_INFO << "resilience cache: stored " << path;
 }
 
+resilience_cache::gc_report resilience_cache::gc(const gc_options& opts) const {
+    gc_report report;
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir_, ec)) { return report; }
+
+    struct entry {
+        std::filesystem::path path;
+        std::uint64_t bytes = 0;
+        std::filesystem::file_time_type mtime;
+    };
+    std::vector<entry> keep;
+    const auto remove_file = [&](const std::filesystem::path& p, std::uint64_t bytes,
+                                 std::size_t& counter, const char* why) -> bool {
+        std::error_code rm_ec;
+        if (std::filesystem::remove(p, rm_ec)) {
+            ++counter;
+            report.bytes_freed += bytes;
+            LOG_INFO << "resilience cache gc: removed " << why << " entry " << p.string();
+            return true;
+        }
+        if (rm_ec) {
+            LOG_WARN << "resilience cache gc: could not remove " << p.string() << " ("
+                     << rm_ec.message() << ")";
+        }
+        return false;
+    };
+
+    for (const auto& dirent : std::filesystem::directory_iterator(dir_, ec)) {
+        if (ec || !dirent.is_regular_file()) { continue; }
+        const std::filesystem::path& path = dirent.path();
+        const std::string name = path.filename().string();
+        if (name.rfind("step1-", 0) != 0) { continue; }
+        const std::uint64_t bytes = static_cast<std::uint64_t>(dirent.file_size());
+        // .tmp litter from an interrupted store is always stale.
+        if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            ++report.scanned;
+            remove_file(path, bytes, report.removed_stale, "interrupted-store");
+            continue;
+        }
+        if (name.size() < 5 || name.compare(name.size() - 5, 5, ".json") != 0) { continue; }
+        ++report.scanned;
+        bool stale = false;
+        try {
+            const json_object& root = json_load_file(path.string()).as_object();
+            const std::int64_t version =
+                root.contains("schema_version") ? root.at("schema_version").as_int() : 1;
+            stale = version != resilience_schema_version;
+        } catch (const std::exception&) {
+            stale = true;  // unreadable counts as stale
+        }
+        if (stale) {
+            remove_file(path, bytes, report.removed_stale, "stale-schema");
+        } else {
+            keep.push_back({path, bytes, dirent.last_write_time()});
+        }
+    }
+
+    if (opts.max_total_bytes > 0) {
+        // Oldest-first eviction; name tiebreak keeps the order deterministic
+        // on filesystems with coarse mtime resolution.
+        std::sort(keep.begin(), keep.end(), [](const entry& a, const entry& b) {
+            if (a.mtime != b.mtime) { return a.mtime < b.mtime; }
+            return a.path.filename().string() < b.path.filename().string();
+        });
+        std::uint64_t total = 0;
+        for (const entry& e : keep) { total += e.bytes; }
+        for (const entry& e : keep) {
+            if (total <= opts.max_total_bytes) { break; }
+            // Only count an eviction that actually happened — a failed
+            // remove (permissions, open handle) must not let the loop stop
+            // while the directory still exceeds the budget.
+            if (remove_file(e.path, e.bytes, report.removed_oversize, "over-budget")) {
+                total -= e.bytes;
+            }
+        }
+        report.bytes_kept = total;
+    } else {
+        for (const entry& e : keep) { report.bytes_kept += e.bytes; }
+    }
+    LOG_INFO << "resilience cache gc: scanned " << report.scanned << ", removed "
+             << report.removed_stale << " stale + " << report.removed_oversize
+             << " over-budget, kept " << report.bytes_kept << " bytes in " << dir_;
+    return report;
+}
+
+resilience_cache::gc_report resilience_cache::gc() const { return gc(gc_options{}); }
+
+bool maybe_run_cache_gc(const cli_args& args) {
+    if (!args.get_flag("cache-gc")) { return false; }
+    const std::string dir = args.get("cache-dir", "");
+    REDUCE_CHECK(!dir.empty(), "--cache-gc requires --cache-dir");
+    resilience_cache::gc_options opts;
+    const double max_mb = args.get_double("cache-gc-max-mb", 0.0);
+    REDUCE_CHECK(max_mb >= 0.0, "--cache-gc-max-mb must be non-negative");
+    opts.max_total_bytes = static_cast<std::uint64_t>(max_mb * 1024.0 * 1024.0);
+    const resilience_cache::gc_report report = resilience_cache(dir).gc(opts);
+    LOG_WARN << "cache-gc: " << report.scanned << " scanned, " << report.removed_stale
+             << " stale removed, " << report.removed_oversize << " evicted for budget, "
+             << report.bytes_freed << " bytes freed";
+    return true;
+}
+
 resilience_analyzer::resilience_analyzer(const sequential& model,
                                          const model_snapshot& pretrained,
                                          const dataset& train_data, const dataset& test_data,
@@ -446,6 +566,10 @@ resilience_table resilience_analyzer::analyze(const resilience_config& cfg,
     std::atomic<std::size_t> next{0};
     const auto worker = [&]() {
         const std::unique_ptr<sequential> model = clone_model(model_);
+        // Each worker owns its thread-local workspace arena alongside its
+        // model clone: the first cell warms the slabs (im2col, GEMM packing,
+        // lowered outputs) and every later cell reuses them allocation-free.
+        workspace& arena = workspace::local();
         // One restore up front covers the first cell; afterwards the guard's
         // destructor leaves the clone at the pretrained snapshot between
         // cells, so restoring again per cell would be pure waste.
@@ -453,7 +577,12 @@ resilience_table resilience_analyzer::analyze(const resilience_config& cfg,
         fault_aware_trainer trainer(*model, train_data_, test_data_, trainer_cfg_);
         for (;;) {
             const std::size_t i = next.fetch_add(1);
-            if (i >= cells.size()) { return; }
+            if (i >= cells.size()) {
+                LOG_DEBUG << "resilience worker done; arena high-water "
+                          << arena.peak_floats() * sizeof(float) << " bytes across "
+                          << arena.pooled_bytes() << " pooled";
+                return;
+            }
             const sweep_cell& cell = cells[i];
             random_fault_config fault_cfg = cfg.fault_model;
             fault_cfg.fault_rate = cell.fault_rate;

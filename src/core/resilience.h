@@ -37,10 +37,19 @@
 #include "core/fat_trainer.h"
 #include "fault/models.h"
 #include "nn/serialize.h"
+#include "util/cli.h"
 #include "util/json.h"
 #include "util/stats.h"
 
 namespace reduce {
+
+/// Version of the Step-1 artifact schema + producing code. Part of the
+/// config fingerprint, so bumping it invalidates every cached table at
+/// once — the knob to turn whenever a change (kernel numerics, trajectory
+/// semantics, serialization layout) makes old artifacts incomparable.
+/// History: 1 = PR 2 sweep engine; 2 = blocked GEMM backend + whole-batch
+/// conv lowering (accumulation order, and thus float results, changed).
+inline constexpr int resilience_schema_version = 2;
 
 /// One fault-injection + retraining experiment.
 struct resilience_run {
@@ -229,11 +238,45 @@ public:
     void store(const resilience_table& table, const resilience_config& cfg,
                const sweep_options& opts = {}) const;
 
+    /// Garbage collection policy for gc().
+    struct gc_options {
+        /// Size budget for the surviving entries; 0 → no size pruning
+        /// (only stale entries are removed).
+        std::uint64_t max_total_bytes = 0;
+    };
+
+    /// What gc() did.
+    struct gc_report {
+        std::size_t scanned = 0;          ///< step1 cache files examined
+        std::size_t removed_stale = 0;    ///< old schema, unreadable, or tmp litter
+        std::size_t removed_oversize = 0; ///< evicted oldest-first for the budget
+        std::uint64_t bytes_freed = 0;
+        std::uint64_t bytes_kept = 0;
+    };
+
+    /// Prunes the cache directory: drops entries whose schema_version is
+    /// not current (or that fail to parse), sweeps stale .tmp litter from
+    /// interrupted stores, then — when `max_total_bytes` is set — evicts
+    /// surviving entries oldest-mtime-first until the rest fits. A missing
+    /// directory is an empty cache, not an error.
+    gc_report gc(const gc_options& opts) const;
+
+    /// gc() with default options (stale-only pruning). Separate overload:
+    /// a `= {}` default argument cannot name the nested struct before the
+    /// enclosing class is complete.
+    gc_report gc() const;
+
     const std::string& directory() const { return dir_; }
 
 private:
     std::string dir_;
 };
+
+/// CLI convenience shared by the harnesses: when `--cache-gc` is present,
+/// runs resilience_cache::gc over `--cache-dir` (required) with a size
+/// budget from `--cache-gc-max-mb` (0 → stale-only), logs a summary, and
+/// returns true. Returns false when the flag is absent.
+bool maybe_run_cache_gc(const cli_args& args);
 
 /// Runs Step 1: for each (rate, repeat) cell, restores the pre-trained
 /// weights into a per-worker model clone, injects a fresh fault map,

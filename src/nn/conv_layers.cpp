@@ -26,10 +26,12 @@ tensor conv2d_layer::forward(const tensor& input) {
 
 tensor conv2d_layer::backward(const tensor& grad_output) {
     REDUCE_CHECK(cached_input_.numel() > 0, "conv2d backward before forward");
-    conv2d_grads grads = conv2d_backward(cached_input_, weight_.value, grad_output, spec_);
-    add_inplace(weight_.grad, grads.grad_weight);
-    add_inplace(bias_.grad, grads.grad_bias);
-    return std::move(grads.grad_input);
+    // Accumulate straight into the parameter gradients — the whole-batch
+    // lowered backward writes dW/db in place, so no per-call temporaries.
+    tensor grad_input(cached_input_.shape());
+    conv2d_backward_acc(cached_input_, weight_.value, grad_output, spec_, grad_input,
+                        weight_.grad, bias_.grad);
+    return grad_input;
 }
 
 std::vector<parameter*> conv2d_layer::parameters() { return {&weight_, &bias_}; }

@@ -33,9 +33,10 @@ tensor linear::backward(const tensor& grad_output) {
                  "linear backward expects [N," << out_features_ << "], got "
                                                << grad_output.describe());
     REDUCE_CHECK(cached_input_.numel() > 0, "linear backward before forward");
-    // dW += dYᵀ · X;  db += column sums of dY;  dX = dY · W.
-    add_inplace(weight_.grad, matmul_tn(grad_output, cached_input_));
-    add_inplace(bias_.grad, column_sums(grad_output));
+    // dW += dYᵀ · X;  db += column sums of dY;  dX = dY · W. The accumulating
+    // forms write the parameter gradients in place (no temporaries).
+    matmul_tn_acc(grad_output, cached_input_, weight_.grad);
+    column_sums_acc(grad_output, bias_.grad);
     return matmul(grad_output, weight_.value);
 }
 

@@ -33,8 +33,10 @@ tensor batch_norm1d::forward(const tensor& input) {
                  "batch_norm1d expects [N," << features_ << "], got " << input.describe());
     const std::size_t batch = input.extent(0);
     tensor output(input.shape());
-    cached_normalized_ = tensor(input.shape());
-    cached_inv_std_ = tensor({features_});
+    // Reuse the cache buffers across steps — batch shape is stable within a
+    // training run, so these reallocate only on the first step.
+    cached_normalized_.ensure_shape(input.shape());
+    cached_inv_std_.ensure_shape({features_});
     cached_batch_ = batch;
 
     const float* x = input.raw();
@@ -147,8 +149,9 @@ tensor batch_norm2d::forward(const tensor& input) {
     const std::size_t plane = input.extent(2) * input.extent(3);
     const std::size_t count = batch * plane;
     tensor output(input.shape());
-    cached_normalized_ = tensor(input.shape());
-    cached_inv_std_ = tensor({channels_});
+    // Same buffer-reuse policy as batch_norm1d: steady-state allocation-free.
+    cached_normalized_.ensure_shape(input.shape());
+    cached_inv_std_.ensure_shape({channels_});
     cached_count_ = count;
 
     const float* x = input.raw();

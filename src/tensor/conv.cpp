@@ -1,8 +1,13 @@
 #include "tensor/conv.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <limits>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/workspace.h"
 #include "util/error.h"
 
 namespace reduce {
@@ -21,45 +26,128 @@ std::size_t conv2d_spec::out_w(std::size_t in_w) const {
     return (in_w + 2 * padding - kernel_w) / stride + 1;
 }
 
-tensor im2col(const tensor& image, const conv2d_spec& spec) {
-    REDUCE_CHECK(image.dim() == 3, "im2col expects [C,H,W], got " << image.describe());
-    const std::size_t channels = image.extent(0);
-    REDUCE_CHECK(channels == spec.in_channels,
-                 "im2col channel mismatch: image has " << channels << ", spec expects "
-                                                       << spec.in_channels);
-    const std::size_t in_h = image.extent(1);
-    const std::size_t in_w = image.extent(2);
+namespace {
+
+// Lowering budget: cap on the workspace slabs one chunk holds at once
+// (patch matrix + lowered output, plus the column gradient in backward).
+// Only chunk GEOMETRY depends on it, so any budget yields the same forward
+// numbers; the backward dW/db accumulation order follows the chunk split,
+// which is itself a pure function of shapes and this budget.
+std::atomic<std::size_t> lowering_budget_bytes{64u << 20};
+
+/// Images per lowered chunk: as many as the budget allows, at least 1, at
+/// most the batch. `slab_rows` is the total height of the workspace slabs
+/// held simultaneously per chunk, in patch-matrix-row units — forward
+/// leases columns + lowered output (patch + out_c rows of `plane` floats
+/// per image); backward additionally holds the column gradient
+/// (2*patch + out_c), so its chunks are smaller under the same budget.
+std::size_t images_per_chunk(std::size_t slab_rows, std::size_t plane, std::size_t batch) {
+    const std::size_t per_image = slab_rows * plane * sizeof(float);
+    if (per_image == 0) { return std::max<std::size_t>(batch, 1); }
+    const std::size_t fit = lowering_budget_bytes.load(std::memory_order_relaxed) / per_image;
+    return std::clamp<std::size_t>(fit, 1, std::max<std::size_t>(batch, 1));
+}
+
+}  // namespace
+
+std::size_t set_conv_lowering_budget_bytes(std::size_t bytes) {
+    REDUCE_CHECK(bytes > 0, "conv lowering budget must be positive");
+    return lowering_budget_bytes.exchange(bytes, std::memory_order_relaxed);
+}
+
+std::size_t conv_lowering_budget_bytes() {
+    return lowering_budget_bytes.load(std::memory_order_relaxed);
+}
+
+void im2col_batch(const float* input, std::size_t batch, std::size_t in_h, std::size_t in_w,
+                  const conv2d_spec& spec, float* dst) {
     const std::size_t oh = spec.out_h(in_h);
     const std::size_t ow = spec.out_w(in_w);
-    tensor columns({spec.patch_size(), oh * ow});
-    const float* src = image.raw();
-    float* dst = columns.raw();
     const std::size_t out_cols = oh * ow;
+    const std::size_t total_cols = batch * out_cols;
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
     std::size_t patch_row = 0;
-    for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t c = 0; c < spec.in_channels; ++c) {
         for (std::size_t kh = 0; kh < spec.kernel_h; ++kh) {
             for (std::size_t kw = 0; kw < spec.kernel_w; ++kw, ++patch_row) {
-                float* drow = dst + patch_row * out_cols;
-                for (std::size_t oy = 0; oy < oh; ++oy) {
-                    // Signed arithmetic for the padded coordinate.
-                    const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * spec.stride + kh) -
-                                              static_cast<std::ptrdiff_t>(spec.padding);
-                    for (std::size_t ox = 0; ox < ow; ++ox) {
-                        const std::ptrdiff_t ix =
-                            static_cast<std::ptrdiff_t>(ox * spec.stride + kw) -
+                float* prow = dst + patch_row * total_cols;
+                for (std::size_t n = 0; n < batch; ++n) {
+                    const float* src = input + n * image_elems;
+                    float* drow = prow + n * out_cols;
+                    for (std::size_t oy = 0; oy < oh; ++oy) {
+                        // Signed arithmetic for the padded coordinate.
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy * spec.stride + kh) -
                             static_cast<std::ptrdiff_t>(spec.padding);
-                        float value = 0.0f;
-                        if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(in_h) && ix >= 0 &&
-                            ix < static_cast<std::ptrdiff_t>(in_w)) {
-                            value = src[(c * in_h + static_cast<std::size_t>(iy)) * in_w +
-                                        static_cast<std::size_t>(ix)];
+                        if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) {
+                            std::memset(drow + oy * ow, 0, ow * sizeof(float));
+                            continue;
                         }
-                        drow[oy * ow + ox] = value;
+                        const float* srow =
+                            src + (c * in_h + static_cast<std::size_t>(iy)) * in_w;
+                        for (std::size_t ox = 0; ox < ow; ++ox) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(ox * spec.stride + kw) -
+                                static_cast<std::ptrdiff_t>(spec.padding);
+                            drow[oy * ow + ox] =
+                                (ix >= 0 && ix < static_cast<std::ptrdiff_t>(in_w))
+                                    ? srow[static_cast<std::size_t>(ix)]
+                                    : 0.0f;
+                        }
                     }
                 }
             }
         }
     }
+}
+
+void col2im_batch(const float* columns, std::size_t batch, std::size_t in_h, std::size_t in_w,
+                  const conv2d_spec& spec, float* dst) {
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    const std::size_t out_cols = oh * ow;
+    const std::size_t total_cols = batch * out_cols;
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
+    std::size_t patch_row = 0;
+    for (std::size_t c = 0; c < spec.in_channels; ++c) {
+        for (std::size_t kh = 0; kh < spec.kernel_h; ++kh) {
+            for (std::size_t kw = 0; kw < spec.kernel_w; ++kw, ++patch_row) {
+                const float* prow = columns + patch_row * total_cols;
+                for (std::size_t n = 0; n < batch; ++n) {
+                    float* img = dst + n * image_elems;
+                    const float* srow = prow + n * out_cols;
+                    for (std::size_t oy = 0; oy < oh; ++oy) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy * spec.stride + kh) -
+                            static_cast<std::ptrdiff_t>(spec.padding);
+                        if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) { continue; }
+                        float* irow = img + (c * in_h + static_cast<std::size_t>(iy)) * in_w;
+                        for (std::size_t ox = 0; ox < ow; ++ox) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(ox * spec.stride + kw) -
+                                static_cast<std::ptrdiff_t>(spec.padding);
+                            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) {
+                                continue;
+                            }
+                            irow[static_cast<std::size_t>(ix)] += srow[oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+tensor im2col(const tensor& image, const conv2d_spec& spec) {
+    REDUCE_CHECK(image.dim() == 3, "im2col expects [C,H,W], got " << image.describe());
+    REDUCE_CHECK(image.extent(0) == spec.in_channels,
+                 "im2col channel mismatch: image has " << image.extent(0)
+                                                       << ", spec expects "
+                                                       << spec.in_channels);
+    const std::size_t in_h = image.extent(1);
+    const std::size_t in_w = image.extent(2);
+    tensor columns({spec.patch_size(), spec.out_h(in_h) * spec.out_w(in_w)});
+    im2col_batch(image.raw(), 1, in_h, in_w, spec, columns.raw());
     return columns;
 }
 
@@ -71,30 +159,7 @@ tensor col2im(const tensor& columns, const conv2d_spec& spec, std::size_t in_h,
     REDUCE_CHECK(columns.extent(0) == spec.patch_size() && columns.extent(1) == oh * ow,
                  "col2im shape mismatch: " << columns.describe());
     tensor image({spec.in_channels, in_h, in_w});
-    const float* src = columns.raw();
-    float* dst = image.raw();
-    const std::size_t out_cols = oh * ow;
-    std::size_t patch_row = 0;
-    for (std::size_t c = 0; c < spec.in_channels; ++c) {
-        for (std::size_t kh = 0; kh < spec.kernel_h; ++kh) {
-            for (std::size_t kw = 0; kw < spec.kernel_w; ++kw, ++patch_row) {
-                const float* srow = src + patch_row * out_cols;
-                for (std::size_t oy = 0; oy < oh; ++oy) {
-                    const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * spec.stride + kh) -
-                                              static_cast<std::ptrdiff_t>(spec.padding);
-                    if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) { continue; }
-                    for (std::size_t ox = 0; ox < ow; ++ox) {
-                        const std::ptrdiff_t ix =
-                            static_cast<std::ptrdiff_t>(ox * spec.stride + kw) -
-                            static_cast<std::ptrdiff_t>(spec.padding);
-                        if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) { continue; }
-                        dst[(c * in_h + static_cast<std::size_t>(iy)) * in_w +
-                            static_cast<std::size_t>(ix)] += srow[oy * ow + ox];
-                    }
-                }
-            }
-        }
-    }
+    col2im_batch(columns.raw(), 1, in_h, in_w, spec, image.raw());
     return image;
 }
 
@@ -127,32 +192,42 @@ tensor conv2d_forward(const tensor& input, const tensor& weight, const tensor& b
                      "conv2d bias " << bias.describe() << " does not match out_channels");
     }
 
-    // Weight viewed as [out_c, patch_size] for the lowered GEMM.
-    const tensor weight2d = weight.reshaped({spec.out_channels, spec.patch_size()});
+    const std::size_t patch = spec.patch_size();
+    const std::size_t plane = oh * ow;
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
     tensor output({batch, spec.out_channels, oh, ow});
     float* out_ptr = output.raw();
-    const std::size_t image_elems = spec.in_channels * in_h * in_w;
-    const std::size_t out_plane = oh * ow;
+    // The weight tensor [O, C, kh, kw] IS the lowered [O, patch] matrix —
+    // row-major contiguity makes the reshape free (the seed copied it).
+    const float* weight2d = weight.raw();
 
-    for (std::size_t n = 0; n < batch; ++n) {
-        tensor image({spec.in_channels, in_h, in_w},
-                     std::vector<float>(input.raw() + n * image_elems,
-                                        input.raw() + (n + 1) * image_elems));
-        const tensor columns = im2col(image, spec);
-        const tensor result = matmul(weight2d, columns);  // [out_c, oh*ow]
-        const float* res_ptr = result.raw();
+    workspace& ws = workspace::local();
+    const std::size_t chunk = images_per_chunk(patch + spec.out_channels, plane, batch);
+    for (std::size_t n0 = 0; n0 < batch; n0 += chunk) {
+        const std::size_t nb = std::min(chunk, batch - n0);
+        const std::size_t cols = nb * plane;
+        workspace::buffer colbuf = ws.acquire(patch * cols);
+        im2col_batch(input.raw() + n0 * image_elems, nb, in_h, in_w, spec, colbuf.data());
+        workspace::buffer outbuf = ws.acquire(spec.out_channels * cols);
+        gemm_nn(spec.out_channels, cols, patch, weight2d, patch, colbuf.data(), cols,
+                outbuf.data(), cols, /*accumulate=*/false, ws);
+        // Scatter [O, nb*plane] back to [N, O, plane] layout, adding bias.
         for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
             const float b = has_bias ? bias[oc] : 0.0f;
-            float* dst = out_ptr + (n * spec.out_channels + oc) * out_plane;
-            const float* srow = res_ptr + oc * out_plane;
-            for (std::size_t i = 0; i < out_plane; ++i) { dst[i] = srow[i] + b; }
+            const float* srow = outbuf.data() + oc * cols;
+            for (std::size_t n = 0; n < nb; ++n) {
+                float* dst = out_ptr + ((n0 + n) * spec.out_channels + oc) * plane;
+                const float* src = srow + n * plane;
+                for (std::size_t i = 0; i < plane; ++i) { dst[i] = src[i] + b; }
+            }
         }
     }
     return output;
 }
 
-conv2d_grads conv2d_backward(const tensor& input, const tensor& weight,
-                             const tensor& grad_output, const conv2d_spec& spec) {
+void conv2d_backward_acc(const tensor& input, const tensor& weight, const tensor& grad_output,
+                         const conv2d_spec& spec, tensor& grad_input, tensor& grad_weight,
+                         tensor& grad_bias) {
     check_conv_inputs(input, weight, spec);
     const std::size_t batch = input.extent(0);
     const std::size_t in_h = input.extent(2);
@@ -163,47 +238,69 @@ conv2d_grads conv2d_backward(const tensor& input, const tensor& weight,
                      grad_output.extent(1) == spec.out_channels && grad_output.extent(2) == oh &&
                      grad_output.extent(3) == ow,
                  "conv2d grad_output " << grad_output.describe() << " does not match geometry");
+    REDUCE_CHECK(grad_input.shape() == input.shape(),
+                 "conv2d grad_input " << grad_input.describe() << " does not match input");
+    REDUCE_CHECK(grad_weight.shape() == weight.shape(),
+                 "conv2d grad_weight " << grad_weight.describe() << " does not match weight");
+    REDUCE_CHECK(grad_bias.dim() == 1 && grad_bias.extent(0) == spec.out_channels,
+                 "conv2d grad_bias " << grad_bias.describe() << " does not match out_channels");
 
-    const tensor weight2d = weight.reshaped({spec.out_channels, spec.patch_size()});
-    conv2d_grads grads{tensor(input.shape()), tensor(weight.shape()), tensor({spec.out_channels})};
-    tensor grad_weight2d({spec.out_channels, spec.patch_size()});
-
+    const std::size_t patch = spec.patch_size();
+    const std::size_t plane = oh * ow;
     const std::size_t image_elems = spec.in_channels * in_h * in_w;
-    const std::size_t out_plane = oh * ow;
-    float* gin_ptr = grads.grad_input.raw();
-    float* gb_ptr = grads.grad_bias.raw();
+    const float* weight2d = weight.raw();  // [O, patch] view, reshape-free
+    float* gw = grad_weight.raw();         // [O, patch] view
+    float* gb = grad_bias.raw();
+    float* gin = grad_input.raw();
 
-    for (std::size_t n = 0; n < batch; ++n) {
-        tensor image({spec.in_channels, in_h, in_w},
-                     std::vector<float>(input.raw() + n * image_elems,
-                                        input.raw() + (n + 1) * image_elems));
-        const tensor columns = im2col(image, spec);  // [patch, oh*ow]
-        tensor grad_out2d({spec.out_channels, out_plane},
-                          std::vector<float>(
-                              grad_output.raw() + n * spec.out_channels * out_plane,
-                              grad_output.raw() + (n + 1) * spec.out_channels * out_plane));
+    workspace& ws = workspace::local();
+    // Three slabs live at once here (columns, lowered dY, column gradient).
+    const std::size_t chunk = images_per_chunk(2 * patch + spec.out_channels, plane, batch);
+    for (std::size_t n0 = 0; n0 < batch; n0 += chunk) {
+        const std::size_t nb = std::min(chunk, batch - n0);
+        const std::size_t cols = nb * plane;
+        workspace::buffer colbuf = ws.acquire(patch * cols);
+        im2col_batch(input.raw() + n0 * image_elems, nb, in_h, in_w, spec, colbuf.data());
 
-        // dW += dY · colsᵀ  → matmul_nt(grad_out2d [O, P], columns [patch, P]).
-        const tensor gw = matmul_nt(grad_out2d, columns);  // [O, patch]
-        add_inplace(grad_weight2d, gw);
-
-        // db += row sums of dY.
-        const float* go = grad_out2d.raw();
+        // Gather dY from [N, O, plane] into the lowered [O, nb*plane] layout.
+        workspace::buffer gobuf = ws.acquire(spec.out_channels * cols);
         for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
-            float acc = 0.0f;
-            const float* row = go + oc * out_plane;
-            for (std::size_t i = 0; i < out_plane; ++i) { acc += row[i]; }
-            gb_ptr[oc] += acc;
+            float* drow = gobuf.data() + oc * cols;
+            for (std::size_t n = 0; n < nb; ++n) {
+                const float* src =
+                    grad_output.raw() + ((n0 + n) * spec.out_channels + oc) * plane;
+                std::memcpy(drow + n * plane, src, plane * sizeof(float));
+            }
         }
 
-        // dX = col2im(Wᵀ · dY).
-        const tensor grad_cols = matmul_tn(weight2d, grad_out2d);  // [patch, oh*ow]
-        const tensor grad_image = col2im(grad_cols, spec, in_h, in_w);
-        const float* gi = grad_image.raw();
-        float* dst = gin_ptr + n * image_elems;
-        for (std::size_t i = 0; i < image_elems; ++i) { dst[i] += gi[i]; }
+        // dW += dY · colsᵀ — one GEMM for the whole chunk, straight into
+        // the parameter gradient.
+        gemm_nt(spec.out_channels, patch, cols, gobuf.data(), cols, colbuf.data(), cols, gw,
+                patch, /*accumulate=*/true, ws);
+
+        // db += row sums of dY.
+        for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+            const float* row = gobuf.data() + oc * cols;
+            float acc = 0.0f;
+            for (std::size_t i = 0; i < cols; ++i) { acc += row[i]; }
+            gb[oc] += acc;
+        }
+
+        // dX += col2im(Wᵀ · dY); the column gradient reuses the im2col slab
+        // shape, and col2im_batch accumulates in place.
+        workspace::buffer gradcols = ws.acquire(patch * cols);
+        gemm_tn(patch, cols, spec.out_channels, weight2d, patch, gobuf.data(), cols,
+                gradcols.data(), cols, /*accumulate=*/false, ws);
+        col2im_batch(gradcols.data(), nb, in_h, in_w, spec, gin + n0 * image_elems);
     }
-    grads.grad_weight = grad_weight2d.reshaped(weight.shape());
+}
+
+conv2d_grads conv2d_backward(const tensor& input, const tensor& weight,
+                             const tensor& grad_output, const conv2d_spec& spec) {
+    conv2d_grads grads{tensor(input.shape()), tensor(weight.shape()),
+                       tensor({spec.out_channels})};
+    conv2d_backward_acc(input, weight, grad_output, spec, grads.grad_input, grads.grad_weight,
+                        grads.grad_bias);
     return grads;
 }
 
@@ -257,12 +354,17 @@ tensor max_pool2d_backward(const tensor& grad_output, const std::vector<std::siz
                  "pool backward: argmax size " << argmax.size() << " != grad elements "
                                                << grad_output.numel());
     tensor grad_input(input_shape);
+    // Validate once up front (max element) instead of per scatter: the hot
+    // loop below then runs branch-free.
+    if (!argmax.empty()) {
+        const std::size_t worst = *std::max_element(argmax.begin(), argmax.end());
+        REDUCE_CHECK(worst < grad_input.numel(),
+                     "pool backward: argmax " << worst << " out of range for "
+                                              << grad_input.describe());
+    }
     float* dst = grad_input.raw();
     const float* src = grad_output.raw();
-    for (std::size_t i = 0; i < argmax.size(); ++i) {
-        REDUCE_CHECK(argmax[i] < grad_input.numel(), "pool backward: argmax out of range");
-        dst[argmax[i]] += src[i];
-    }
+    for (std::size_t i = 0; i < argmax.size(); ++i) { dst[argmax[i]] += src[i]; }
     return grad_input;
 }
 

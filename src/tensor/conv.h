@@ -1,9 +1,17 @@
 // Convolution and pooling primitives (im2col formulation).
 //
 // conv2d lowers to the matmul  [out_c] x [in_c*kh*kw]  ·  [in_c*kh*kw] x [oh*ow]
-// per image — exactly the GEMM shape a weight-stationary systolic array
-// executes, which is why the fault-map → weight-mask equivalence proven for
-// linear layers carries over to convolutions unchanged.
+// — exactly the GEMM shape a weight-stationary systolic array executes,
+// which is why the fault-map → weight-mask equivalence proven for linear
+// layers carries over to convolutions unchanged.
+//
+// The forward/backward entry points lower the WHOLE batch at once: one
+// [patch, N*oh*ow] patch matrix and a single blocked GEMM per layer instead
+// of N small ones, with every scratch buffer leased from the thread-local
+// workspace arena (no per-image copies, no per-call allocation after
+// warm-up). When the patch matrix would exceed the lowering budget the
+// batch is split into fixed-size image chunks — a shape-only decision, so
+// results stay deterministic for a given geometry.
 #pragma once
 
 #include "tensor/tensor.h"
@@ -37,6 +45,30 @@ tensor im2col(const tensor& image, const conv2d_spec& spec);
 tensor col2im(const tensor& columns, const conv2d_spec& spec, std::size_t in_h,
               std::size_t in_w);
 
+/// Whole-batch lowering: writes the patch matrix [patch_size, batch*oh*ow]
+/// of `batch` images (contiguous [C,H,W] blocks at `input`) into `dst`
+/// (size patch_size * batch*oh*ow). Column n*oh*ow + oy*ow + ox holds the
+/// patch of image n at output position (oy, ox).
+void im2col_batch(const float* input, std::size_t batch, std::size_t in_h, std::size_t in_w,
+                  const conv2d_spec& spec, float* dst);
+
+/// Adjoint of im2col_batch: ACCUMULATES (+=) the patch-matrix gradients in
+/// `columns` [patch_size, batch*oh*ow] back onto `batch` images at `dst`.
+void col2im_batch(const float* columns, std::size_t batch, std::size_t in_h, std::size_t in_w,
+                  const conv2d_spec& spec, float* dst);
+
+/// Byte budget for the workspace scratch one lowered conv chunk holds at
+/// once (default 64 MiB): patch matrix + lowered output in forward, plus
+/// the column gradient in backward. conv2d splits batches that would
+/// exceed it into equal image chunks. Exposed for tests (exercising the
+/// chunked path on small shapes) and for memory-constrained deployments;
+/// returns the previous value. The chunk split depends only on shapes and
+/// this budget, never on data.
+std::size_t set_conv_lowering_budget_bytes(std::size_t bytes);
+
+/// Current lowering budget in bytes.
+std::size_t conv_lowering_budget_bytes();
+
 /// conv2d forward over a batch.
 /// input  [N, C, H, W], weight [out_c, in_c, kh, kw], bias [out_c] (optional,
 /// pass empty tensor to skip) → output [N, out_c, oh, ow].
@@ -53,6 +85,14 @@ struct conv2d_grads {
 /// conv2d backward over a batch given upstream gradient [N, out_c, oh, ow].
 conv2d_grads conv2d_backward(const tensor& input, const tensor& weight,
                              const tensor& grad_output, const conv2d_spec& spec);
+
+/// Accumulating conv2d backward: adds this batch's gradients onto the
+/// provided tensors (grad_input [N,C,H,W], grad_weight [O,C,kh,kw],
+/// grad_bias [O]) — the layer path, which writes parameter gradients in
+/// place instead of materializing temporaries.
+void conv2d_backward_acc(const tensor& input, const tensor& weight, const tensor& grad_output,
+                         const conv2d_spec& spec, tensor& grad_input, tensor& grad_weight,
+                         tensor& grad_bias);
 
 /// 2x2-style max pooling geometry.
 struct pool2d_spec {

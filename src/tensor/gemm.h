@@ -1,0 +1,48 @@
+// Cache-blocked single-precision GEMM kernels on raw row-major buffers.
+//
+// This is the compute core under the tensor-level matmul family and the
+// whole-batch conv lowering. The design is the classic three-level blocking
+// (BLIS-style) tuned for the single-core experiment machine:
+//
+//   * K is split into KC-deep panels so a packed B panel (KC x NC floats)
+//     stays resident in L2 while a packed A block (MC x KC) streams through;
+//   * inside a block, an MR x NR register micro-kernel accumulates into a
+//     local tile that the compiler keeps in vector registers — the j loop is
+//     NR-wide and unrolled, so it auto-vectorizes under -O2 (gcc >= 12 and
+//     clang both vectorize it; REDUCE_NATIVE widens the vectors);
+//   * both operands are packed into strip-major layouts, which is also what
+//     makes one micro-kernel serve all three transpose variants — the
+//     packing routines absorb the A/B layouts via strides.
+//
+// Determinism: for a fixed (m, n, k) the accumulation order of every output
+// element is fixed — KC panels in ascending order, p ascending within a
+// panel — independent of input values, thread count, or pool state. There
+// is deliberately no data-dependent shortcut (the seed kernel's
+// `if (a == 0) continue;` made runtime input-dependent and silently dropped
+// NaN/Inf propagation from B).
+#pragma once
+
+#include <cstddef>
+
+namespace reduce {
+
+class workspace;
+
+/// C[m,n] (+)= A[m,k] · B[k,n]. `lda/ldb/ldc` are row strides of the
+/// row-major operands; pass `accumulate = false` to overwrite C.
+/// Packing scratch comes from `ws` (no allocation after warm-up).
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate,
+             workspace& ws);
+
+/// C[m,n] (+)= A[m,k] · Bᵀ where B is stored row-major as [n,k].
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate,
+             workspace& ws);
+
+/// C[m,n] (+)= Aᵀ · B where A is stored row-major as [k,m], B as [k,n].
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
+             const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate,
+             workspace& ws);
+
+}  // namespace reduce

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/gemm.h"
+#include "tensor/workspace.h"
 #include "util/error.h"
 
 namespace reduce {
@@ -87,19 +89,8 @@ tensor matmul(const tensor& a, const tensor& b) {
                  "matmul inner dimensions differ: " << a.describe() << " vs " << b.describe());
     const std::size_t n = b.extent(1);
     tensor c({m, n});
-    const float* pa = a.raw();
-    const float* pb = b.raw();
-    float* pc = c.raw();
-    // ikj order: streams B and C rows, keeps a[i*k+p] in a register.
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t p = 0; p < k; ++p) {
-            const float aip = pa[i * k + p];
-            if (aip == 0.0f) { continue; }
-            const float* brow = pb + p * n;
-            float* crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j) { crow[j] += aip * brow[j]; }
-        }
-    }
+    gemm_nn(m, n, k, a.raw(), k, b.raw(), n, c.raw(), n, /*accumulate=*/false,
+            workspace::local());
     return c;
 }
 
@@ -113,19 +104,8 @@ tensor matmul_nt(const tensor& a, const tensor& b) {
                                                        << b.describe());
     const std::size_t n = b.extent(0);
     tensor c({m, n});
-    const float* pa = a.raw();
-    const float* pb = b.raw();
-    float* pc = c.raw();
-    // Both operands are traversed row-major: dot(a_row, b_row).
-    for (std::size_t i = 0; i < m; ++i) {
-        const float* arow = pa + i * k;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            float acc = 0.0f;
-            for (std::size_t p = 0; p < k; ++p) { acc += arow[p] * brow[p]; }
-            pc[i * n + j] = acc;
-        }
-    }
+    gemm_nt(m, n, k, a.raw(), k, b.raw(), k, c.raw(), n, /*accumulate=*/false,
+            workspace::local());
     return c;
 }
 
@@ -139,21 +119,25 @@ tensor matmul_tn(const tensor& a, const tensor& b) {
                                                        << b.describe());
     const std::size_t n = b.extent(1);
     tensor c({m, n});
-    const float* pa = a.raw();
-    const float* pb = b.raw();
-    float* pc = c.raw();
-    // Accumulate rank-1 updates row by row of the shared leading dimension.
-    for (std::size_t p = 0; p < k; ++p) {
-        const float* arow = pa + p * m;
-        const float* brow = pb + p * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float aip = arow[i];
-            if (aip == 0.0f) { continue; }
-            float* crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j) { crow[j] += aip * brow[j]; }
-        }
-    }
+    gemm_tn(m, n, k, a.raw(), m, b.raw(), n, c.raw(), n, /*accumulate=*/false,
+            workspace::local());
     return c;
+}
+
+void matmul_tn_acc(const tensor& a, const tensor& b, tensor& c) {
+    check_rank2(a, "matmul_tn_acc");
+    check_rank2(b, "matmul_tn_acc");
+    const std::size_t k = a.extent(0);
+    const std::size_t m = a.extent(1);
+    REDUCE_CHECK(b.extent(0) == k,
+                 "matmul_tn_acc inner dimensions differ: " << a.describe() << " vs "
+                                                           << b.describe());
+    const std::size_t n = b.extent(1);
+    REDUCE_CHECK(c.dim() == 2 && c.extent(0) == m && c.extent(1) == n,
+                 "matmul_tn_acc output " << c.describe() << " does not match [" << m << ", "
+                                         << n << "]");
+    gemm_tn(m, n, k, a.raw(), m, b.raw(), n, c.raw(), n, /*accumulate=*/true,
+            workspace::local());
 }
 
 void add_row_bias_inplace(tensor& a, const tensor& bias) {
@@ -172,16 +156,24 @@ void add_row_bias_inplace(tensor& a, const tensor& bias) {
 
 tensor column_sums(const tensor& a) {
     check_rank2(a, "column_sums");
+    tensor sums({a.extent(1)});
+    column_sums_acc(a, sums);
+    return sums;
+}
+
+void column_sums_acc(const tensor& a, tensor& sums) {
+    check_rank2(a, "column_sums_acc");
     const std::size_t m = a.extent(0);
     const std::size_t n = a.extent(1);
-    tensor sums({n});
+    REDUCE_CHECK(sums.dim() == 1 && sums.extent(0) == n,
+                 "column_sums_acc output " << sums.describe() << " does not match columns of "
+                                           << a.describe());
     const float* pa = a.raw();
     float* ps = sums.raw();
     for (std::size_t i = 0; i < m; ++i) {
         const float* row = pa + i * n;
         for (std::size_t j = 0; j < n; ++j) { ps[j] += row[j]; }
     }
-    return sums;
 }
 
 tensor softmax_rows(const tensor& a) {

@@ -1,9 +1,12 @@
 // Tensor operations used by the NN layers and the accelerator model.
 //
 // Everything here is a free function over contiguous tensors; all shape
-// mismatches throw shape_error. Hot paths (matmul family) are written as
-// cache-friendly ikj loops — on the single-core experiment machine they are
-// the dominant cost of fault-aware retraining.
+// mismatches throw shape_error. The matmul family — the dominant cost of
+// fault-aware retraining on the single-core experiment machine — runs on
+// the cache-blocked, register-tiled kernels of tensor/gemm.h with packing
+// scratch from the thread-local workspace arena (tensor/workspace.h), so a
+// steady-state training loop performs no per-call allocation beyond the
+// returned output tensor.
 #pragma once
 
 #include "tensor/tensor.h"
@@ -48,6 +51,11 @@ tensor matmul_nt(const tensor& a, const tensor& b);
 /// C[m,n] = Aᵀ · B where A is [k,m], B is [k,n]. Used for weight gradients.
 tensor matmul_tn(const tensor& a, const tensor& b);
 
+/// c += Aᵀ · B with shapes as in matmul_tn. The gradient-accumulation
+/// primitive: writes straight into a parameter's grad tensor instead of
+/// materializing a temporary product.
+void matmul_tn_acc(const tensor& a, const tensor& b, tensor& c);
+
 // ---- rows (batch) operations -------------------------------------------------
 
 /// Adds `bias` (shape [n]) to every row of `a` (shape [m,n]) in place.
@@ -55,6 +63,9 @@ void add_row_bias_inplace(tensor& a, const tensor& bias);
 
 /// Column sums of a [m,n] tensor → [n]. Used for bias gradients.
 tensor column_sums(const tensor& a);
+
+/// sums += column sums of `a` (shape [n]); allocation-free bias-grad path.
+void column_sums_acc(const tensor& a, tensor& sums);
 
 /// Row-wise softmax of a [m,n] tensor (numerically stabilized).
 tensor softmax_rows(const tensor& a);

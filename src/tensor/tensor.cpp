@@ -117,6 +117,12 @@ void tensor::reshape(shape_t new_shape) {
     shape_ = std::move(new_shape);
 }
 
+void tensor::ensure_shape(const shape_t& new_shape) {
+    const std::size_t needed = shape_numel(new_shape);
+    if (needed != data_.size()) { data_.resize(needed); }
+    shape_ = new_shape;
+}
+
 bool tensor::operator==(const tensor& other) const {
     return shape_ == other.shape_ && data_ == other.data_;
 }

@@ -93,6 +93,13 @@ public:
     /// Reinterprets the shape in place; element count must match.
     void reshape(shape_t new_shape);
 
+    /// Adopts `new_shape`, reusing the existing buffer when the element
+    /// count already matches (no reallocation) and reallocating otherwise.
+    /// Contents are unspecified afterwards — this is the reuse primitive for
+    /// per-step cache tensors (batch-norm x̂, layer scratch) whose shape is
+    /// stable across training steps.
+    void ensure_shape(const shape_t& new_shape);
+
     /// Elementwise equality (exact float comparison).
     bool operator==(const tensor& other) const;
 

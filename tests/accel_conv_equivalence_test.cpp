@@ -104,6 +104,51 @@ TEST_P(ConvEquivalence, FaultyArrayEqualsMaskedConvLayer) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, ConvEquivalence, ::testing::Values(0.0, 0.05, 0.15, 0.3));
 
+TEST(ConvEquivalence, WholeBatchLoweringPreservesFaultEquivalence) {
+    // The conv layer now lowers the WHOLE batch into one GEMM (and splits
+    // into chunks under a memory budget). The per-image hardware execution
+    // must still match — chunk boundaries are invisible to the fault
+    // semantics because every output column is an independent dot product.
+    array_config cfg;
+    cfg.rows = 16;
+    cfg.cols = 16;
+    random_fault_config fc;
+    fc.fault_rate = 0.2;
+    const fault_grid faults = generate_random_faults(cfg, fc, 29);
+    const systolic_array array(cfg, faults);
+
+    rng gen(9);
+    const conv2d_spec spec{3, 5, 3, 3, 1, 1};
+    conv2d_layer layer(spec, gen);
+    const tensor input = random_tensor({6, 3, 6, 6}, gen);
+
+    const gemm_mapping mapping(cfg, spec.patch_size(), spec.out_channels);
+    tensor hw = conv_on_array(input, layer.weight().value, spec, array, mapping);
+    const std::size_t plane = 36;
+    for (std::size_t n = 0; n < 6; ++n) {
+        for (std::size_t oc = 0; oc < 5; ++oc) {
+            for (std::size_t i = 0; i < plane; ++i) {
+                hw[(n * 5 + oc) * plane + i] += layer.bias().value[oc];
+            }
+        }
+    }
+
+    tensor mask = build_weight_mask(mapping, faults);
+    mask.reshape(layer.weight().value.shape());
+    layer.weight().mask = std::move(mask);
+    layer.weight().apply_mask();
+
+    // Whole batch in one lowered GEMM…
+    const tensor sw_whole = layer.forward(input);
+    EXPECT_TRUE(hw.allclose(sw_whole, 2e-4f));
+
+    // …and again with a budget that forces one-image chunks.
+    const std::size_t previous = set_conv_lowering_budget_bytes(1);
+    const tensor sw_chunked = layer.forward(input);
+    set_conv_lowering_budget_bytes(previous);
+    EXPECT_TRUE(sw_chunked == sw_whole) << "chunk split changed forward results";
+}
+
 TEST(ConvEquivalence, AttachFaultMasksUsesIdenticalMapping) {
     // attach_fault_masks on a model must produce the same mask the manual
     // path above builds — guards against mapping drift between modules.

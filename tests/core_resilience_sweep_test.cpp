@@ -295,5 +295,68 @@ TEST(ResilienceCache, CorruptEntryIsAMiss) {
     std::filesystem::remove_all(dir);
 }
 
+TEST(ResilienceTable, SerializesSchemaVersionAndRejectsForeignOnes) {
+    resilience_run run;
+    run.fault_rate = 0.1;
+    run.trajectory = {{0.0, 0.5}, {1.0, 0.8}};
+    const resilience_table table({run}, 1.0);
+    json_value json = table.to_json();
+    EXPECT_EQ(json.as_object().at("schema_version").as_int(), resilience_schema_version);
+    // Round-trips…
+    EXPECT_EQ(resilience_table::from_json(json).to_json(), json);
+    // …but a foreign schema version is refused.
+    json_object forged = json.as_object();
+    forged.set("schema_version", json_value(resilience_schema_version + 1));
+    EXPECT_THROW(resilience_table::from_json(json_value(std::move(forged))), error);
+}
+
+TEST(ResilienceCache, GcRemovesStaleKeepsCurrentAndEnforcesBudget) {
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / "reduce_gc_cache").string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    const auto write_file = [&](const std::string& name, const std::string& text) {
+        std::ofstream out((std::filesystem::path(dir) / name).string());
+        out << text;
+    };
+
+    // A valid current-schema entry.
+    resilience_run run;
+    run.fault_rate = 0.1;
+    run.trajectory = {{0.0, 0.5}, {1.0, 0.8}};
+    const resilience_table table({run}, 1.0);
+    write_file("step1-current.json", table.to_json().dump());
+    // A pre-versioning (schema 1) entry, an unreadable one, interrupted-store
+    // litter, and a non-cache file that must be left alone.
+    write_file("step1-old.json", "{\"max_epochs\": 1, \"runs\": []}");
+    write_file("step1-broken.json", "{not json");
+    write_file("step1-partial.json.tmp", "{");
+    write_file("unrelated.json", "{}");
+
+    const resilience_cache cache(dir);
+    const resilience_cache::gc_report report = cache.gc();
+    EXPECT_EQ(report.scanned, 4u);
+    EXPECT_EQ(report.removed_stale, 3u);
+    EXPECT_EQ(report.removed_oversize, 0u);
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / "step1-current.json"));
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / "unrelated.json"));
+    EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir) / "step1-old.json"));
+    EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir) / "step1-broken.json"));
+    EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir) / "step1-partial.json.tmp"));
+
+    // A 1-byte budget evicts even the surviving entry.
+    resilience_cache::gc_options tight;
+    tight.max_total_bytes = 1;
+    const resilience_cache::gc_report evicted = cache.gc(tight);
+    EXPECT_EQ(evicted.removed_oversize, 1u);
+    EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir) / "step1-current.json"));
+
+    // Missing directory: empty report, no throw.
+    std::filesystem::remove_all(dir);
+    const resilience_cache::gc_report empty = resilience_cache(dir).gc();
+    EXPECT_EQ(empty.scanned, 0u);
+}
+
 }  // namespace
 }  // namespace reduce

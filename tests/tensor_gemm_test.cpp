@@ -1,0 +1,351 @@
+// Tests for the blocked GEMM backend and the workspace arena: kernels vs a
+// double-precision naive reference across tile-boundary shapes, NaN/Inf
+// propagation (the seed kernel's zero-skip branch dropped it), workspace
+// reuse safety, and whole-batch conv lowering equivalence (including the
+// chunked path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "tensor/conv.h"
+#include "tensor/gemm.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/workspace.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+tensor random_tensor(shape_t shape, rng& gen) {
+    tensor t(std::move(shape));
+    uniform_init(t, -1.0f, 1.0f, gen);
+    return t;
+}
+
+// Double-precision references; `op` picks the operand layouts used by
+// matmul (nn), matmul_nt (nt), and matmul_tn (tn).
+tensor reference_gemm(const std::string& op, const tensor& a, const tensor& b, std::size_t m,
+                      std::size_t k, std::size_t n) {
+    tensor c({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t p = 0; p < k; ++p) {
+                const double av = op == "tn" ? a.raw()[p * m + i] : a.raw()[i * k + p];
+                const double bv = op == "nt" ? b.raw()[j * k + p] : b.raw()[p * n + j];
+                acc += av * bv;
+            }
+            c.raw()[i * n + j] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+// Shapes straddling every tile boundary: micro-tile (4x16), cache blocks
+// (MC=64, NC=64, KC=256), and degenerate 1-extent cases.
+const std::vector<std::array<std::size_t, 3>> kShapes = {
+    {1, 1, 1},   {1, 7, 1},    {7, 13, 5},   {4, 16, 16},  {5, 17, 15},
+    {64, 64, 64}, {65, 64, 63}, {63, 65, 64}, {127, 255, 65}, {3, 300, 2},
+    {68, 257, 70},
+};
+
+float tol_for(std::size_t k) {
+    // Order-of-summation rounding ~ k * eps * |partials|; generous band.
+    return 1e-5f + 1e-6f * static_cast<float>(k);
+}
+
+TEST(BlockedGemm, MatmulMatchesReferenceAcrossTileEdges) {
+    rng gen(11);
+    for (const auto& [m, k, n] : kShapes) {
+        const tensor a = random_tensor({m, k}, gen);
+        const tensor b = random_tensor({k, n}, gen);
+        EXPECT_TRUE(matmul(a, b).allclose(reference_gemm("nn", a, b, m, k, n), tol_for(k)))
+            << m << "x" << k << "x" << n;
+    }
+}
+
+TEST(BlockedGemm, MatmulNtMatchesReferenceAcrossTileEdges) {
+    rng gen(13);
+    for (const auto& [m, k, n] : kShapes) {
+        const tensor a = random_tensor({m, k}, gen);
+        const tensor b = random_tensor({n, k}, gen);
+        EXPECT_TRUE(matmul_nt(a, b).allclose(reference_gemm("nt", a, b, m, k, n), tol_for(k)))
+            << m << "x" << k << "x" << n;
+    }
+}
+
+TEST(BlockedGemm, MatmulTnMatchesReferenceAcrossTileEdges) {
+    rng gen(17);
+    for (const auto& [m, k, n] : kShapes) {
+        const tensor a = random_tensor({k, m}, gen);
+        const tensor b = random_tensor({k, n}, gen);
+        EXPECT_TRUE(matmul_tn(a, b).allclose(reference_gemm("tn", a, b, m, k, n), tol_for(k)))
+            << m << "x" << k << "x" << n;
+    }
+}
+
+TEST(BlockedGemm, MatmulTnAccAccumulatesInPlace) {
+    rng gen(19);
+    const tensor a = random_tensor({6, 5}, gen);  // [k, m]
+    const tensor b = random_tensor({6, 9}, gen);  // [k, n]
+    tensor c = random_tensor({5, 9}, gen);
+    tensor expected = add(c, matmul_tn(a, b));
+    matmul_tn_acc(a, b, c);
+    EXPECT_TRUE(c.allclose(expected, 1e-6f));
+}
+
+TEST(BlockedGemm, PropagatesNanFromBThroughZeroInA) {
+    // Seed kernel skipped a == 0 rows, silently converting NaN/Inf in B to
+    // 0 in C. 0 * NaN must stay NaN.
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    tensor a({1, 2});
+    a[0] = 0.0f;
+    a[1] = 0.0f;
+    tensor b({2, 1});
+    b[0] = nan;
+    b[1] = 1.0f;
+    EXPECT_TRUE(std::isnan(matmul(a, b)[0]));
+
+    tensor at({2, 1});  // [k, m] for the tn variant
+    at[0] = 0.0f;
+    at[1] = 0.0f;
+    tensor bt({2, 1});
+    bt[0] = nan;
+    bt[1] = 2.0f;
+    EXPECT_TRUE(std::isnan(matmul_tn(at, bt)[0]));
+}
+
+TEST(BlockedGemm, PropagatesInfinity) {
+    const float inf = std::numeric_limits<float>::infinity();
+    tensor a({1, 1});
+    a[0] = 0.0f;
+    tensor b({1, 1});
+    b[0] = inf;
+    EXPECT_TRUE(std::isnan(matmul(a, b)[0]));  // 0 * inf = NaN per IEEE
+}
+
+TEST(BlockedGemm, DeterministicAcrossRepeatedCalls) {
+    rng gen(23);
+    const tensor a = random_tensor({37, 129}, gen);
+    const tensor b = random_tensor({129, 41}, gen);
+    const tensor first = matmul(a, b);
+    for (int i = 0; i < 3; ++i) { EXPECT_TRUE(matmul(a, b) == first); }
+}
+
+// ---- workspace arena --------------------------------------------------------
+
+TEST(Workspace, ReusesSlabsAfterRelease) {
+    workspace ws;
+    const float* first = nullptr;
+    {
+        workspace::buffer b = ws.acquire(1024);
+        first = b.data();
+        EXPECT_EQ(ws.outstanding(), 1u);
+    }
+    EXPECT_EQ(ws.outstanding(), 0u);
+    workspace::buffer again = ws.acquire(1000);  // fits in the pooled slab
+    EXPECT_EQ(again.data(), first);
+}
+
+TEST(Workspace, BestFitPrefersSmallestSlab) {
+    workspace ws;
+    const float* small = nullptr;
+    const float* big = nullptr;
+    {
+        workspace::buffer a = ws.acquire(64);
+        workspace::buffer b = ws.acquire(4096);
+        small = a.data();
+        big = b.data();
+    }
+    workspace::buffer c = ws.acquire(60);
+    EXPECT_EQ(c.data(), small);
+    workspace::buffer d = ws.acquire(3000);
+    EXPECT_EQ(d.data(), big);
+}
+
+TEST(Workspace, NestedLeasesDoNotAlias) {
+    workspace ws;
+    workspace::buffer a = ws.acquire(128);
+    workspace::buffer b = ws.acquire(128);
+    EXPECT_NE(a.data(), b.data());
+    EXPECT_EQ(ws.outstanding(), 2u);
+}
+
+TEST(Workspace, AcquireZeroedZeroesTheLease) {
+    workspace ws;
+    {
+        workspace::buffer dirty = ws.acquire(256);
+        for (std::size_t i = 0; i < 256; ++i) { dirty.data()[i] = 1.0f; }
+    }
+    workspace::buffer clean = ws.acquire_zeroed(256);
+    for (std::size_t i = 0; i < 256; ++i) { ASSERT_EQ(clean.data()[i], 0.0f); }
+}
+
+TEST(Workspace, TrimReleasesPooledMemory) {
+    workspace ws;
+    { workspace::buffer b = ws.acquire(1 << 16); }
+    EXPECT_GT(ws.pooled_bytes(), 0u);
+    ws.trim();
+    EXPECT_EQ(ws.pooled_bytes(), 0u);
+    // Leased slabs survive a trim and are dropped (not pooled) on return.
+    workspace::buffer live = ws.acquire(512);
+    ws.trim();
+    live.data()[0] = 1.0f;
+}
+
+TEST(Workspace, LocalArenaIsPerThread) {
+    workspace* main_arena = &workspace::local();
+    workspace* worker_arena = nullptr;
+    std::thread t([&]() { worker_arena = &workspace::local(); });
+    t.join();
+    EXPECT_NE(main_arena, worker_arena);
+}
+
+// ---- whole-batch conv lowering ----------------------------------------------
+
+/// RAII guard for the lowering budget so a failing test cannot leak a tiny
+/// budget into later tests.
+class budget_guard {
+public:
+    explicit budget_guard(std::size_t bytes)
+        : previous_(set_conv_lowering_budget_bytes(bytes)) {}
+    ~budget_guard() { set_conv_lowering_budget_bytes(previous_); }
+
+private:
+    std::size_t previous_;
+};
+
+/// The seed algorithm: per-image im2col + GEMM, kept as the equivalence
+/// reference for the whole-batch path.
+tensor per_image_conv_forward(const tensor& input, const tensor& weight, const tensor& bias,
+                              const conv2d_spec& spec) {
+    const std::size_t batch = input.extent(0);
+    const std::size_t in_h = input.extent(2);
+    const std::size_t in_w = input.extent(3);
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    const tensor weight2d = weight.reshaped({spec.out_channels, spec.patch_size()});
+    tensor output({batch, spec.out_channels, oh, ow});
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
+    const std::size_t plane = oh * ow;
+    for (std::size_t n = 0; n < batch; ++n) {
+        tensor image({spec.in_channels, in_h, in_w},
+                     std::vector<float>(input.raw() + n * image_elems,
+                                        input.raw() + (n + 1) * image_elems));
+        const tensor result = matmul(weight2d, im2col(image, spec));
+        for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+            const float b = bias.empty() ? 0.0f : bias[oc];
+            for (std::size_t i = 0; i < plane; ++i) {
+                output.raw()[(n * spec.out_channels + oc) * plane + i] =
+                    result.raw()[oc * plane + i] + b;
+            }
+        }
+    }
+    return output;
+}
+
+TEST(BatchConv, ForwardEqualsPerImagePath) {
+    rng gen(29);
+    const conv2d_spec spec{3, 5, 3, 3, 1, 1};
+    const tensor input = random_tensor({4, 3, 6, 7}, gen);
+    const tensor weight = random_tensor({5, 3, 3, 3}, gen);
+    const tensor bias = random_tensor({5}, gen);
+    const tensor batch_out = conv2d_forward(input, weight, bias, spec);
+    const tensor ref = per_image_conv_forward(input, weight, bias, spec);
+    EXPECT_TRUE(batch_out.allclose(ref, 1e-5f));
+}
+
+TEST(BatchConv, ForwardStridedNoPadding) {
+    rng gen(31);
+    const conv2d_spec spec{2, 4, 3, 2, 2, 0};
+    const tensor input = random_tensor({3, 2, 9, 8}, gen);
+    const tensor weight = random_tensor({4, 2, 3, 2}, gen);
+    const tensor batch_out = conv2d_forward(input, weight, tensor(), spec);
+    const tensor ref = per_image_conv_forward(input, weight, tensor(), spec);
+    EXPECT_TRUE(batch_out.allclose(ref, 1e-5f));
+}
+
+TEST(BatchConv, ChunkedPathMatchesWholeBatch) {
+    rng gen(37);
+    const conv2d_spec spec{3, 6, 3, 3, 1, 1};
+    const tensor input = random_tensor({5, 3, 8, 8}, gen);
+    const tensor weight = random_tensor({6, 3, 3, 3}, gen);
+    const tensor bias = random_tensor({6}, gen);
+    const tensor grad_out = random_tensor({5, 6, 8, 8}, gen);
+
+    const tensor whole_fwd = conv2d_forward(input, weight, bias, spec);
+    const conv2d_grads whole_bwd = conv2d_backward(input, weight, grad_out, spec);
+
+    // A 1-byte-per-image budget forces chunk = 1 image.
+    budget_guard guard(1);
+    const tensor chunked_fwd = conv2d_forward(input, weight, bias, spec);
+    const conv2d_grads chunked_bwd = conv2d_backward(input, weight, grad_out, spec);
+
+    // Forward columns are independent, so chunking cannot change them.
+    EXPECT_TRUE(chunked_fwd == whole_fwd);
+    // dW/db sum over the batch in chunk order — same values up to rounding.
+    EXPECT_TRUE(chunked_bwd.grad_weight.allclose(whole_bwd.grad_weight, 1e-4f));
+    EXPECT_TRUE(chunked_bwd.grad_bias.allclose(whole_bwd.grad_bias, 1e-4f));
+    EXPECT_TRUE(chunked_bwd.grad_input.allclose(whole_bwd.grad_input, 1e-5f));
+}
+
+TEST(BatchConv, BackwardAccAccumulates) {
+    rng gen(41);
+    const conv2d_spec spec{2, 3, 3, 3, 1, 1};
+    const tensor input = random_tensor({2, 2, 5, 5}, gen);
+    const tensor weight = random_tensor({3, 2, 3, 3}, gen);
+    const tensor grad_out = random_tensor({2, 3, 5, 5}, gen);
+
+    const conv2d_grads fresh = conv2d_backward(input, weight, grad_out, spec);
+    tensor gi(input.shape());
+    tensor gw(weight.shape());
+    tensor gb({3});
+    conv2d_backward_acc(input, weight, grad_out, spec, gi, gw, gb);
+    conv2d_backward_acc(input, weight, grad_out, spec, gi, gw, gb);
+    EXPECT_TRUE(gw.allclose(scale(fresh.grad_weight, 2.0f), 1e-4f));
+    EXPECT_TRUE(gb.allclose(scale(fresh.grad_bias, 2.0f), 1e-4f));
+    EXPECT_TRUE(gi.allclose(scale(fresh.grad_input, 2.0f), 1e-4f));
+}
+
+TEST(BatchConv, BackwardDeterministicAcrossCalls) {
+    rng gen(43);
+    const conv2d_spec spec{3, 4, 3, 3, 1, 1};
+    const tensor input = random_tensor({3, 3, 7, 7}, gen);
+    const tensor weight = random_tensor({4, 3, 3, 3}, gen);
+    const tensor grad_out = random_tensor({3, 4, 7, 7}, gen);
+    const conv2d_grads first = conv2d_backward(input, weight, grad_out, spec);
+    const conv2d_grads second = conv2d_backward(input, weight, grad_out, spec);
+    EXPECT_TRUE(first.grad_input == second.grad_input);
+    EXPECT_TRUE(first.grad_weight == second.grad_weight);
+    EXPECT_TRUE(first.grad_bias == second.grad_bias);
+}
+
+TEST(BatchConv, Im2colBatchMatchesPerImage) {
+    rng gen(47);
+    const conv2d_spec spec{2, 3, 2, 2, 1, 1};
+    const tensor input = random_tensor({3, 2, 4, 5}, gen);
+    const std::size_t oh = spec.out_h(4);
+    const std::size_t ow = spec.out_w(5);
+    std::vector<float> batch_cols(spec.patch_size() * 3 * oh * ow);
+    im2col_batch(input.raw(), 3, 4, 5, spec, batch_cols.data());
+    const std::size_t image_elems = 2 * 4 * 5;
+    for (std::size_t n = 0; n < 3; ++n) {
+        tensor image({2, 4, 5},
+                     std::vector<float>(input.raw() + n * image_elems,
+                                        input.raw() + (n + 1) * image_elems));
+        const tensor cols = im2col(image, spec);
+        for (std::size_t r = 0; r < spec.patch_size(); ++r) {
+            for (std::size_t q = 0; q < oh * ow; ++q) {
+                ASSERT_EQ(batch_cols[r * (3 * oh * ow) + n * oh * ow + q], cols.at2(r, q))
+                    << "n=" << n << " r=" << r << " q=" << q;
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace reduce
