@@ -19,7 +19,11 @@
 //   --policy a,b,c   registry names to run    (default reduce,reduce-mean,fixed;
 //                    "fixed" expands to one run per --fixed level)
 //   --threads N      executor worker threads  (default 1; 0 = all cores)
+//   --eval-batch-chips K  chips per grouped accuracy_before pass (default 1;
+//                    grouping never changes outcomes, only wall-clock)
 //   --sweep-threads N  Step-1 sweep threads   (default: --threads)
+//   --eval-group K   same-rate sweep cells per grouped epoch-0 pass (default
+//                    --eval-batch-chips)
 //   --cache-dir P    reuse/store the Step-1 table under P
 //   --chips N        fleet size               (default 100, as the paper)
 //   --constraint A   accuracy constraint in % (default 91)
@@ -101,8 +105,11 @@ int main(int argc, char** argv) {
         std::cerr << "[fig3] workload ready: clean accuracy " << w.clean_accuracy * 100.0
                   << "%\n";
 
-        fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
-                                w.trainer_cfg, fleet_executor_config{.threads = threads});
+        const std::size_t eval_batch_chips =
+            static_cast<std::size_t>(args.get_int("eval-batch-chips", 1));
+        fleet_executor executor(
+            *w.model, w.pretrained, w.train_data, w.test_data, w.array, w.trainer_cfg,
+            fleet_executor_config{.threads = threads, .eval_batch_chips = eval_batch_chips});
 
         // Step 1 (shared by every table-driven policy) — parallel, and
         // reusable across invocations via the fingerprint-keyed cache.
@@ -115,6 +122,8 @@ int main(int argc, char** argv) {
         sweep_options sweep;
         sweep.threads =
             static_cast<std::size_t>(args.get_int("sweep-threads", args.get_int("threads", 1)));
+        sweep.eval_group = static_cast<std::size_t>(
+            args.get_int("eval-group", static_cast<std::int64_t>(eval_batch_chips)));
         resilience_analyzer analyzer(*w.model, w.pretrained, w.train_data, w.test_data,
                                      w.array, w.trainer_cfg);
         const resilience_table table =

@@ -9,7 +9,7 @@
 //
 // Usage: vgg_pipeline [--width 0.125] [--fault-rate 0.15]
 //          [--constraint 0.85] [--pretrain-epochs 15]
-//          [--sweep-threads N] [--cache-dir P]
+//          [--sweep-threads N] [--eval-group K] [--cache-dir P]
 //
 // Step 1 dominates this example's wall time (conv retraining × grid ×
 // repeats), so it runs on the parallel sweep engine and, with --cache-dir,
@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
         const double pretrain_epochs = args.get_double("pretrain-epochs", 15.0);
         sweep_options sweep;
         sweep.threads = static_cast<std::size_t>(args.get_int("sweep-threads", 0));
+        sweep.eval_group = static_cast<std::size_t>(args.get_int("eval-group", 1));
 
         std::cout << "== VGG11 through the Reduce pipeline ==\n";
 

@@ -65,7 +65,7 @@ double fault_aware_trainer::evaluate() {
     // The forward passes below draw their im2col/GEMM scratch from the
     // calling thread's workspace arena, so repeated evaluations (one per
     // trajectory checkpoint) reuse the same slabs.
-    const std::size_t eval_batch = std::max<std::size_t>(cfg_.batch_size, 256);
+    const std::size_t eval_batch = eval_batch_rows(cfg_);
     std::size_t correct = 0;
     std::size_t index = 0;
     std::vector<std::size_t> indices;
@@ -82,7 +82,8 @@ double fault_aware_trainer::evaluate() {
     return static_cast<double>(correct) / static_cast<double>(test_data_.size());
 }
 
-fat_result fault_aware_trainer::train(double epoch_budget, const std::vector<double>& eval_grid) {
+fat_result fault_aware_trainer::train(double epoch_budget, const std::vector<double>& eval_grid,
+                                      const std::optional<double>& epoch0_accuracy) {
     REDUCE_CHECK(epoch_budget >= 0.0, "epoch budget must be non-negative");
     stopwatch timer;
 
@@ -96,7 +97,8 @@ fat_result fault_aware_trainer::train(double epoch_budget, const std::vector<dou
     if (epoch_budget > 0.0) { checkpoints.push_back(epoch_budget); }
 
     fat_result result;
-    result.trajectory.push_back({0.0, evaluate()});
+    result.trajectory.push_back(
+        {0.0, epoch0_accuracy.has_value() ? *epoch0_accuracy : evaluate()});
 
     data_loader loader(train_data_, cfg_.batch_size, cfg_.shuffle_seed);
     sgd::config opt_cfg;

@@ -41,6 +41,15 @@ struct fat_result {
     double train_seconds = 0.0;
 };
 
+/// Rows one evaluation forward pass covers: large enough to amortize
+/// per-batch costs, bounded to keep activation memory flat on big test
+/// sets. Shared by fault_aware_trainer::evaluate and the batched
+/// multi-mask evaluator so their batch splits (and thus memory behaviour)
+/// stay comparable — splits never change results.
+inline std::size_t eval_batch_rows(const fat_config& cfg) {
+    return cfg.batch_size > 256 ? cfg.batch_size : 256;
+}
+
 /// Builds an epoch-checkpoint grid: `fine_step` spacing up to `fine_until`,
 /// then `coarse_step` spacing up to `max_epochs` (inclusive). All harnesses
 /// share this so trajectories are comparable.
@@ -70,7 +79,16 @@ public:
     /// evaluating at every checkpoint of `eval_grid` that is <= budget and
     /// at the budget itself. A fresh optimizer and reshuffled loader are
     /// used per call, so runs are independent given the config seed.
-    fat_result train(double epoch_budget, const std::vector<double>& eval_grid);
+    ///
+    /// `epoch0_accuracy` injects a precomputed trajectory[0] value instead
+    /// of running the epoch-0 evaluation — the hook the batched multi-mask
+    /// evaluator uses after computing a whole group's epoch-0 accuracies in
+    /// one shared pass. evaluate() is pure for a fixed model state, so an
+    /// injected value that was computed on the same masked weights (and
+    /// batch-norm statistics) leaves the result byte-identical to the
+    /// uninjected run while skipping one full pass over the test set.
+    fat_result train(double epoch_budget, const std::vector<double>& eval_grid,
+                     const std::optional<double>& epoch0_accuracy = std::nullopt);
 
     /// Convenience: train for the budget with a single final evaluation.
     fat_result train(double epoch_budget);

@@ -1,12 +1,15 @@
 #include "core/fleet_executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 
+#include "core/multi_mask_eval.h"
 #include "fault/mask_builder.h"
 #include "tensor/workspace.h"
 #include "util/error.h"
 #include "util/log.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace reduce {
@@ -42,10 +45,16 @@ chip_tuner::chip_tuner(const sequential& prototype, const model_snapshot& pretra
       trainer_cfg_(trainer_cfg) {}
 
 chip_outcome chip_tuner::tune(const chip& c, const epoch_allocation& alloc,
-                              double constraint, double effective_rate) {
+                              double constraint, double effective_rate,
+                              std::optional<double> accuracy_before) {
     restore_parameters(model_->parameters(), pretrained_);
-    // The guard clears masks and re-restores the weights on every exit path,
-    // so a throwing train() cannot leave the tuner's model corrupted.
+    // Episode seeding: dropout streams depend on the chip alone, never on
+    // what this tuner ran before — the thread-count-independence fix for
+    // stochastic models.
+    reseed_stochastic_layers(*model_, c.seed);
+    // The guard clears masks, re-restores the weights, and restores state
+    // buffers (batch-norm running statistics) on every exit path, so a
+    // throwing train() cannot leave the tuner's model corrupted.
     fault_state_guard guard(*model_, pretrained_);
     const mask_stats stats = attach_fault_masks(*model_, array_, c.faults);
 
@@ -57,13 +66,19 @@ chip_outcome chip_tuner::tune(const chip& c, const epoch_allocation& alloc,
     outcome.masked_weight_fraction = stats.masked_fraction();
     outcome.epochs_allocated = alloc.epochs;
     outcome.selection_failed = alloc.selection_failed;
-    outcome.accuracy_before = trainer.evaluate();
+    // Post-FAP accuracy: injected by the grouped evaluator, or computed
+    // here. Either way the value doubles as the trainers' epoch-0
+    // trajectory point below — evaluate() is pure for a fixed model state,
+    // so reusing it skips a redundant pass without changing any number.
+    outcome.accuracy_before =
+        accuracy_before.has_value() ? *accuracy_before : trainer.evaluate();
+    const std::optional<double> epoch0(outcome.accuracy_before);
 
     if (alloc.train_to_target && alloc.epochs > 0.0) {
         // Oracle accounting: run the budget on the shared checkpoint grid and
         // charge only up to the first checkpoint that meets the target.
         const std::vector<double> grid = make_eval_grid(alloc.epochs, 1.0, 0.05, 0.5);
-        const fat_result result = trainer.train(alloc.epochs, grid);
+        const fat_result result = trainer.train(alloc.epochs, grid, epoch0);
         const std::optional<double> reached =
             epochs_to_reach(result.trajectory, constraint);
         if (reached.has_value()) {
@@ -73,16 +88,21 @@ chip_outcome chip_tuner::tune(const chip& c, const epoch_allocation& alloc,
                 // The model now holds the full-budget weights; re-train to the
                 // charged checkpoint so the distributed snapshot matches the
                 // reported accuracy (training is deterministic per config, so
-                // this replays the exact prefix of the budget run).
+                // this replays the exact prefix of the budget run — dropout
+                // included, thanks to the re-reseed).
                 restore_parameters(model_->parameters(), pretrained_);
-                (void)trainer.train(*reached);
+                reseed_stochastic_layers(*model_, c.seed);
+                // The replay's fat_result is discarded — only the weights it
+                // leaves behind matter — so inject the known epoch-0 value
+                // rather than paying another full test-set pass.
+                (void)trainer.train(*reached, {}, epoch0);
             }
         } else {
             outcome.epochs_run = result.epochs_run;
             outcome.final_accuracy = result.final_accuracy;
         }
     } else {
-        const fat_result result = trainer.train(alloc.epochs);
+        const fat_result result = trainer.train(alloc.epochs, {}, epoch0);
         outcome.epochs_run = result.epochs_run;
         outcome.final_accuracy = result.final_accuracy;
     }
@@ -107,6 +127,7 @@ fleet_executor::fleet_executor(sequential& model, const model_snapshot& pretrain
 resilience_table fleet_executor::analyze(const resilience_config& cfg) {
     sweep_options opts;
     opts.threads = cfg_.threads;
+    opts.eval_group = cfg_.eval_batch_chips;
     return analyze(cfg, opts);
 }
 
@@ -161,6 +182,20 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
         ready.assign(fleet.size(), false);
     }
 
+    // Chips are claimed in fleet-order blocks — one grouped
+    // accuracy_before pass per block when grouping is on. The claim width
+    // is the eval group CAPPED at an even fleet/worker split, so a huge
+    // --eval-batch-chips can shrink its grouping benefit but never
+    // serialize the fleet onto one worker. Block membership is a pure
+    // function of fleet order and the worker count, and grouping never
+    // changes values, so outcomes stay identical either way.
+    const std::size_t worker_budget = resolve_thread_count(cfg_.threads, fleet.size());
+    const std::size_t group =
+        cap_group_at_fair_share(cfg_.eval_batch_chips, fleet.size(), worker_budget);
+    // Spawn no more workers than there are claimable blocks — a surplus
+    // worker would deep-clone a tuner model just to find the queue empty.
+    const std::size_t workers =
+        resolve_thread_count(cfg_.threads, (fleet.size() + group - 1) / group);
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::size_t completed = 0;  // guarded by progress_mutex
@@ -173,48 +208,71 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
         // reused for every chip after it.
         workspace& arena = workspace::local();
         tuner.set_capture_tuned(static_cast<bool>(sink_));
+        // The grouped evaluator is built lazily: a worker that never claims
+        // a multi-chip block (ragged tails, tiny fleets) never clones for it.
+        std::unique_ptr<multi_mask_evaluator> evaluator;
         for (;;) {
             // Stop picking up work once any chip has failed — the whole
             // outcome is void, so finishing the fleet would be wasted epochs.
             if (failed.load(std::memory_order_relaxed)) { return; }
-            const std::size_t i = next.fetch_add(1);
-            if (i >= fleet.size()) {
+            const std::size_t begin = next.fetch_add(group);
+            if (begin >= fleet.size()) {
                 LOG_DEBUG << "fleet worker done; arena high-water "
                           << arena.peak_floats() * sizeof(float) << " bytes";
                 return;
             }
+            const std::size_t end = std::min(fleet.size(), begin + group);
+            std::vector<double> before;
             try {
-                outcome.chips[i] = tuner.tune(fleet[i], allocations[i], constraint,
-                                              views[i].effective_fault_rate);
+                if (end - begin > 1) {
+                    if (!evaluator) {
+                        evaluator = std::make_unique<multi_mask_evaluator>(
+                            model_, pretrained_, test_data_, array_, trainer_cfg_);
+                    }
+                    std::vector<const fault_grid*> grids;
+                    grids.reserve(end - begin);
+                    for (std::size_t i = begin; i < end; ++i) {
+                        grids.push_back(&fleet[i].faults);
+                    }
+                    before = evaluator->evaluate(grids);
+                }
+                for (std::size_t i = begin; i < end; ++i) {
+                    if (failed.load(std::memory_order_relaxed)) { return; }
+                    outcome.chips[i] = tuner.tune(
+                        fleet[i], allocations[i], constraint,
+                        views[i].effective_fault_rate,
+                        before.empty() ? std::nullopt
+                                       : std::optional<double>(before[i - begin]));
+                    LOG_DEBUG << outcome.policy_name << ": chip " << fleet[i].id
+                              << " rate=" << views[i].effective_fault_rate
+                              << " epochs=" << allocations[i].epochs
+                              << " acc=" << outcome.chips[i].final_accuracy;
+                    // Count, notify, and sink under one lock: the reported
+                    // 'completed' sequence is strictly increasing and sinks
+                    // fire in fleet order regardless of which worker
+                    // finished first.
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    ++completed;
+                    if (progress_) {
+                        progress_(completed, fleet.size(), outcome.chips[i]);
+                    }
+                    if (sink_) {
+                        pending[i] = tuner.take_tuned();
+                        ready[i] = true;
+                        while (next_sink < fleet.size() && ready[next_sink]) {
+                            sink_(fleet[next_sink], pending[next_sink]);
+                            pending[next_sink] = model_snapshot{};  // free eagerly
+                            ++next_sink;
+                        }
+                    }
+                }
             } catch (...) {
                 failed.store(true, std::memory_order_relaxed);
                 throw;
             }
-            LOG_DEBUG << outcome.policy_name << ": chip " << fleet[i].id
-                      << " rate=" << views[i].effective_fault_rate
-                      << " epochs=" << allocations[i].epochs
-                      << " acc=" << outcome.chips[i].final_accuracy;
-            {
-                // Count, notify, and sink under one lock: the reported
-                // 'completed' sequence is strictly increasing and sinks fire
-                // in fleet order regardless of which worker finished first.
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                ++completed;
-                if (progress_) { progress_(completed, fleet.size(), outcome.chips[i]); }
-                if (sink_) {
-                    pending[i] = tuner.take_tuned();
-                    ready[i] = true;
-                    while (next_sink < fleet.size() && ready[next_sink]) {
-                        sink_(fleet[next_sink], pending[next_sink]);
-                        pending[next_sink] = model_snapshot{};  // free eagerly
-                        ++next_sink;
-                    }
-                }
-            }
         }
     };
 
-    const std::size_t workers = resolve_thread_count(cfg_.threads, fleet.size());
     run_workers(workers, worker);
     return outcome;
 }

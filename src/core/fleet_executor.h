@@ -6,13 +6,22 @@
 // thread pool; results are deterministic and thread-count-independent
 // because every tune starts from a per-worker clone of the prototype model
 // restored to the pretrained snapshot — chip i's outcome depends only on
-// chip i. (Caveat: stochastic layers such as dropout carry per-construction
-// RNG streams; models without them — all pipeline workloads in this repo —
-// are bit-identical at any thread count.)
+// chip i. Stochastic layers are reseeded per chip (mix_seed(chip.seed,
+// layer)) and batch-norm running statistics are snapshot/restored by the
+// fault_state_guard, so the bit-identical guarantee covers dropout and
+// normalizing models too.
+//
+// Grouped evaluation: with eval_batch_chips > 1 a worker drains its chips
+// in fleet-order blocks, computing the whole block's `accuracy_before` in
+// one pass through the batched multi-mask evaluator (core/multi_mask_eval)
+// before tuning each chip — amortizing the fleet's dominant repeated
+// test-set inference while keeping every outcome byte-identical to the
+// serial path.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -84,8 +93,16 @@ public:
     /// Restores the pretrained weights, masks for the chip's faults, trains
     /// per the allocation, and reports the outcome. The owned model is back
     /// in the clean pretrained state on return — also when training throws.
+    /// Dropout layers are reseeded from mix_seed(c.seed, layer) so the
+    /// episode is a function of the chip alone, not of worker history.
+    ///
+    /// `accuracy_before` injects a precomputed post-FAP accuracy (from the
+    /// grouped multi-mask evaluator); when absent the tuner evaluates
+    /// serially. An injected value computed on the same pretrained weights
+    /// and fault grid leaves the outcome byte-identical.
     chip_outcome tune(const chip& c, const epoch_allocation& alloc, double constraint,
-                      double effective_rate);
+                      double effective_rate,
+                      std::optional<double> accuracy_before = std::nullopt);
 
     /// When enabled, tune() captures the tuned weights (pre-restore) so the
     /// executor can feed model sinks. Off by default — snapshots cost memory.
@@ -113,6 +130,17 @@ struct fleet_executor_config {
     /// Worker threads for the fan-out; 0 → hardware concurrency. The thread
     /// count never changes per-chip outcomes, only wall-clock time.
     std::size_t threads = 1;
+    /// Chips whose accuracy_before evaluations share one grouped pass
+    /// (--eval-batch-chips). 0 or 1 → serial per-chip evaluation. Grouping
+    /// never changes outcomes (byte-identical contract of
+    /// multi_mask_evaluator), only wall-clock time and peak memory (one
+    /// group holds K masked weight sets + K stacked activation batches).
+    /// The executor caps the effective group at an even fleet/worker split
+    /// so an oversized value cannot starve worker threads of chips. Blocks
+    /// are also the unit workers claim, so grouping coarsens load balancing
+    /// toward the slowest BLOCK (not chip) — keep groups modest (~8) when
+    /// per-chip training time varies widely.
+    std::size_t eval_batch_chips = 1;
 };
 
 /// Runs a retraining policy over a fleet, one chip_tuner per worker.
@@ -127,7 +155,9 @@ public:
                    fleet_executor_config cfg = {});
 
     /// Step 1 convenience wrapper: runs the sweep on the executor's thread
-    /// budget (cfg_.threads). Results are bit-identical at any thread count.
+    /// budget (cfg_.threads) and grouped-eval budget (eval_batch_chips →
+    /// sweep_options::eval_group). Results are bit-identical at any thread
+    /// count and any grouping.
     resilience_table analyze(const resilience_config& cfg);
 
     /// Step 1 with explicit execution knobs (thread count, shard split) —

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "core/multi_mask_eval.h"
 #include "fault/mask_builder.h"
 #include "nn/module.h"
 #include "tensor/workspace.h"
@@ -479,7 +480,10 @@ resilience_cache::gc_report resilience_cache::gc(const gc_options& opts) const {
         ++report.scanned;
         bool stale = false;
         try {
-            const json_object& root = json_load_file(path.string()).as_object();
+            // Keep the parsed document alive past as_object(): binding the
+            // object reference straight to the temporary dangles.
+            const json_value loaded = json_load_file(path.string());
+            const json_object& root = loaded.as_object();
             const std::int64_t version =
                 root.contains("schema_version") ? root.at("schema_version").as_int() : 1;
             stale = version != resilience_schema_version;
@@ -559,9 +563,32 @@ resilience_table resilience_analyzer::analyze(const resilience_config& cfg,
                                           << grid.size());
     const std::vector<double> eval_grid = resolved_eval_grid(cfg);
 
-    // Workers drain the cell list through an atomic cursor; each owns a deep
-    // clone restored from the pretrained snapshot before every cell, so a
-    // cell's result never depends on which worker ran it or in what order.
+    // Work unit: a block of consecutive cells of this shard's list, at most
+    // eval_group wide. Every cell evaluates the SAME pretrained weights
+    // under its own fault map at epoch 0 — the multi-mask shape — so a
+    // block's epoch-0 trajectory points share one grouped pass regardless
+    // of rate (in the unsharded canonical order a block is typically the
+    // repeats of one rate; under round-robin sharding it spans rates, which
+    // changes nothing: the evaluator only sees fault grids). The group is
+    // capped at an even cells/worker split so an oversized --eval-group
+    // cannot starve workers of cells — mirroring the fleet executor's cap.
+    // Blocks are a pure function of the (sharded) cell order and the
+    // worker budget — never of scheduling — and grouping never changes
+    // values, so the table is identical either way.
+    const std::size_t worker_budget = resolve_thread_count(opts.threads, cells.size());
+    const std::size_t group_limit =
+        cap_group_at_fair_share(opts.eval_group, cells.size(), worker_budget);
+    std::vector<std::pair<std::size_t, std::size_t>> blocks;  // [begin, end)
+    for (std::size_t begin = 0; begin < cells.size();) {
+        const std::size_t end = std::min(cells.size(), begin + group_limit);
+        blocks.emplace_back(begin, end);
+        begin = end;
+    }
+
+    // Workers drain the block list through an atomic cursor; each owns a
+    // deep clone restored from the pretrained snapshot before every cell,
+    // so a cell's result never depends on which worker ran it or in what
+    // order.
     std::vector<resilience_run> runs(cells.size());
     std::atomic<std::size_t> next{0};
     const auto worker = [&]() {
@@ -575,42 +602,73 @@ resilience_table resilience_analyzer::analyze(const resilience_config& cfg,
         // cells, so restoring again per cell would be pure waste.
         restore_parameters(model->parameters(), pretrained_);
         fault_aware_trainer trainer(*model, train_data_, test_data_, trainer_cfg_);
+        // Grouped epoch-0 evaluator, built lazily on the first multi-cell
+        // block this worker claims.
+        std::unique_ptr<multi_mask_evaluator> evaluator;
         for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= cells.size()) {
+            const std::size_t bi = next.fetch_add(1);
+            if (bi >= blocks.size()) {
                 LOG_DEBUG << "resilience worker done; arena high-water "
                           << arena.peak_floats() * sizeof(float) << " bytes across "
                           << arena.pooled_bytes() << " pooled";
                 return;
             }
-            const sweep_cell& cell = cells[i];
-            random_fault_config fault_cfg = cfg.fault_model;
-            fault_cfg.fault_rate = cell.fault_rate;
-            const fault_grid faults = generate_random_faults(array_, fault_cfg, cell.map_seed);
+            const auto [begin, end] = blocks[bi];
 
-            fault_state_guard guard(*model, pretrained_);
-            const mask_stats stats = attach_fault_masks(*model, array_, faults);
-            fat_result fat = trainer.train(cfg.max_epochs, eval_grid);
+            // Fault maps are a function of the cell seed alone; generating
+            // them up front for the block matches the serial per-cell order.
+            std::vector<fault_grid> faults;
+            faults.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i) {
+                random_fault_config fault_cfg = cfg.fault_model;
+                fault_cfg.fault_rate = cells[i].fault_rate;
+                faults.push_back(
+                    generate_random_faults(array_, fault_cfg, cells[i].map_seed));
+            }
+            std::vector<double> epoch0;
+            if (end - begin > 1) {
+                if (!evaluator) {
+                    evaluator = std::make_unique<multi_mask_evaluator>(
+                        model_, pretrained_, test_data_, array_, trainer_cfg_);
+                }
+                std::vector<const fault_grid*> grids;
+                grids.reserve(end - begin);
+                for (const fault_grid& f : faults) { grids.push_back(&f); }
+                epoch0 = evaluator->evaluate(grids);
+            }
 
-            resilience_run& run = runs[i];
-            run.fault_rate = cell.fault_rate;
-            run.repeat = cell.repeat;
-            run.map_seed = cell.map_seed;
-            run.masked_weight_fraction = stats.masked_fraction();
-            run.trajectory = std::move(fat.trajectory);
+            for (std::size_t i = begin; i < end; ++i) {
+                const sweep_cell& cell = cells[i];
+                // Episode seeding: dropout streams are a function of the
+                // cell, not of the worker's history.
+                reseed_stochastic_layers(*model, cell.map_seed);
+                fault_state_guard guard(*model, pretrained_);
+                const mask_stats stats = attach_fault_masks(*model, array_, faults[i - begin]);
+                fat_result fat = trainer.train(
+                    cfg.max_epochs, eval_grid,
+                    epoch0.empty() ? std::nullopt
+                                   : std::optional<double>(epoch0[i - begin]));
 
-            LOG_DEBUG << "resilience: rate=" << cell.fault_rate << " rep=" << cell.repeat
-                      << " masked=" << stats.masked_fraction()
-                      << " final_acc=" << run.trajectory.back().test_accuracy;
+                resilience_run& run = runs[i];
+                run.fault_rate = cell.fault_rate;
+                run.repeat = cell.repeat;
+                run.map_seed = cell.map_seed;
+                run.masked_weight_fraction = stats.masked_fraction();
+                run.trajectory = std::move(fat.trajectory);
+
+                LOG_DEBUG << "resilience: rate=" << cell.fault_rate << " rep=" << cell.repeat
+                          << " masked=" << stats.masked_fraction()
+                          << " final_acc=" << run.trajectory.back().test_accuracy;
+            }
         }
     };
 
-    const std::size_t workers = resolve_thread_count(opts.threads, cells.size());
+    const std::size_t workers = resolve_thread_count(opts.threads, blocks.size());
     run_workers(workers, worker);
 
     LOG_INFO << "resilience: swept " << cells.size() << " of " << grid.size()
              << " cells (shard " << opts.shard_index << "/" << opts.shard_count << ", "
-             << workers << " worker(s))";
+             << workers << " worker(s), eval-group " << group_limit << ")";
     return resilience_table(std::move(runs), cfg.max_epochs, resilience_fingerprint(cfg),
                             grid.size());
 }

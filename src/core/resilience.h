@@ -48,8 +48,11 @@ namespace reduce {
 /// once — the knob to turn whenever a change (kernel numerics, trajectory
 /// semantics, serialization layout) makes old artifacts incomparable.
 /// History: 1 = PR 2 sweep engine; 2 = blocked GEMM backend + whole-batch
-/// conv lowering (accumulation order, and thus float results, changed).
-inline constexpr int resilience_schema_version = 2;
+/// conv lowering (accumulation order, and thus float results, changed);
+/// 3 = deterministic stochastic layers (per-cell dropout reseeding,
+/// batch-norm statistic restore) — artifacts from dropout/batch-norm
+/// models change, dropout/BN-free models are numerically unaffected.
+inline constexpr int resilience_schema_version = 3;
 
 /// One fault-injection + retraining experiment.
 struct resilience_run {
@@ -178,13 +181,22 @@ struct resilience_config {
     std::string context;
 };
 
-/// Execution knobs of a sweep. Any thread count produces a bit-identical
-/// table, and shard i of n computes a deterministic cell subset that
-/// resilience_table::merge fuses back losslessly.
+/// Execution knobs of a sweep. Any thread count, shard split, or eval
+/// grouping produces a bit-identical table; shard i of n computes a
+/// deterministic cell subset that resilience_table::merge fuses back
+/// losslessly.
 struct sweep_options {
     std::size_t threads = 1;      ///< worker threads; 0 → hardware concurrency
     std::size_t shard_index = 0;  ///< this process's shard (< shard_count)
     std::size_t shard_count = 1;  ///< total shards the grid is split into
+    /// Cells whose epoch-0 evaluations share one grouped pass through the
+    /// batched multi-mask evaluator (--eval-group). 0 or 1 → serial
+    /// per-cell evaluation. Every cell evaluates the same pretrained
+    /// weights under its own fault map at epoch 0 — exactly the multi-mask
+    /// shape — so grouping consecutive cells (the repeats of one rate in
+    /// the canonical order) amortizes the sweep's repeated test-set
+    /// inference without changing a single bit of the table.
+    std::size_t eval_group = 1;
 };
 
 /// One (rate, repeat) cell of the sweep grid with its deterministic seed.

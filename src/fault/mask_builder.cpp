@@ -77,11 +77,20 @@ void clear_fault_masks(sequential& model) {
     for (parameter* p : model.parameters()) { p->clear_mask(); }
 }
 
+fault_state_guard::fault_state_guard(sequential& model, const model_snapshot& restore_to)
+    : model_(model), snapshot_(restore_to), buffers_(model.state_buffers()) {
+    saved_state_.reserve(buffers_.size());
+    for (const tensor* t : buffers_) { saved_state_.push_back(*t); }
+}
+
 fault_state_guard::~fault_state_guard() {
     // Masks first, then weights: restore_parameters leaves masks untouched,
     // so the reverse order would re-expose pruned weights through stale masks.
     clear_fault_masks(model_);
     restore_parameters(model_.parameters(), snapshot_);
+    // Finally the non-parameter state (batch-norm running statistics) the
+    // episode's training mutated.
+    for (std::size_t i = 0; i < buffers_.size(); ++i) { *buffers_[i] = saved_state_[i]; }
 }
 
 double effective_fault_rate(sequential& model, const array_config& array,

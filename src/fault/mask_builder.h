@@ -54,14 +54,19 @@ mask_stats attach_fault_masks_permuted(sequential& model, const array_config& ar
 void clear_fault_masks(sequential& model);
 
 /// RAII guard around a masked-training episode: on destruction, clears all
-/// fault masks and restores the given snapshot, even if training threw.
-/// Guarantees the model is returned to a clean (unmasked, snapshot-weight)
+/// fault masks, restores the given snapshot, and restores the model's
+/// non-parameter state buffers (batch-norm running statistics) to their
+/// at-construction values, even if training threw. Guarantees the model is
+/// returned to a clean (unmasked, snapshot-weight, pre-episode-statistics)
 /// state no matter how the scope exits — the per-chip tuning invariant.
+/// The buffer half is what keeps normalizing models bit-identical across
+/// thread counts: restore_parameters never touches running statistics, so
+/// without it each episode would inherit whatever its worker ran before.
 class fault_state_guard {
 public:
-    /// The model and snapshot must outlive the guard.
-    fault_state_guard(sequential& model, const model_snapshot& restore_to)
-        : model_(model), snapshot_(restore_to) {}
+    /// The model and snapshot must outlive the guard. Captures the current
+    /// values of model.state_buffers().
+    fault_state_guard(sequential& model, const model_snapshot& restore_to);
 
     fault_state_guard(const fault_state_guard&) = delete;
     fault_state_guard& operator=(const fault_state_guard&) = delete;
@@ -71,6 +76,8 @@ public:
 private:
     sequential& model_;
     const model_snapshot& snapshot_;
+    std::vector<tensor*> buffers_;    ///< the model's live state buffers
+    std::vector<tensor> saved_state_; ///< their at-construction values
 };
 
 /// Effective fault-rate estimators for Step 2 of Reduce (ablation knobs).

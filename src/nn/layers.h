@@ -73,6 +73,12 @@ public:
     std::unique_ptr<module> clone() const override;
     std::string name() const override { return "dropout"; }
 
+    /// Restarts the layer's random stream from `seed`. Per-episode
+    /// reseeding (reseed_stochastic_layers) is what makes retraining runs
+    /// with dropout independent of worker history — and therefore of thread
+    /// count — in the parallel fleet/sweep engines.
+    void reseed(std::uint64_t seed) { gen_ = rng(seed); }
+
 private:
     double p_;
     rng gen_;

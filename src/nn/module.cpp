@@ -47,6 +47,14 @@ std::vector<parameter*> sequential::parameters() {
     return all;
 }
 
+std::vector<tensor*> sequential::state_buffers() {
+    std::vector<tensor*> all;
+    for (auto& layer : layers_) {
+        for (tensor* t : layer->state_buffers()) { all.push_back(t); }
+    }
+    return all;
+}
+
 void sequential::set_training(bool training) {
     module::set_training(training);
     for (auto& layer : layers_) { layer->set_training(training); }

@@ -61,6 +61,14 @@ public:
     /// Trainable parameters of this module (possibly empty).
     virtual std::vector<parameter*> parameters() { return {}; }
 
+    /// Non-parameter persistent state that training mutates but
+    /// restore_parameters does not touch — batch-norm running statistics.
+    /// fault_state_guard snapshots and restores these around every masked
+    /// episode, which is what extends the fleet/sweep bit-identical
+    /// guarantee to normalizing models (forward/backward caches are not
+    /// state and are excluded).
+    virtual std::vector<tensor*> state_buffers() { return {}; }
+
     /// Deep copy of the module's persistent state: parameters (values,
     /// gradients, and any attached fault masks), configuration, RNG state of
     /// stochastic layers, and running statistics. Forward/backward caches are
@@ -102,6 +110,7 @@ public:
     tensor forward(const tensor& input) override;
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override;
+    std::vector<tensor*> state_buffers() override;
     void set_training(bool training) override;
     std::unique_ptr<module> clone() const override;
     std::string name() const override { return "sequential"; }

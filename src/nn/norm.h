@@ -24,6 +24,9 @@ public:
     const tensor& running_mean() const { return running_mean_; }
     const tensor& running_var() const { return running_var_; }
 
+    /// Running statistics as restorable state (see module::state_buffers).
+    std::vector<tensor*> state_buffers() override { return {&running_mean_, &running_var_}; }
+
 private:
     std::size_t features_;
     double momentum_;
@@ -51,6 +54,9 @@ public:
 
     const tensor& running_mean() const { return running_mean_; }
     const tensor& running_var() const { return running_var_; }
+
+    /// Running statistics as restorable state (see module::state_buffers).
+    std::vector<tensor*> state_buffers() override { return {&running_mean_, &running_var_}; }
 
 private:
     std::size_t channels_;

@@ -48,6 +48,25 @@ std::size_t images_per_chunk(std::size_t slab_rows, std::size_t plane, std::size
     return std::clamp<std::size_t>(fit, 1, std::max<std::size_t>(batch, 1));
 }
 
+/// Scatters a lowered chunk output [out_c, nb*plane] (row stride
+/// `src_stride`) back to [image, out_c, plane] layout starting at image
+/// `img0` of `out_ptr`, adding the optional bias — shared by the serial
+/// forward and both grouped entry points so the layout/bias law lives once.
+void scatter_lowered_output(const float* src, std::size_t src_stride, std::size_t nb,
+                            std::size_t plane, std::size_t out_c, const tensor& bias,
+                            float* out_ptr, std::size_t img0) {
+    const bool has_bias = !bias.empty();
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+        const float b = has_bias ? bias[oc] : 0.0f;
+        const float* srow = src + oc * src_stride;
+        for (std::size_t n = 0; n < nb; ++n) {
+            float* dst = out_ptr + ((img0 + n) * out_c + oc) * plane;
+            const float* col = srow + n * plane;
+            for (std::size_t i = 0; i < plane; ++i) { dst[i] = col[i] + b; }
+        }
+    }
+}
+
 }  // namespace
 
 std::size_t set_conv_lowering_budget_bytes(std::size_t bytes) {
@@ -211,16 +230,260 @@ tensor conv2d_forward(const tensor& input, const tensor& weight, const tensor& b
         workspace::buffer outbuf = ws.acquire(spec.out_channels * cols);
         gemm_nn(spec.out_channels, cols, patch, weight2d, patch, colbuf.data(), cols,
                 outbuf.data(), cols, /*accumulate=*/false, ws);
-        // Scatter [O, nb*plane] back to [N, O, plane] layout, adding bias.
-        for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
-            const float b = has_bias ? bias[oc] : 0.0f;
-            const float* srow = outbuf.data() + oc * cols;
-            for (std::size_t n = 0; n < nb; ++n) {
-                float* dst = out_ptr + ((n0 + n) * spec.out_channels + oc) * plane;
-                const float* src = srow + n * plane;
-                for (std::size_t i = 0; i < plane; ++i) { dst[i] = src[i] + b; }
+        scatter_lowered_output(outbuf.data(), cols, nb, plane, spec.out_channels, bias,
+                               out_ptr, n0);
+    }
+    return output;
+}
+
+std::vector<std::size_t> conv_active_patch_rows(const conv2d_spec& spec, std::size_t in_h,
+                                                std::size_t in_w) {
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    // A tap (ky, kx) is live when SOME output position puts it in bounds in
+    // both axes; otherwise its whole patch row lowers to exact zeros.
+    std::vector<bool> ky_live(spec.kernel_h, false);
+    std::vector<bool> kx_live(spec.kernel_w, false);
+    for (std::size_t ky = 0; ky < spec.kernel_h; ++ky) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                                      static_cast<std::ptrdiff_t>(spec.padding);
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(in_h)) {
+                ky_live[ky] = true;
+                break;
             }
         }
+    }
+    for (std::size_t kx = 0; kx < spec.kernel_w; ++kx) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                                      static_cast<std::ptrdiff_t>(spec.padding);
+            if (ix >= 0 && ix < static_cast<std::ptrdiff_t>(in_w)) {
+                kx_live[kx] = true;
+                break;
+            }
+        }
+    }
+    std::vector<std::size_t> rows;
+    rows.reserve(spec.patch_size());
+    for (std::size_t c = 0; c < spec.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < spec.kernel_h; ++ky) {
+            for (std::size_t kx = 0; kx < spec.kernel_w; ++kx) {
+                if (ky_live[ky] && kx_live[kx]) {
+                    rows.push_back((c * spec.kernel_h + ky) * spec.kernel_w + kx);
+                }
+            }
+        }
+    }
+    return rows;
+}
+
+void im2col_batch_rows(const float* input, std::size_t batch, std::size_t in_h,
+                       std::size_t in_w, const conv2d_spec& spec, const std::size_t* rows,
+                       std::size_t nrows, float* dst) {
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    const std::size_t out_cols = oh * ow;
+    const std::size_t total_cols = batch * out_cols;
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
+    const std::size_t taps = spec.kernel_h * spec.kernel_w;
+    for (std::size_t r = 0; r < nrows; ++r) {
+        const std::size_t patch_row = rows[r];
+        const std::size_t c = patch_row / taps;
+        const std::size_t kh = (patch_row % taps) / spec.kernel_w;
+        const std::size_t kw = patch_row % spec.kernel_w;
+        float* prow = dst + r * total_cols;
+        for (std::size_t n = 0; n < batch; ++n) {
+            const float* src = input + n * image_elems;
+            float* drow = prow + n * out_cols;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * spec.stride + kh) -
+                                          static_cast<std::ptrdiff_t>(spec.padding);
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) {
+                    std::memset(drow + oy * ow, 0, ow * sizeof(float));
+                    continue;
+                }
+                const float* srow = src + (c * in_h + static_cast<std::size_t>(iy)) * in_w;
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                    const std::ptrdiff_t ix =
+                        static_cast<std::ptrdiff_t>(ox * spec.stride + kw) -
+                        static_cast<std::ptrdiff_t>(spec.padding);
+                    drow[oy * ow + ox] = (ix >= 0 && ix < static_cast<std::ptrdiff_t>(in_w))
+                                             ? srow[static_cast<std::size_t>(ix)]
+                                             : 0.0f;
+                }
+            }
+        }
+    }
+}
+
+namespace {
+
+/// Shared validation of the grouped forward entry points; returns the raw
+/// weight pointers.
+std::vector<const float*> check_group_weights(const std::vector<const tensor*>& weights,
+                                              const conv2d_spec& spec) {
+    REDUCE_CHECK(!weights.empty(), "grouped conv2d needs at least one weight variant");
+    std::vector<const float*> ptrs(weights.size());
+    for (std::size_t g = 0; g < weights.size(); ++g) {
+        const tensor& w = *weights[g];
+        REDUCE_CHECK(w.dim() == 4 && w.extent(0) == spec.out_channels &&
+                         w.extent(1) == spec.in_channels && w.extent(2) == spec.kernel_h &&
+                         w.extent(3) == spec.kernel_w,
+                     "grouped conv2d weight " << g << " is " << w.describe()
+                                              << " and does not match the spec");
+        ptrs[g] = w.raw();
+    }
+    return ptrs;
+}
+
+void check_group_bias(const tensor& bias, const conv2d_spec& spec) {
+    if (!bias.empty()) {
+        REDUCE_CHECK(bias.dim() == 1 && bias.extent(0) == spec.out_channels,
+                     "grouped conv2d bias " << bias.describe()
+                                            << " does not match out_channels");
+    }
+}
+
+/// Per-call geometry the two grouped forward entry points share: output
+/// extents, the active patch-row subset, and the k-subset descriptor the
+/// grouped GEMM driver consumes (null when no row is structurally zero).
+struct group_conv_geometry {
+    // Self-referential (subset_ptr/subset.rows point into own members):
+    // neither copyable nor movable, by design.
+    group_conv_geometry(const group_conv_geometry&) = delete;
+    group_conv_geometry& operator=(const group_conv_geometry&) = delete;
+
+    std::size_t in_h = 0;
+    std::size_t in_w = 0;
+    std::size_t oh = 0;
+    std::size_t ow = 0;
+    std::size_t plane = 0;
+    std::size_t patch = 0;
+    std::size_t image_elems = 0;
+    std::vector<std::size_t> rows;
+    gemm_k_subset subset;
+    const gemm_k_subset* subset_ptr = nullptr;  ///< null when rows == patch
+
+    explicit group_conv_geometry(const tensor& input, const conv2d_spec& spec) {
+        REDUCE_CHECK(input.dim() == 4 && input.extent(1) == spec.in_channels,
+                     "grouped conv2d expects input [N,C,H,W] matching the spec, got "
+                         << input.describe());
+        in_h = input.extent(2);
+        in_w = input.extent(3);
+        oh = spec.out_h(in_h);
+        ow = spec.out_w(in_w);
+        plane = oh * ow;
+        patch = spec.patch_size();
+        image_elems = spec.in_channels * in_h * in_w;
+        rows = conv_active_patch_rows(spec, in_h, in_w);
+        subset.rows = rows.data();
+        subset.count = rows.size();
+        subset.original_k = patch;
+        if (rows.size() != patch) { subset_ptr = &subset; }
+    }
+
+    /// Lowers a chunk of `nb` images starting at `src` into `dst`
+    /// ([rows.size(), nb*plane]), via the full or row-subset path.
+    void lower(const float* src, std::size_t nb, const conv2d_spec& spec, float* dst) const {
+        if (subset_ptr == nullptr) {
+            im2col_batch(src, nb, in_h, in_w, spec, dst);
+        } else {
+            im2col_batch_rows(src, nb, in_h, in_w, spec, rows.data(), rows.size(), dst);
+        }
+    }
+
+    /// Scatters a lowered [out_c, nb*plane] block (row stride `src_stride`)
+    /// back to [image, out_c, plane] layout starting at image `img0`,
+    /// adding the bias — the exact loop conv2d_forward runs.
+    void scatter(const float* src, std::size_t src_stride, std::size_t nb,
+                 const conv2d_spec& spec, const tensor& bias, float* out_ptr,
+                 std::size_t img0) const {
+        scatter_lowered_output(src, src_stride, nb, plane, spec.out_channels, bias, out_ptr,
+                               img0);
+    }
+};
+
+}  // namespace
+
+tensor conv2d_forward_fanout(const tensor& input, const std::vector<const tensor*>& weights,
+                             const tensor& bias, const conv2d_spec& spec) {
+    const std::vector<const float*> a_list = check_group_weights(weights, spec);
+    check_group_bias(bias, spec);
+    const group_conv_geometry geo(input, spec);
+    const std::size_t groups = weights.size();
+    const std::size_t batch = input.extent(0);
+
+    tensor output({groups * batch, spec.out_channels, geo.oh, geo.ow});
+    float* out_ptr = output.raw();
+
+    workspace& ws = workspace::local();
+    const std::size_t chunk =
+        images_per_chunk(geo.rows.size() + groups * spec.out_channels, geo.plane, batch);
+    std::vector<float*> c_list(groups);
+    for (std::size_t n0 = 0; n0 < batch; n0 += chunk) {
+        const std::size_t nb = std::min(chunk, batch - n0);
+        const std::size_t cols = nb * geo.plane;
+        workspace::buffer colbuf = ws.acquire(geo.rows.size() * cols);
+        geo.lower(input.raw() + n0 * geo.image_elems, nb, spec, colbuf.data());
+        // One wide lowered output [O, groups*cols]: variant g's block starts
+        // at column g*cols, so the scatter below reads it like the serial
+        // path reads its per-variant buffer.
+        workspace::buffer outbuf = ws.acquire(spec.out_channels * groups * cols);
+        for (std::size_t g = 0; g < groups; ++g) { c_list[g] = outbuf.data() + g * cols; }
+        gemm_nn_multi(spec.out_channels, cols, geo.patch, a_list.data(), groups, geo.patch,
+                      colbuf.data(), cols, c_list.data(), groups * cols,
+                      /*accumulate=*/false, ws, geo.subset_ptr);
+        for (std::size_t g = 0; g < groups; ++g) {
+            geo.scatter(outbuf.data() + g * cols, groups * cols, nb, spec, bias, out_ptr,
+                        g * batch + n0);
+        }
+    }
+    return output;
+}
+
+tensor conv2d_forward_grouped(const tensor& input, std::size_t groups,
+                              const std::vector<const tensor*>& weights, const tensor& bias,
+                              const conv2d_spec& spec) {
+    const std::vector<const float*> a_list = check_group_weights(weights, spec);
+    check_group_bias(bias, spec);
+    const group_conv_geometry geo(input, spec);
+    REDUCE_CHECK(groups > 0 && weights.size() == groups,
+                 "conv2d_forward_grouped got " << weights.size() << " weights for " << groups
+                                               << " groups");
+    const std::size_t total = input.extent(0);
+    REDUCE_CHECK(total % groups == 0, "conv2d_forward_grouped stacked batch "
+                                          << total << " not divisible by " << groups
+                                          << " groups");
+    const std::size_t per_group = total / groups;
+
+    tensor output({total, spec.out_channels, geo.oh, geo.ow});
+    float* out_ptr = output.raw();
+
+    workspace& ws = workspace::local();
+    const std::size_t chunk =
+        images_per_chunk(geo.rows.size() + spec.out_channels, geo.plane, total);
+    for (std::size_t n0 = 0; n0 < total; n0 += chunk) {
+        const std::size_t nb = std::min(chunk, total - n0);
+        const std::size_t cols = nb * geo.plane;
+        workspace::buffer colbuf = ws.acquire(geo.rows.size() * cols);
+        geo.lower(input.raw() + n0 * geo.image_elems, nb, spec, colbuf.data());
+        workspace::buffer outbuf = ws.acquire(spec.out_channels * cols);
+        // A chunk may span variant boundaries; run each variant's weight
+        // over exactly its own image columns.
+        std::size_t s0 = n0;
+        while (s0 < n0 + nb) {
+            const std::size_t g = s0 / per_group;
+            const std::size_t s1 = std::min(n0 + nb, (g + 1) * per_group);
+            const float* a = a_list[g];
+            float* c = outbuf.data() + (s0 - n0) * geo.plane;
+            const float* b = colbuf.data() + (s0 - n0) * geo.plane;
+            gemm_nn_multi(spec.out_channels, (s1 - s0) * geo.plane, geo.patch, &a, 1,
+                          geo.patch, b, cols, &c, cols, /*accumulate=*/false, ws,
+                          geo.subset_ptr);
+            s0 = s1;
+        }
+        geo.scatter(outbuf.data(), cols, nb, spec, bias, out_ptr, n0);
     }
     return output;
 }

@@ -75,6 +75,46 @@ std::size_t conv_lowering_budget_bytes();
 tensor conv2d_forward(const tensor& input, const tensor& weight, const tensor& bias,
                       const conv2d_spec& spec);
 
+// ---- grouped conv forward (multi-mask evaluation) ---------------------------
+//
+// The batched fleet evaluator runs K fault-masked weight variants through
+// the same conv geometry in one lowering pass. Both entry points return a
+// variant-stacked [G*N, out_c, oh, ow] tensor (variant g owns image rows
+// [g*N, (g+1)*N)), each block bit-identical to conv2d_forward with that
+// variant's weight — under one documented caveat: patch rows whose kernel
+// tap is out of bounds for EVERY output position (the all-padding rows a
+// 1x1-spatial layer has 8 of 9) are skipped. Their lowered activations are
+// exact zeros, so skipping them cannot change any finite-weight result
+// (see gemm_k_subset); weights containing Inf/NaN would lose their
+// NaN-poisoning of those rows. The evaluator only ever runs pretrained ⊙
+// mask weights, which are finite.
+
+/// Patch rows of the lowered matrix with at least one in-bounds tap —
+/// ascending; equals the full [0, patch_size) range when no tap is padded
+/// out everywhere. Pure geometry (shapes only), so chunking/grouping stays
+/// deterministic.
+std::vector<std::size_t> conv_active_patch_rows(const conv2d_spec& spec, std::size_t in_h,
+                                                std::size_t in_w);
+
+/// Row-subset whole-batch lowering: like im2col_batch but emits only the
+/// listed patch rows, compacted; dst is [nrows, batch*oh*ow].
+void im2col_batch_rows(const float* input, std::size_t batch, std::size_t in_h,
+                       std::size_t in_w, const conv2d_spec& spec, const std::size_t* rows,
+                       std::size_t nrows, float* dst);
+
+/// "Apply K weight variants × one input batch": lowers `input` [N,C,H,W]
+/// once and multiplies every weights[g] ([out_c,in_c,kh,kw]) against the
+/// shared packed patch panels.
+tensor conv2d_forward_fanout(const tensor& input, const std::vector<const tensor*>& weights,
+                             const tensor& bias, const conv2d_spec& spec);
+
+/// Grouped conv forward over an already variant-stacked batch
+/// [G*N, C, H, W]: image block g is convolved with weights[g]; lowering,
+/// output scatter, and bias run once over the stacked batch.
+tensor conv2d_forward_grouped(const tensor& input, std::size_t groups,
+                              const std::vector<const tensor*>& weights, const tensor& bias,
+                              const conv2d_spec& spec);
+
 /// Gradients of conv2d.
 struct conv2d_grads {
     tensor grad_input;   ///< [N, C, H, W]

@@ -45,6 +45,23 @@ void pack_a(const float* a, std::size_t rs, std::size_t cs, std::size_t mc, std:
     }
 }
 
+/// Packs an mc x kc block of A whose kc source columns are listed in `cols`
+/// (absolute column indices of the row-major operand) — the k-subset form
+/// of pack_a used by the grouped drivers. `a` points at the block's first
+/// row; `rs` is the row stride.
+void pack_a_cols(const float* a, std::size_t rs, const std::size_t* cols, std::size_t mc,
+                 std::size_t kc, float* dst) {
+    for (std::size_t ir = 0; ir < mc; ir += MR) {
+        const std::size_t mr = std::min(MR, mc - ir);
+        for (std::size_t p = 0; p < kc; ++p) {
+            const std::size_t col = cols[p];
+            for (std::size_t i = 0; i < mr; ++i) { dst[i] = a[(ir + i) * rs + col]; }
+            for (std::size_t i = mr; i < MR; ++i) { dst[i] = 0.0f; }
+            dst += MR;
+        }
+    }
+}
+
 /// Packs a kc x nc panel of B into NR-column strips (mirror of pack_a);
 /// `rs`/`cs` are the strides of the source element (p, j).
 void pack_b(const float* b, std::size_t rs, std::size_t cs, std::size_t kc, std::size_t nc,
@@ -209,6 +226,113 @@ void gemm_strided(std::size_t m, std::size_t n, std::size_t k, const float* a, s
     }
 }
 
+/// Grouped core: for g in [0, count), C_g (+)= A_g · B, where every A_g is
+/// row-major [m, k_orig] (row stride `lda`) and B element (p, j) — over the
+/// COMPACT row index p — sits at b[p*ldb + j]. When `krows` is non-null
+/// it lists the original-k index of each compact row (ascending); KC panel
+/// boundaries follow the ORIGINAL k, so every output element's accumulation
+/// chain is the full-k serial chain with the missing rows' exact-zero
+/// products removed (bit-identical for finite A — see gemm_k_subset). Each
+/// B panel is packed once and reused across all A operands; per-variant
+/// loop order (jc, pc, ic, jr, ir) matches gemm_strided exactly.
+void gemm_strided_multi(std::size_t m, std::size_t n, std::size_t k_orig,
+                        const std::size_t* krows, std::size_t k_compact,
+                        const float* const* a_list, std::size_t count, std::size_t lda,
+                        const float* b, std::size_t ldb, float* const* c_list,
+                        std::size_t ldc, bool accumulate, workspace& ws) {
+    if (m == 0 || n == 0 || count == 0) { return; }
+    if (k_compact == 0) {
+        if (!accumulate) {
+            for (std::size_t g = 0; g < count; ++g) {
+                for (std::size_t i = 0; i < m; ++i) {
+                    std::memset(c_list[g] + i * ldc, 0, n * sizeof(float));
+                }
+            }
+        }
+        return;
+    }
+
+    workspace::buffer apack = ws.acquire(MC * KC);
+    workspace::buffer bpack = ws.acquire(KC * NC);
+
+    for (std::size_t jc = 0; jc < n; jc += NC) {
+        const std::size_t nc = std::min(NC, n - jc);
+        bool first_panel = true;
+        std::size_t c0 = 0;  // compact row where the current panel starts
+        for (std::size_t pc = 0; pc < k_orig; pc += KC) {
+            std::size_t c1;
+            if (krows == nullptr) {
+                c1 = std::min(k_orig, pc + KC);  // c0 == pc without a subset
+            } else {
+                c1 = c0;
+                while (c1 < k_compact && krows[c1] < pc + KC) { ++c1; }
+            }
+            const std::size_t kc = c1 - c0;
+            if (kc == 0) { continue; }  // an all-zero panel contributes exact +0
+            // The first NON-EMPTY panel overwrites: preceding all-zero
+            // panels would only have stored +0 sums that later panels
+            // accumulate onto.
+            const bool overwrite = !accumulate && first_panel;
+            first_panel = false;
+            pack_b(b + c0 * ldb + jc, ldb, 1, kc, nc, bpack.data());
+            for (std::size_t g = 0; g < count; ++g) {
+                const float* a = a_list[g];
+                float* c = c_list[g];
+                for (std::size_t ic = 0; ic < m; ic += MC) {
+                    const std::size_t mc = std::min(MC, m - ic);
+                    if (krows == nullptr) {
+                        pack_a(a + ic * lda + pc, lda, 1, mc, kc, apack.data());
+                    } else {
+                        pack_a_cols(a + ic * lda, lda, krows + c0, mc, kc, apack.data());
+                    }
+                    for (std::size_t jr = 0; jr < nc; jr += NR) {
+                        const std::size_t nr = std::min(NR, nc - jr);
+                        const float* bstrip = bpack.data() + (jr / NR) * kc * NR;
+                        for (std::size_t ir = 0; ir < mc; ir += MR) {
+                            const std::size_t mr = std::min(MR, mc - ir);
+                            const float* astrip = apack.data() + (ir / MR) * kc * MR;
+                            float acc[MR * NR];  // fully written by the kernel
+                            micro_kernel(kc, astrip, bstrip, acc);
+                            float* ctile = c + (ic + ir) * ldc + jc + jr;
+                            if (overwrite) {
+                                for (std::size_t i = 0; i < mr; ++i) {
+                                    for (std::size_t j = 0; j < nr; ++j) {
+                                        ctile[i * ldc + j] = acc[i * NR + j];
+                                    }
+                                }
+                            } else {
+                                for (std::size_t i = 0; i < mr; ++i) {
+                                    for (std::size_t j = 0; j < nr; ++j) {
+                                        ctile[i * ldc + j] += acc[i * NR + j];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            c0 = c1;
+        }
+    }
+}
+
+/// Validates a k subset (ascending, in range) and returns the compact count.
+std::size_t check_subset(const gemm_k_subset* subset, std::size_t k) {
+    if (subset == nullptr) { return k; }
+    REDUCE_CHECK(subset->original_k == k,
+                 "gemm k-subset original_k " << subset->original_k
+                                             << " does not match the call's k " << k);
+    REDUCE_CHECK(subset->count == 0 || subset->rows != nullptr,
+                 "gemm k-subset has a count but no row list");
+    for (std::size_t j = 0; j < subset->count; ++j) {
+        REDUCE_CHECK(subset->rows[j] < k, "gemm k-subset row " << subset->rows[j]
+                                                               << " out of range for k " << k);
+        REDUCE_CHECK(j == 0 || subset->rows[j - 1] < subset->rows[j],
+                     "gemm k-subset rows must be strictly ascending");
+    }
+    return subset->count;
+}
+
 }  // namespace
 
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
@@ -229,6 +353,15 @@ void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::s
              workspace& ws) {
     // A stored [k, m] row-major: element (i, p) = a[p * lda + i].
     gemm_strided(m, n, k, a, 1, lda, b, ldb, 1, c, ldc, accumulate, ws);
+}
+
+void gemm_nn_multi(std::size_t m, std::size_t n, std::size_t k, const float* const* a_list,
+                   std::size_t count, std::size_t lda, const float* b, std::size_t ldb,
+                   float* const* c_list, std::size_t ldc, bool accumulate, workspace& ws,
+                   const gemm_k_subset* subset) {
+    const std::size_t compact = check_subset(subset, k);
+    gemm_strided_multi(m, n, k, subset == nullptr ? nullptr : subset->rows, compact, a_list,
+                       count, lda, b, ldb, c_list, ldc, accumulate, ws);
 }
 
 }  // namespace reduce

@@ -28,6 +28,26 @@ namespace reduce {
 
 class workspace;
 
+/// Optional k-row subset for the grouped drivers: the compact B operand
+/// holds only `count` rows, row j of B standing for row `rows[j]` of a
+/// conceptual `original_k`-row operand whose missing rows are exact zeros
+/// (the structurally-zero padding taps of a lowered convolution). `rows`
+/// must be strictly ascending and < original_k.
+///
+/// The driver keeps the KC panel decomposition of the ORIGINAL k, so each
+/// output element's accumulation chain is the full-k chain with the
+/// zero-product terms removed. Adding an exact ±0 product to the kernel's
+/// accumulator (which is never -0: it starts at +0, and IEEE round-to-
+/// nearest yields +0 for every zero-valued sum) cannot change it, so for
+/// FINITE A operands the result is bit-identical to the full-k GEMM. Inf or
+/// NaN entries in A would have turned a zero row into NaN contributions —
+/// callers on such data must pass the full operand instead.
+struct gemm_k_subset {
+    const std::size_t* rows = nullptr;
+    std::size_t count = 0;
+    std::size_t original_k = 0;
+};
+
 /// C[m,n] (+)= A[m,k] · B[k,n]. `lda/ldb/ldc` are row strides of the
 /// row-major operands; pass `accumulate = false` to overwrite C.
 /// Packing scratch comes from `ws` (no allocation after warm-up).
@@ -44,5 +64,28 @@ void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const float* a, std::s
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const float* a, std::size_t lda,
              const float* b, std::size_t ldb, float* c, std::size_t ldc, bool accumulate,
              workspace& ws);
+
+// ---- grouped (multi-A, shared-B) driver ------------------------------------
+//
+// The batched multi-mask evaluation engine applies K fault-masked weight
+// variants to ONE shared lowered-activation operand (the conv patch
+// matrix, whose im2col + packing is the expensive part a serial loop
+// repeats per variant). The driver packs each B cache panel once and
+// reuses it across every A operand. Dense (linear) layers deliberately do
+// NOT go through a shared-B form: their operands are cheap to pack, so
+// per-variant gemm_nt calls win — see matmul_nt_fanout in tensor/ops.cpp.
+// Determinism contract: for each g the operations touching c_list[g] are
+// exactly the ones a serial gemm_nn call with the same shapes would
+// perform, in the same order — results are bit-identical to the serial
+// loop.
+
+/// For g in [0, count): C_g[m,n] (+)= A_g[m,k] · B[k,n], sharing B's packed
+/// panels across the A operands. With `subset`, B is the compact operand
+/// described by gemm_k_subset, A_g stays [m, original_k] row-major, and the
+/// product equals the full-k GEMM for finite A (see gemm_k_subset).
+void gemm_nn_multi(std::size_t m, std::size_t n, std::size_t k, const float* const* a_list,
+                   std::size_t count, std::size_t lda, const float* b, std::size_t ldb,
+                   float* const* c_list, std::size_t ldc, bool accumulate, workspace& ws,
+                   const gemm_k_subset* subset = nullptr);
 
 }  // namespace reduce

@@ -15,6 +15,12 @@ std::size_t resolve_thread_count(std::size_t requested, std::size_t cap) {
     return std::max<std::size_t>(1, count);
 }
 
+std::size_t cap_group_at_fair_share(std::size_t group, std::size_t items,
+                                    std::size_t workers) {
+    const std::size_t fair = workers == 0 ? items : (items + workers - 1) / workers;
+    return std::min(std::max<std::size_t>(1, group), std::max<std::size_t>(1, fair));
+}
+
 void run_workers(std::size_t workers, const std::function<void()>& job) {
     REDUCE_CHECK(workers >= 1, "run_workers needs at least one worker");
     if (workers == 1) {

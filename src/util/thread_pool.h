@@ -23,6 +23,14 @@ namespace reduce {
 /// spawning more workers than work items).
 std::size_t resolve_thread_count(std::size_t requested, std::size_t cap = 0);
 
+/// Caps a work-claim group width at an even items/worker split (and a floor
+/// of 1): the shared rule of the fleet executor and the sweep engine, whose
+/// grouped-evaluation blocks double as the unit workers claim — an
+/// oversized group request must shrink its grouping benefit, never starve
+/// worker threads of items.
+std::size_t cap_group_at_fair_share(std::size_t group, std::size_t items,
+                                    std::size_t workers);
+
 /// Runs `workers` copies of `job` to completion — the shared fan-out idiom
 /// of the fleet executor and the resilience sweep engine, where each copy
 /// drains a common atomic work counter. With one worker the job runs inline

@@ -10,6 +10,7 @@
 
 #include "core/resilience.h"
 #include "core/workload.h"
+#include "nn/norm.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -136,6 +137,68 @@ TEST_F(SweepFixture, ParallelSweepIsByteIdenticalAtAnyThreadCount) {
         opts.threads = threads;
         EXPECT_EQ(analyzer.analyze(cfg, opts).to_json().dump(), reference)
             << "table diverged at " << threads << " threads";
+    }
+}
+
+TEST_F(SweepFixture, DeterminismMatrixThreadsByEvalGroupBySharding) {
+    // The full execution-knob matrix must collapse to ONE artifact: worker
+    // threads (1/2/8) × grouped epoch-0 evaluation (1/4) × 2-way shard
+    // split + merge all serialize byte-identically.
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+
+    const std::string reference = analyzer.analyze(cfg, {}).to_json().dump();
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        for (const std::size_t eval_group : {1u, 4u}) {
+            sweep_options opts;
+            opts.threads = threads;
+            opts.eval_group = eval_group;
+            EXPECT_EQ(analyzer.analyze(cfg, opts).to_json().dump(), reference)
+                << "threads=" << threads << " eval_group=" << eval_group;
+
+            sweep_options shard0 = opts;
+            shard0.shard_index = 0;
+            shard0.shard_count = 2;
+            sweep_options shard1 = opts;
+            shard1.shard_index = 1;
+            shard1.shard_count = 2;
+            const resilience_table merged = resilience_table::merge(
+                {analyzer.analyze(cfg, shard0), analyzer.analyze(cfg, shard1)});
+            EXPECT_EQ(merged.to_json().dump(), reference)
+                << "sharded: threads=" << threads << " eval_group=" << eval_group;
+        }
+    }
+}
+
+TEST_F(SweepFixture, StochasticModelSweepIsDeterministicAcrossTheMatrix) {
+    // Dropout + batch-norm used to make sweeps thread-count-dependent
+    // (ROADMAP item 3): dropout streams continued across cells and running
+    // statistics leaked between them. With per-cell reseeding and the
+    // guard's buffer restore, the same matrix as above must agree bitwise
+    // on a stochastic model too.
+    rng gen(21);
+    sequential model;
+    model.emplace<linear>(16, 32, gen);
+    model.emplace<batch_norm1d>(32);
+    model.emplace<relu_layer>();
+    model.emplace<dropout>(0.2, gen.next_u64());
+    model.emplace<linear>(32, 4, gen);
+    fault_aware_trainer pretrainer(model, w().train_data, w().test_data, w().trainer_cfg);
+    (void)pretrainer.train(1.0);
+    const model_snapshot pretrained = snapshot_parameters(model.parameters());
+    resilience_analyzer analyzer(model, pretrained, w().train_data, w().test_data, w().array,
+                                 w().trainer_cfg);
+
+    resilience_config cfg = small_config();
+    const std::string reference = analyzer.analyze(cfg, {}).to_json().dump();
+    for (const std::size_t threads : {2u, 8u}) {
+        for (const std::size_t eval_group : {1u, 4u}) {
+            sweep_options opts;
+            opts.threads = threads;
+            opts.eval_group = eval_group;
+            EXPECT_EQ(analyzer.analyze(cfg, opts).to_json().dump(), reference)
+                << "stochastic: threads=" << threads << " eval_group=" << eval_group;
+        }
     }
 }
 

@@ -324,6 +324,264 @@ TEST(BatchConv, BackwardDeterministicAcrossCalls) {
     EXPECT_TRUE(first.grad_bias == second.grad_bias);
 }
 
+// ---- grouped (multi-A, shared-B) drivers: the masked-group eval path -------
+
+/// Applies a {0,1} mask to a weight the way parameter::apply_mask does
+/// (float multiply, so -0/NaN semantics match the serial FAP path).
+tensor masked_copy(const tensor& w, rng& gen, double drop_p) {
+    tensor m = w;
+    for (std::size_t i = 0; i < m.numel(); ++i) {
+        m.raw()[i] *= gen.uniform() < drop_p ? 0.0f : 1.0f;
+    }
+    return m;
+}
+
+TEST(GroupedGemm, NnMultiMatchesSerialBitwiseAndReferenceAcrossK) {
+    rng gen(301);
+    // Tile-edge group sizes around the micro/cache tiles, plus K=1, over a
+    // k spanning two KC panels.
+    for (const std::size_t groups : {1u, 2u, 3u, 5u, 16u, 17u}) {
+        const std::size_t m = 13, k = 300, n = 37;
+        const tensor b = random_tensor({k, n}, gen);  // shared B operand
+        std::vector<tensor> weights;
+        std::vector<const float*> a_list;
+        for (std::size_t g = 0; g < groups; ++g) {
+            weights.push_back(masked_copy(random_tensor({m, k}, gen), gen, 0.2));
+        }
+        for (const tensor& w : weights) { a_list.push_back(w.raw()); }
+        std::vector<tensor> outs(groups, tensor({m, n}));
+        std::vector<float*> c_list;
+        for (tensor& c : outs) { c_list.push_back(c.raw()); }
+        gemm_nn_multi(m, n, k, a_list.data(), groups, k, b.raw(), n, c_list.data(), n,
+                      /*accumulate=*/false, workspace::local());
+        for (std::size_t g = 0; g < groups; ++g) {
+            // Bitwise vs the serial driver...
+            tensor serial({m, n});
+            gemm_nn(m, n, k, weights[g].raw(), k, b.raw(), n, serial.raw(), n, false,
+                    workspace::local());
+            EXPECT_TRUE(outs[g] == serial) << "K=" << groups << " g=" << g;
+            // ...and near the double-precision reference.
+            const tensor ref = reference_gemm("nn", weights[g], b, m, k, n);
+            for (std::size_t i = 0; i < ref.numel(); ++i) {
+                ASSERT_NEAR(outs[g].raw()[i], ref.raw()[i], tol_for(k))
+                    << "K=" << groups << " g=" << g << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(GroupedGemm, KSubsetEqualsFullGemmWithZeroRows) {
+    // The structural-zero skip: a compact B missing rows that are exactly
+    // zero must reproduce the full-k result bit for bit, with kept rows
+    // spread across several KC panels (k = 600 spans three).
+    rng gen(303);
+    const std::size_t m = 21, k = 600, n = 33;
+    std::vector<std::size_t> kept;
+    for (std::size_t p = 0; p < k; ++p) {
+        if (p % 9 == 4 || p % 151 == 0) { kept.push_back(p); }
+    }
+    const tensor a = masked_copy(random_tensor({m, k}, gen), gen, 0.3);
+    tensor b_full({k, n});  // zero except the kept rows
+    tensor b_compact({kept.size(), n});
+    for (std::size_t j = 0; j < kept.size(); ++j) {
+        for (std::size_t q = 0; q < n; ++q) {
+            const float v = static_cast<float>(gen.uniform(-1.0, 1.0));
+            b_full.raw()[kept[j] * n + q] = v;
+            b_compact.raw()[j * n + q] = v;
+        }
+    }
+    tensor full({m, n});
+    gemm_nn(m, n, k, a.raw(), k, b_full.raw(), n, full.raw(), n, false, workspace::local());
+
+    gemm_k_subset subset;
+    subset.rows = kept.data();
+    subset.count = kept.size();
+    subset.original_k = k;
+    const float* a_ptr = a.raw();
+    tensor skipped({m, n});
+    float* c_ptr = skipped.raw();
+    gemm_nn_multi(m, n, k, &a_ptr, 1, k, b_compact.raw(), n, &c_ptr, n, false,
+                  workspace::local(), &subset);
+    EXPECT_TRUE(full == skipped);
+}
+
+TEST(GroupedGemm, KSubsetValidates) {
+    const std::size_t rows_bad[] = {3, 2};   // not ascending
+    const std::size_t rows_oob[] = {3, 99};  // out of range
+    const tensor a({4, 8});
+    const tensor b({2, 4});
+    tensor c({4, 4});
+    const float* a_ptr = a.raw();
+    float* c_ptr = c.raw();
+    gemm_k_subset subset;
+    subset.count = 2;
+    subset.original_k = 8;
+    subset.rows = rows_bad;
+    EXPECT_ANY_THROW(gemm_nn_multi(4, 4, 8, &a_ptr, 1, 8, b.raw(), 4, &c_ptr, 4, false,
+                                   workspace::local(), &subset));
+    subset.rows = rows_oob;
+    EXPECT_ANY_THROW(gemm_nn_multi(4, 4, 8, &a_ptr, 1, 8, b.raw(), 4, &c_ptr, 4, false,
+                                   workspace::local(), &subset));
+}
+
+TEST(GroupedGemm, PropagatesNanAndInfThroughMaskedOperands) {
+    // The full-k multi driver makes no data-dependent shortcut: a NaN/Inf
+    // in ANY variant's masked A operand must reach that variant's output —
+    // and only that variant's.
+    rng gen(304);
+    const std::size_t m = 8, k = 32, n = 16;
+    const tensor b = random_tensor({k, n}, gen);
+    tensor w0 = masked_copy(random_tensor({m, k}, gen), gen, 0.2);
+    tensor w1 = w0;
+    tensor w2 = w0;
+    w1.raw()[5] = std::numeric_limits<float>::quiet_NaN();
+    w2.raw()[7] = std::numeric_limits<float>::infinity();
+    const float* a_list[] = {w0.raw(), w1.raw(), w2.raw()};
+    tensor c0({m, n}), c1({m, n}), c2({m, n});
+    float* c_list[] = {c0.raw(), c1.raw(), c2.raw()};
+    gemm_nn_multi(m, n, k, a_list, 3, k, b.raw(), n, c_list, n, false, workspace::local());
+    bool c1_nan = false;
+    for (std::size_t i = 0; i < c1.numel(); ++i) { c1_nan |= std::isnan(c1.raw()[i]); }
+    EXPECT_TRUE(c1_nan);
+    bool c2_nonfinite = false;
+    for (std::size_t i = 0; i < c2.numel(); ++i) {
+        c2_nonfinite |= !std::isfinite(c2.raw()[i]);
+    }
+    EXPECT_TRUE(c2_nonfinite);
+    for (std::size_t i = 0; i < c0.numel(); ++i) {
+        ASSERT_TRUE(std::isfinite(c0.raw()[i])) << "variant 0 polluted at " << i;
+    }
+}
+
+TEST(GroupedGemm, OpsFanoutAndGroupedMatchMatmulNtBitwise) {
+    rng gen(305);
+    const std::size_t rows = 19, in = 70, out = 11, groups = 4;
+    const tensor x = random_tensor({rows, in}, gen);
+    std::vector<tensor> weights;
+    std::vector<const tensor*> ptrs;
+    for (std::size_t g = 0; g < groups; ++g) {
+        weights.push_back(masked_copy(random_tensor({out, in}, gen), gen, 0.25));
+    }
+    for (const tensor& w : weights) { ptrs.push_back(&w); }
+
+    const tensor fanout = matmul_nt_fanout(x, ptrs);
+    ASSERT_EQ(fanout.extent(0), rows * groups);
+    // Stacked input for the grouped form: x replicated per variant.
+    tensor x_stacked({rows * groups, in});
+    for (std::size_t g = 0; g < groups; ++g) {
+        std::copy(x.raw(), x.raw() + x.numel(), x_stacked.raw() + g * x.numel());
+    }
+    const tensor grouped = matmul_nt_grouped(x_stacked, groups, ptrs);
+    for (std::size_t g = 0; g < groups; ++g) {
+        const tensor serial = matmul_nt(x, weights[g]);
+        for (std::size_t r = 0; r < rows; ++r) {
+            for (std::size_t o = 0; o < out; ++o) {
+                ASSERT_EQ(serial.at2(r, o), fanout.at2(g * rows + r, o))
+                    << "fanout g=" << g;
+                ASSERT_EQ(serial.at2(r, o), grouped.at2(g * rows + r, o))
+                    << "grouped g=" << g;
+            }
+        }
+    }
+}
+
+TEST(GroupedConv, FanoutAndGroupedMatchSerialConvBitwise) {
+    rng gen(306);
+    // 1x1 spatial with 3x3 kernel + padding: 8 of 9 patch rows lower to
+    // structural zeros — the skip path — while 4x4 exercises the full path.
+    for (const auto& [h, w] : std::vector<std::pair<std::size_t, std::size_t>>{{1, 1},
+                                                                              {4, 4},
+                                                                              {1, 5}}) {
+        const conv2d_spec spec{3, 6, 3, 3, 1, 1};
+        const std::size_t batch = 5, groups = 3;
+        const tensor input = random_tensor({batch, 3, h, w}, gen);
+        const tensor bias = random_tensor({6}, gen);
+        std::vector<tensor> weights;
+        std::vector<const tensor*> ptrs;
+        for (std::size_t g = 0; g < groups; ++g) {
+            weights.push_back(masked_copy(random_tensor({6, 3, 3, 3}, gen), gen, 0.2));
+        }
+        for (const tensor& t : weights) { ptrs.push_back(&t); }
+
+        const tensor fanout = conv2d_forward_fanout(input, ptrs, bias, spec);
+        tensor stacked_in({groups * batch, 3, h, w});
+        for (std::size_t g = 0; g < groups; ++g) {
+            std::copy(input.raw(), input.raw() + input.numel(),
+                      stacked_in.raw() + g * input.numel());
+        }
+        const tensor grouped = conv2d_forward_grouped(stacked_in, groups, ptrs, bias, spec);
+        const std::size_t block = batch * 6 * spec.out_h(h) * spec.out_w(w);
+        for (std::size_t g = 0; g < groups; ++g) {
+            const tensor serial = conv2d_forward(input, weights[g], bias, spec);
+            for (std::size_t i = 0; i < block; ++i) {
+                ASSERT_EQ(serial.raw()[i], fanout.raw()[g * block + i])
+                    << h << "x" << w << " fanout g=" << g << " i=" << i;
+                ASSERT_EQ(serial.raw()[i], grouped.raw()[g * block + i])
+                    << h << "x" << w << " grouped g=" << g << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(GroupedConv, ChunkedLoweringStaysBitwiseIdentical) {
+    // A 1-byte budget forces one image per lowered chunk, driving the
+    // n0 > 0 chunk offsets of conv2d_forward_fanout and the
+    // chunk-starting-mid-variant splits of conv2d_forward_grouped — with
+    // the k-subset active (1x1 spatial). Chunking must never move a bit.
+    rng gen(307);
+    const conv2d_spec spec{3, 6, 3, 3, 1, 1};
+    const std::size_t batch = 5, groups = 3;
+    for (const auto& [h, w] :
+         std::vector<std::pair<std::size_t, std::size_t>>{{1, 1}, {4, 4}}) {
+        const tensor input = random_tensor({batch, 3, h, w}, gen);
+        const tensor bias = random_tensor({6}, gen);
+        std::vector<tensor> weights;
+        std::vector<const tensor*> ptrs;
+        for (std::size_t g = 0; g < groups; ++g) {
+            weights.push_back(masked_copy(random_tensor({6, 3, 3, 3}, gen), gen, 0.2));
+        }
+        for (const tensor& t : weights) { ptrs.push_back(&t); }
+        tensor stacked_in({groups * batch, 3, h, w});
+        for (std::size_t g = 0; g < groups; ++g) {
+            std::copy(input.raw(), input.raw() + input.numel(),
+                      stacked_in.raw() + g * input.numel());
+        }
+
+        const tensor fanout_whole = conv2d_forward_fanout(input, ptrs, bias, spec);
+        const tensor grouped_whole =
+            conv2d_forward_grouped(stacked_in, groups, ptrs, bias, spec);
+        {
+            budget_guard tiny(1);
+            EXPECT_TRUE(conv2d_forward_fanout(input, ptrs, bias, spec) == fanout_whole)
+                << h << "x" << w;
+            EXPECT_TRUE(conv2d_forward_grouped(stacked_in, groups, ptrs, bias, spec) ==
+                        grouped_whole)
+                << h << "x" << w;
+        }
+        const std::size_t block = batch * 6 * spec.out_h(h) * spec.out_w(w);
+        for (std::size_t g = 0; g < groups; ++g) {
+            const tensor serial = conv2d_forward(input, weights[g], bias, spec);
+            for (std::size_t i = 0; i < block; ++i) {
+                ASSERT_EQ(serial.raw()[i], fanout_whole.raw()[g * block + i]);
+                ASSERT_EQ(serial.raw()[i], grouped_whole.raw()[g * block + i]);
+            }
+        }
+    }
+}
+
+TEST(GroupedConv, ActivePatchRowsGeometry) {
+    // 3x3 kernel, padding 1: at 1x1 spatial only the center tap survives;
+    // at 4x4 every tap is live somewhere.
+    const conv2d_spec spec{2, 4, 3, 3, 1, 1};
+    const std::vector<std::size_t> tiny = conv_active_patch_rows(spec, 1, 1);
+    ASSERT_EQ(tiny.size(), 2u);  // one center tap per input channel
+    EXPECT_EQ(tiny[0], 4u);
+    EXPECT_EQ(tiny[1], 13u);
+    EXPECT_EQ(conv_active_patch_rows(spec, 4, 4).size(), spec.patch_size());
+    // 1x5: rows with out-of-bounds ky die, kx taps all live.
+    EXPECT_EQ(conv_active_patch_rows(spec, 1, 5).size(), 2u * 3u);
+}
+
 TEST(BatchConv, Im2colBatchMatchesPerImage) {
     rng gen(47);
     const conv2d_spec spec{2, 3, 2, 2, 1, 1};
