@@ -12,7 +12,8 @@
 // Output: one CSV row per selector configuration.
 // Options: --chips N (default 40), --constraint A (default 91),
 //          --budget E (default 6), --repeats N (default 4),
-//          --threads N (executor workers, default 1).
+//          --threads N (executor workers, default 1),
+//          --gemm-threads N (intra-op tensor threads per worker, default 1).
 
 #include <iostream>
 
@@ -43,8 +44,10 @@ int main(int argc, char** argv) {
                   << "%\n";
 
         const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 1));
+        const std::size_t gemm_threads =
+            static_cast<std::size_t>(args.get_int("gemm-threads", 1));
         fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
-                                w.trainer_cfg, fleet_executor_config{.threads = threads});
+                                w.trainer_cfg, fleet_executor_config{.threads = threads, .gemm_threads = gemm_threads});
         resilience_config rc;
         rc.fault_rates = {0.0, 0.1, 0.2, 0.3};
         rc.repeats = repeats;

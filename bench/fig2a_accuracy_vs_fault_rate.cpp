@@ -13,6 +13,7 @@
 //   --paper-scale         5 repeats
 //   --seed S              experiment seed
 //   --sweep-threads N     sweep worker threads   (default 1; 0 = all cores)
+//   --gemm-threads N   intra-op tensor threads per worker (default 1; 0 = all cores)
 //   --eval-group K     same-rate cells per grouped epoch-0 eval pass
 //                      (default 1; never changes the table, only wall-clock)
 //   --shard I/N           run shard I of N cells (CSV covers the shard only)
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
         const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20230221));
         sweep_options sweep;
         sweep.threads = static_cast<std::size_t>(args.get_int("sweep-threads", 1));
+        sweep.gemm_threads = static_cast<std::size_t>(args.get_int("gemm-threads", 1));
         sweep.eval_group = static_cast<std::size_t>(args.get_int("eval-group", 1));
         const shard_spec shard = args.get_shard("shard");
         sweep.shard_index = shard.index;

@@ -19,6 +19,8 @@
 //   --policy a,b,c   registry names to run    (default reduce,reduce-mean,fixed;
 //                    "fixed" expands to one run per --fixed level)
 //   --threads N      executor worker threads  (default 1; 0 = all cores)
+//   --gemm-threads N intra-op tensor threads per worker (default 1; 0 = all
+//                    cores; auto-shrunk when --threads saturates the machine)
 //   --eval-batch-chips K  chips per grouped accuracy_before pass (default 1;
 //                    grouping never changes outcomes, only wall-clock)
 //   --sweep-threads N  Step-1 sweep threads   (default: --threads)
@@ -90,6 +92,8 @@ int main(int argc, char** argv) {
                                                       << name << "'; see --list-policies");
         }
         const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 1));
+        const std::size_t gemm_threads =
+            static_cast<std::size_t>(args.get_int("gemm-threads", 1));
         const std::size_t num_chips = static_cast<std::size_t>(args.get_int("chips", 100));
         const double constraint = args.get_double("constraint", 91.0) / 100.0;
         const std::vector<double> fixed_levels =
@@ -109,7 +113,9 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(args.get_int("eval-batch-chips", 1));
         fleet_executor executor(
             *w.model, w.pretrained, w.train_data, w.test_data, w.array, w.trainer_cfg,
-            fleet_executor_config{.threads = threads, .eval_batch_chips = eval_batch_chips});
+            fleet_executor_config{.threads = threads,
+                                  .gemm_threads = gemm_threads,
+                                  .eval_batch_chips = eval_batch_chips});
 
         // Step 1 (shared by every table-driven policy) — parallel, and
         // reusable across invocations via the fingerprint-keyed cache.
@@ -122,6 +128,7 @@ int main(int argc, char** argv) {
         sweep_options sweep;
         sweep.threads =
             static_cast<std::size_t>(args.get_int("sweep-threads", args.get_int("threads", 1)));
+        sweep.gemm_threads = gemm_threads;
         sweep.eval_group = static_cast<std::size_t>(
             args.get_int("eval-group", static_cast<std::int64_t>(eval_batch_chips)));
         resilience_analyzer analyzer(*w.model, w.pretrained, w.train_data, w.test_data,

@@ -8,7 +8,7 @@
 //
 // Usage: chip_fleet [--chips 20] [--constraint 0.91] [--out /tmp/fleet_out]
 //          [--distribution uniform|lognormal|fixed] [--policy reduce]
-//          [--threads 1] [--fixed-epochs 1.0]
+//          [--threads 1] [--gemm-threads 1] [--fixed-epochs 1.0]
 //
 // The policy under test is resolved by name from the policy registry
 // (reduce, reduce-mean, oracle, binned, ...) and compared against the
@@ -41,6 +41,8 @@ int main(int argc, char** argv) {
         const std::string out_dir = args.get("out", "");
         const std::string policy_name = args.get("policy", "reduce");
         const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 1));
+        const std::size_t gemm_threads =
+            static_cast<std::size_t>(args.get_int("gemm-threads", 1));
         const double fixed_epochs = args.get_double("fixed-epochs", 1.0);
         // Fail on typos before paying for the workload + resilience analysis.
         REDUCE_CHECK(policy_registry::global().contains(policy_name),
@@ -64,7 +66,7 @@ int main(int argc, char** argv) {
                   << args.get("distribution", "uniform") << ")\n\n";
 
         fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
-                                w.trainer_cfg, fleet_executor_config{.threads = threads});
+                                w.trainer_cfg, fleet_executor_config{.threads = threads, .gemm_threads = gemm_threads});
 
         // Step 1 once for the whole lot.
         resilience_config rc;

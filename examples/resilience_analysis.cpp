@@ -8,7 +8,8 @@
 //
 // Usage: resilience_analysis [--rates 0,0.1,...] [--repeats 5]
 //          [--budget 6] [--targets 90,91,92] [--save table.json]
-//          [--sweep-threads N] [--eval-group K] [--shard I/N] [--cache-dir P]
+//          [--sweep-threads N] [--gemm-threads N] [--eval-group K]
+//          [--shard I/N] [--cache-dir P]
 //          [--cache-gc [--cache-gc-max-mb M]]   prune the Step-1 cache first
 
 #include <iostream>
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
         cfg.context = w.context;
         sweep_options sweep;
         sweep.threads = static_cast<std::size_t>(args.get_int("sweep-threads", 1));
+        sweep.gemm_threads = static_cast<std::size_t>(args.get_int("gemm-threads", 1));
         sweep.eval_group = static_cast<std::size_t>(args.get_int("eval-group", 1));
         const shard_spec shard = args.get_shard("shard");
         sweep.shard_index = shard.index;

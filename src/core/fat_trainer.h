@@ -5,6 +5,13 @@
 // trainer assumes fault masks are already attached (attach_fault_masks);
 // the mask-aware optimizer keeps pruned weights at zero, so the network
 // being trained is exactly the function the damaged chip computes.
+//
+// Threading: the trainer itself is single-threaded per episode, but every
+// forward/backward/eval it runs draws on the process-wide intra-op budget
+// (util/thread_pool.h, --gemm-threads) — the fleet executor and sweep
+// engine scope that budget per run, and single-chip harnesses set it
+// directly. The budget never changes a result bit (never-split-K rule of
+// tensor/gemm.h), only wall-clock time per epoch.
 #pragma once
 
 #include <optional>

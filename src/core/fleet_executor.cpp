@@ -108,7 +108,12 @@ chip_outcome chip_tuner::tune(const chip& c, const epoch_allocation& alloc,
     }
     outcome.meets_constraint = outcome.final_accuracy >= constraint;
 
-    if (capture_tuned_) { last_tuned_ = snapshot_parameters(model_->parameters()); }
+    // Full deployable capture: parameters AND state buffers (batch-norm
+    // running statistics), taken before the guard's restore — a model-sink
+    // consumer deploying a tuned BN snapshot must evaluate with the
+    // statistics behind the reported final_accuracy, not the pretrained
+    // ones.
+    if (capture_tuned_) { last_tuned_ = snapshot_model(*model_); }
     return outcome;
 }
 
@@ -127,6 +132,7 @@ fleet_executor::fleet_executor(sequential& model, const model_snapshot& pretrain
 resilience_table fleet_executor::analyze(const resilience_config& cfg) {
     sweep_options opts;
     opts.threads = cfg_.threads;
+    opts.gemm_threads = cfg_.gemm_threads;
     opts.eval_group = cfg_.eval_batch_chips;
     return analyze(cfg, opts);
 }
@@ -189,13 +195,20 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
     // serialize the fleet onto one worker. Block membership is a pure
     // function of fleet order and the worker count, and grouping never
     // changes values, so outcomes stay identical either way.
-    const std::size_t worker_budget = resolve_thread_count(cfg_.threads, fleet.size());
+    //
+    // Two-level budget: fleet workers fan out over chips while each
+    // worker's tensor kernels draw on the (guarded) intra-op budget — see
+    // resolve_thread_budget for the oversubscription rule. Neither level
+    // changes a single outcome bit.
+    const thread_budget budget =
+        resolve_thread_budget(cfg_.threads, cfg_.gemm_threads, fleet.size());
+    const std::size_t worker_budget = budget.fleet_workers;
     const std::size_t group =
         cap_group_at_fair_share(cfg_.eval_batch_chips, fleet.size(), worker_budget);
     // Spawn no more workers than there are claimable blocks — a surplus
     // worker would deep-clone a tuner model just to find the queue empty.
     const std::size_t workers =
-        resolve_thread_count(cfg_.threads, (fleet.size() + group - 1) / group);
+        std::min(worker_budget, (fleet.size() + group - 1) / group);
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::size_t completed = 0;  // guarded by progress_mutex
@@ -273,6 +286,7 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
         }
     };
 
+    const scoped_intra_op_threads intra(budget.gemm_threads);
     run_workers(workers, worker);
     return outcome;
 }

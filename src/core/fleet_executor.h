@@ -104,8 +104,10 @@ public:
                       double effective_rate,
                       std::optional<double> accuracy_before = std::nullopt);
 
-    /// When enabled, tune() captures the tuned weights (pre-restore) so the
-    /// executor can feed model sinks. Off by default — snapshots cost memory.
+    /// When enabled, tune() captures the tuned weights AND module state
+    /// buffers (batch-norm running statistics) pre-restore so the executor
+    /// can feed model sinks a fully deployable snapshot. Off by default —
+    /// snapshots cost memory.
     void set_capture_tuned(bool capture) { capture_tuned_ = capture; }
 
     /// Tuned weights of the last tune() (requires set_capture_tuned(true)).
@@ -130,6 +132,15 @@ struct fleet_executor_config {
     /// Worker threads for the fan-out; 0 → hardware concurrency. The thread
     /// count never changes per-chip outcomes, only wall-clock time.
     std::size_t threads = 1;
+    /// Intra-op (GEMM/conv-lowering) threads each worker's tensor kernels
+    /// may use (--gemm-threads); 0 → hardware concurrency. Applied for the
+    /// duration of run()/analyze() via the process-wide intra-op budget and
+    /// restored afterwards. The two-level product is guarded against
+    /// oversubscription: with more than one worker, gemm threads shrink so
+    /// workers x gemm_threads never exceeds the hardware thread count (see
+    /// resolve_thread_budget). Never changes outcomes — the tensor kernels
+    /// are bit-identical at any intra-op budget.
+    std::size_t gemm_threads = 1;
     /// Chips whose accuracy_before evaluations share one grouped pass
     /// (--eval-batch-chips). 0 or 1 → serial per-chip evaluation. Grouping
     /// never changes outcomes (byte-identical contract of

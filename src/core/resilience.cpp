@@ -575,7 +575,9 @@ resilience_table resilience_analyzer::analyze(const resilience_config& cfg,
     // Blocks are a pure function of the (sharded) cell order and the
     // worker budget — never of scheduling — and grouping never changes
     // values, so the table is identical either way.
-    const std::size_t worker_budget = resolve_thread_count(opts.threads, cells.size());
+    const thread_budget budget =
+        resolve_thread_budget(opts.threads, opts.gemm_threads, cells.size());
+    const std::size_t worker_budget = budget.fleet_workers;
     const std::size_t group_limit =
         cap_group_at_fair_share(opts.eval_group, cells.size(), worker_budget);
     std::vector<std::pair<std::size_t, std::size_t>> blocks;  // [begin, end)
@@ -663,12 +665,17 @@ resilience_table resilience_analyzer::analyze(const resilience_config& cfg,
         }
     };
 
-    const std::size_t workers = resolve_thread_count(opts.threads, blocks.size());
+    // Two-level budget: sweep workers over cells, the guarded intra-op
+    // budget inside each worker's kernels. Scoped so a caller's own budget
+    // is restored after the sweep.
+    const std::size_t workers = std::min(worker_budget, blocks.size());
+    const scoped_intra_op_threads intra(budget.gemm_threads);
     run_workers(workers, worker);
 
     LOG_INFO << "resilience: swept " << cells.size() << " of " << grid.size()
              << " cells (shard " << opts.shard_index << "/" << opts.shard_count << ", "
-             << workers << " worker(s), eval-group " << group_limit << ")";
+             << workers << " worker(s), gemm-threads " << budget.gemm_threads
+             << ", eval-group " << group_limit << ")";
     return resilience_table(std::move(runs), cfg.max_epochs, resilience_fingerprint(cfg),
                             grid.size());
 }

@@ -187,6 +187,12 @@ struct resilience_config {
 /// losslessly.
 struct sweep_options {
     std::size_t threads = 1;      ///< worker threads; 0 → hardware concurrency
+    /// Intra-op (GEMM/conv-lowering) threads per worker (--gemm-threads);
+    /// 0 → hardware concurrency. Scoped to the sweep via the process-wide
+    /// intra-op budget, guarded against oversubscription with the worker
+    /// count (resolve_thread_budget), and — like every knob here — without
+    /// any effect on the table's bytes.
+    std::size_t gemm_threads = 1;
     std::size_t shard_index = 0;  ///< this process's shard (< shard_count)
     std::size_t shard_count = 1;  ///< total shards the grid is split into
     /// Cells whose epoch-0 evaluations share one grouped pass through the

@@ -34,9 +34,37 @@ void restore_parameters(const std::vector<parameter*>& params, const model_snaps
     }
 }
 
+model_snapshot snapshot_model(sequential& model) {
+    model_snapshot snap = snapshot_parameters(model.parameters());
+    for (const tensor* buffer : model.state_buffers()) {
+        REDUCE_CHECK(buffer != nullptr, "snapshot received a null state buffer");
+        snap.state.push_back(*buffer);
+    }
+    return snap;
+}
+
+void restore_model(sequential& model, const model_snapshot& snapshot) {
+    restore_parameters(model.parameters(), snapshot);
+    if (snapshot.state.empty()) { return; }  // parameters-only capture
+    const std::vector<tensor*> buffers = model.state_buffers();
+    if (buffers.size() != snapshot.state.size()) {
+        throw io_error("snapshot has " + std::to_string(snapshot.state.size()) +
+                       " state buffers, model has " + std::to_string(buffers.size()));
+    }
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+        if (buffers[i]->shape() != snapshot.state[i].shape()) {
+            throw io_error("snapshot state buffer " + std::to_string(i) + " shape " +
+                           snapshot.state[i].describe() + " does not match model " +
+                           buffers[i]->describe());
+        }
+        *buffers[i] = snapshot.state[i];
+    }
+}
+
 namespace {
 
-constexpr char k_magic[] = "RDNN1\n";
+constexpr char k_magic_v1[] = "RDNN1\n";
+constexpr char k_magic_v2[] = "RDNN2\n";
 constexpr std::size_t k_magic_len = 6;
 
 template <typename T>
@@ -52,24 +80,57 @@ T read_pod(std::ifstream& is) {
     return value;
 }
 
+void write_tensor(std::ofstream& os, const tensor& value) {
+    write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(value.dim()));
+    for (const std::size_t extent : value.shape()) {
+        write_pod<std::uint64_t>(os, extent);
+    }
+    os.write(reinterpret_cast<const char*>(value.raw()),
+             static_cast<std::streamsize>(value.numel() * sizeof(float)));
+}
+
+// Sanity bounds for counts read from disk: far above any real model, low
+// enough that a corrupt header throws the documented io_error instead of
+// driving an unchecked multi-gigabyte allocation (std::length_error /
+// bad_alloc) out of vector::reserve or the tensor constructor.
+constexpr std::uint64_t k_max_entries = 1u << 20;
+constexpr std::uint32_t k_max_rank = 32;
+
+tensor read_tensor(std::ifstream& is) {
+    const auto rank = read_pod<std::uint32_t>(is);
+    if (rank > k_max_rank) {
+        throw io_error("corrupt snapshot: tensor rank " + std::to_string(rank));
+    }
+    shape_t shape(rank);
+    for (auto& extent : shape) {
+        extent = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    }
+    tensor value(shape);
+    is.read(reinterpret_cast<char*>(value.raw()),
+            static_cast<std::streamsize>(value.numel() * sizeof(float)));
+    if (!is) { throw io_error("unexpected end of snapshot file"); }
+    return value;
+}
+
 }  // namespace
 
 void save_snapshot(const std::string& path, const model_snapshot& snapshot) {
     std::ofstream file(path, std::ios::binary);
     if (!file) { throw io_error("cannot open snapshot file for writing: " + path); }
-    file.write(k_magic, k_magic_len);
+    // State-free snapshots stay on the v1 format so their files remain
+    // readable by pre-RDNN2 tools and byte-identical to earlier releases.
+    const bool versioned = !snapshot.state.empty();
+    file.write(versioned ? k_magic_v2 : k_magic_v1, k_magic_len);
     write_pod<std::uint64_t>(file, snapshot.size());
     for (std::size_t i = 0; i < snapshot.size(); ++i) {
         const std::string& name = snapshot.names[i];
-        const tensor& value = snapshot.values[i];
         write_pod<std::uint32_t>(file, static_cast<std::uint32_t>(name.size()));
         file.write(name.data(), static_cast<std::streamsize>(name.size()));
-        write_pod<std::uint32_t>(file, static_cast<std::uint32_t>(value.dim()));
-        for (const std::size_t extent : value.shape()) {
-            write_pod<std::uint64_t>(file, extent);
-        }
-        file.write(reinterpret_cast<const char*>(value.raw()),
-                   static_cast<std::streamsize>(value.numel() * sizeof(float)));
+        write_tensor(file, snapshot.values[i]);
+    }
+    if (versioned) {
+        write_pod<std::uint64_t>(file, snapshot.state.size());
+        for (const tensor& buffer : snapshot.state) { write_tensor(file, buffer); }
     }
     if (!file) { throw io_error("failed while writing snapshot: " + path); }
 }
@@ -79,29 +140,40 @@ model_snapshot load_snapshot(const std::string& path) {
     if (!file) { throw io_error("cannot open snapshot file: " + path); }
     char magic[k_magic_len] = {};
     file.read(magic, k_magic_len);
-    if (!file || std::string(magic, k_magic_len) != std::string(k_magic, k_magic_len)) {
+    const std::string header(magic, k_magic_len);
+    const bool v1 = header == std::string(k_magic_v1, k_magic_len);
+    const bool v2 = header == std::string(k_magic_v2, k_magic_len);
+    if (!file || (!v1 && !v2)) {
         throw io_error("not a model snapshot file: " + path);
     }
     const auto count = read_pod<std::uint64_t>(file);
+    if (count > k_max_entries) {
+        throw io_error("corrupt snapshot: parameter count " + std::to_string(count));
+    }
     model_snapshot snap;
     snap.names.reserve(count);
     snap.values.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         const auto name_len = read_pod<std::uint32_t>(file);
+        if (name_len > k_max_entries) {
+            throw io_error("corrupt snapshot: name length " + std::to_string(name_len));
+        }
         std::string name(name_len, '\0');
         file.read(name.data(), name_len);
         if (!file) { throw io_error("unexpected end of snapshot file"); }
-        const auto rank = read_pod<std::uint32_t>(file);
-        shape_t shape(rank);
-        for (auto& extent : shape) {
-            extent = static_cast<std::size_t>(read_pod<std::uint64_t>(file));
-        }
-        tensor value(shape);
-        file.read(reinterpret_cast<char*>(value.raw()),
-                  static_cast<std::streamsize>(value.numel() * sizeof(float)));
-        if (!file) { throw io_error("unexpected end of snapshot file"); }
         snap.names.push_back(std::move(name));
-        snap.values.push_back(std::move(value));
+        snap.values.push_back(read_tensor(file));
+    }
+    if (v2) {
+        const auto state_count = read_pod<std::uint64_t>(file);
+        if (state_count > k_max_entries) {
+            throw io_error("corrupt snapshot: state buffer count " +
+                           std::to_string(state_count));
+        }
+        snap.state.reserve(state_count);
+        for (std::uint64_t i = 0; i < state_count; ++i) {
+            snap.state.push_back(read_tensor(file));
+        }
     }
     return snap;
 }

@@ -5,6 +5,7 @@
 #include "tensor/gemm.h"
 #include "tensor/workspace.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace reduce {
 
@@ -222,9 +223,26 @@ void column_sums_acc(const tensor& a, tensor& sums) {
                                            << a.describe());
     const float* pa = a.raw();
     float* ps = sums.raw();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float* row = pa + i * n;
-        for (std::size_t j = 0; j < n; ++j) { ps[j] += row[j]; }
+    // Parallel split is by COLUMN: each output element's accumulation chain
+    // (rows ascending) stays whole on one thread, so any intra-op budget
+    // produces the serial bits. Row-major reads per thread stay strided but
+    // the matrices here are wide bias-gradient blocks — bandwidth-bound
+    // either way.
+    const auto sum_cols = [&](std::size_t j0, std::size_t j1) {
+        for (std::size_t i = 0; i < m; ++i) {
+            const float* row = pa + i * n;
+            for (std::size_t j = j0; j < j1; ++j) { ps[j] += row[j]; }
+        }
+    };
+    // Bias-gradient blocks are memory-bound like the conv scatters, so the
+    // same element bar applies (doubled: the strided reads are colder).
+    constexpr double k_column_sums_min_elems = 256.0 * 1024.0;
+    if (should_fan_out(static_cast<double>(m) * static_cast<double>(n),
+                       k_column_sums_min_elems) &&
+        n > 1) {
+        parallel_for(n, sum_cols);
+    } else {
+        sum_cols(0, n);
     }
 }
 

@@ -170,6 +170,39 @@ TEST_F(SweepFixture, DeterminismMatrixThreadsByEvalGroupBySharding) {
     }
 }
 
+TEST_F(SweepFixture, DeterminismMatrixGemmThreadsByWorkersBySharding) {
+    // The two-level budget matrix: intra-op gemm threads (1/2/8) × sweep
+    // workers (1/4) × 2-way shard split + merge must all serialize
+    // byte-identically — the parallel tensor backend never splits a K
+    // accumulation, so no knob combination may move a single table byte.
+    // (On saturated machines the oversubscription guard may shrink the
+    // inner budget — that too must be invisible in the artifact.)
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+
+    const std::string reference = analyzer.analyze(cfg, {}).to_json().dump();
+    for (const std::size_t gemm_threads : {1u, 2u, 8u}) {
+        for (const std::size_t workers : {1u, 4u}) {
+            sweep_options opts;
+            opts.threads = workers;
+            opts.gemm_threads = gemm_threads;
+            EXPECT_EQ(analyzer.analyze(cfg, opts).to_json().dump(), reference)
+                << "workers=" << workers << " gemm_threads=" << gemm_threads;
+
+            sweep_options shard0 = opts;
+            shard0.shard_index = 0;
+            shard0.shard_count = 2;
+            sweep_options shard1 = opts;
+            shard1.shard_index = 1;
+            shard1.shard_count = 2;
+            const resilience_table merged = resilience_table::merge(
+                {analyzer.analyze(cfg, shard0), analyzer.analyze(cfg, shard1)});
+            EXPECT_EQ(merged.to_json().dump(), reference)
+                << "sharded: workers=" << workers << " gemm_threads=" << gemm_threads;
+        }
+    }
+}
+
 TEST_F(SweepFixture, StochasticModelSweepIsDeterministicAcrossTheMatrix) {
     // Dropout + batch-norm used to make sweeps thread-count-dependent
     // (ROADMAP item 3): dropout streams continued across cells and running

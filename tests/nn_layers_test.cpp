@@ -327,6 +327,76 @@ TEST(Snapshot, RestoreUndoesTraining) {
     EXPECT_TRUE(model.parameters()[0]->value == snap.values[0]);
 }
 
+TEST(Snapshot, ModelSnapshotCarriesBatchNormState) {
+    // snapshot_model must capture running statistics; a round-trip through
+    // the RDNN2 file keeps them bit-exact; restore_model deploys them.
+    rng gen(19);
+    sequential model;
+    model.emplace<linear>(4, 6, gen);
+    model.emplace<batch_norm1d>(6);
+    model.emplace<linear>(6, 2, gen);
+    // Mutate the running statistics away from their init.
+    model.set_training(true);
+    (void)model.forward(random_tensor({8, 4}, gen));
+    model_snapshot snap = snapshot_model(model);
+    ASSERT_EQ(snap.state.size(), 2u);  // running mean + var
+
+    const std::string path = testing::TempDir() + "reduce_snap_bn.rdnn";
+    save_snapshot(path, snap);
+    const model_snapshot loaded = load_snapshot(path);
+    ASSERT_EQ(loaded.size(), snap.size());
+    ASSERT_EQ(loaded.state.size(), snap.state.size());
+    for (std::size_t i = 0; i < snap.state.size(); ++i) {
+        EXPECT_TRUE(loaded.state[i] == snap.state[i]);
+    }
+
+    // Drift the model further, then restore: parameters AND statistics must
+    // come back to the captured values.
+    (void)model.forward(random_tensor({8, 4}, gen));
+    restore_model(model, loaded);
+    const model_snapshot after = snapshot_model(model);
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_TRUE(after.values[i] == snap.values[i]);
+    }
+    for (std::size_t i = 0; i < snap.state.size(); ++i) {
+        EXPECT_TRUE(after.state[i] == snap.state[i]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, StateFreeSnapshotStaysOnLegacyFormat) {
+    // Parameter-only snapshots keep writing RDNN1 bytes, so files from
+    // state-free models remain readable by pre-RDNN2 tools — and RDNN1
+    // files load back with empty state (the backward-compatibility leg).
+    rng gen(20);
+    sequential model;
+    model.emplace<linear>(3, 2, gen);
+    const model_snapshot snap = snapshot_model(model);  // no stateful layers
+    EXPECT_TRUE(snap.state.empty());
+    const std::string path = testing::TempDir() + "reduce_snap_v1.rdnn";
+    save_snapshot(path, snap);
+    {
+        std::ifstream f(path, std::ios::binary);
+        char magic[6] = {};
+        f.read(magic, 6);
+        EXPECT_EQ(std::string(magic, 6), "RDNN1\n");
+    }
+    const model_snapshot loaded = load_snapshot(path);
+    EXPECT_TRUE(loaded.state.empty());
+    restore_model(model, loaded);  // must accept a state-free snapshot
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, RestoreModelRejectsStateMismatch) {
+    rng gen(21);
+    sequential bn_model;
+    bn_model.emplace<linear>(4, 6, gen);
+    bn_model.emplace<batch_norm1d>(6);
+    model_snapshot snap = snapshot_model(bn_model);
+    snap.state.pop_back();  // corrupt: one buffer missing
+    EXPECT_THROW(restore_model(bn_model, snap), error);
+}
+
 TEST(Snapshot, LoadRejectsGarbageFile) {
     const std::string path = testing::TempDir() + "reduce_snap_garbage.bin";
     {
@@ -334,6 +404,21 @@ TEST(Snapshot, LoadRejectsGarbageFile) {
         f << "not a snapshot";
     }
     EXPECT_THROW(load_snapshot(path), error);
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, LoadRejectsCorruptCountsWithIoError) {
+    // A valid magic followed by an absurd count must throw the documented
+    // io_error, not drive an unchecked multi-gigabyte reserve.
+    const std::string path = testing::TempDir() + "reduce_snap_corrupt.rdnn";
+    for (const char* magic : {"RDNN1\n", "RDNN2\n"}) {
+        std::ofstream f(path, std::ios::binary);
+        f.write(magic, 6);
+        const std::uint64_t absurd = ~std::uint64_t{0};
+        f.write(reinterpret_cast<const char*>(&absurd), sizeof absurd);
+        f.close();
+        EXPECT_THROW(load_snapshot(path), io_error) << magic;
+    }
     std::remove(path.c_str());
 }
 

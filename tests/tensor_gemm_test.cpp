@@ -5,7 +5,9 @@
 // chunked path).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <thread>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "tensor/ops.h"
 #include "tensor/workspace.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace reduce {
 namespace {
@@ -602,6 +605,162 @@ TEST(BatchConv, Im2colBatchMatchesPerImage) {
                     << "n=" << n << " r=" << r << " q=" << q;
             }
         }
+    }
+}
+
+// ---- intra-op parallel backend ----------------------------------------------
+//
+// The deterministic contract of the parallel tensor backend: for ANY
+// intra-op budget, every kernel produces the serial result bit for bit
+// (memcmp, so NaN payloads count too). The shapes below cross the parallel
+// thresholds on both partition axes, plus tile-edge and NaN/Inf cases.
+
+bool bitwise_equal(const tensor& a, const tensor& b) {
+    return a.shape() == b.shape() &&
+           std::memcmp(a.raw(), b.raw(), a.numel() * sizeof(float)) == 0;
+}
+
+TEST(ParallelGemm, BitwiseIdenticalAcrossThreadBudgets) {
+    rng gen(101);
+    // Wide (N-major partition), tall-skinny (M-major partition), conv-like
+    // (tiny m, huge n), and the tile-edge shapes of the serial suite.
+    std::vector<std::array<std::size_t, 3>> shapes(kShapes.begin(), kShapes.end());
+    shapes.push_back({96, 300, 512});
+    shapes.push_back({8, 27, 4096});
+    shapes.push_back({300, 500, 40});
+    for (const auto& [m, k, n] : shapes) {
+        const tensor a = random_tensor({m, k}, gen);
+        const tensor b_nn = random_tensor({k, n}, gen);
+        const tensor b_nt = random_tensor({n, k}, gen);
+        const tensor a_tn = random_tensor({k, m}, gen);
+        set_intra_op_threads(1);
+        const tensor nn1 = matmul(a, b_nn);
+        const tensor nt1 = matmul_nt(a, b_nt);
+        const tensor tn1 = matmul_tn(a_tn, b_nn);
+        for (const std::size_t threads : {2u, 8u}) {
+            const scoped_intra_op_threads budget(threads);
+            EXPECT_TRUE(bitwise_equal(nn1, matmul(a, b_nn)))
+                << "nn " << m << "x" << k << "x" << n << " @" << threads;
+            EXPECT_TRUE(bitwise_equal(nt1, matmul_nt(a, b_nt)))
+                << "nt " << m << "x" << k << "x" << n << " @" << threads;
+            EXPECT_TRUE(bitwise_equal(tn1, matmul_tn(a_tn, b_nn)))
+                << "tn " << m << "x" << k << "x" << n << " @" << threads;
+        }
+    }
+}
+
+TEST(ParallelGemm, AccumulatingDriversBitwiseAcrossThreadBudgets) {
+    rng gen(103);
+    const tensor a = random_tensor({300, 96}, gen);   // [k, m]
+    const tensor b = random_tensor({300, 640}, gen);  // [k, n]
+    const tensor seed_c = random_tensor({96, 640}, gen);
+    const tensor wide = random_tensor({600, 512}, gen);
+    set_intra_op_threads(1);
+    tensor c1 = seed_c;
+    matmul_tn_acc(a, b, c1);
+    tensor sums1({512});
+    column_sums_acc(wide, sums1);
+    for (const std::size_t threads : {2u, 8u}) {
+        const scoped_intra_op_threads budget(threads);
+        tensor cn = seed_c;
+        matmul_tn_acc(a, b, cn);
+        EXPECT_TRUE(bitwise_equal(c1, cn)) << "tn_acc @" << threads;
+        tensor sums_n({512});
+        column_sums_acc(wide, sums_n);
+        EXPECT_TRUE(bitwise_equal(sums1, sums_n)) << "column_sums_acc @" << threads;
+    }
+}
+
+TEST(ParallelGemm, PropagatesNanInfIdenticallyAtAnyBudget) {
+    rng gen(107);
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    const float inf = std::numeric_limits<float>::infinity();
+    tensor a = random_tensor({64, 128}, gen);
+    tensor b = random_tensor({128, 1024}, gen);
+    // Poison scattered entries in both operands, including a 0 * inf pair.
+    a.raw()[5 * 128 + 7] = nan;
+    a.raw()[40 * 128 + 100] = inf;
+    b.raw()[7 * 1024 + 900] = inf;
+    b.raw()[100 * 1024 + 3] = 0.0f;
+    set_intra_op_threads(1);
+    const tensor serial = matmul(a, b);
+    for (const std::size_t threads : {2u, 8u}) {
+        const scoped_intra_op_threads budget(threads);
+        EXPECT_TRUE(bitwise_equal(serial, matmul(a, b))) << "@" << threads;
+    }
+    bool saw_nan = false;
+    for (std::size_t i = 0; i < serial.numel(); ++i) {
+        if (std::isnan(serial.raw()[i])) { saw_nan = true; }
+    }
+    EXPECT_TRUE(saw_nan);  // the poison actually reached the output
+}
+
+TEST(ParallelConv, ForwardBackwardAndLoweringBitwiseAcrossBudgets) {
+    rng gen(109);
+    const conv2d_spec spec{8, 16, 3, 3, 1, 1};
+    const tensor input = random_tensor({12, 8, 16, 16}, gen);
+    const tensor weight = random_tensor({16, 8, 3, 3}, gen);
+    const tensor bias = random_tensor({16}, gen);
+    set_intra_op_threads(1);
+    const tensor fwd1 = conv2d_forward(input, weight, bias, spec);
+    const conv2d_grads grads1 = conv2d_backward(input, weight, fwd1, spec);
+    const std::size_t cols = 12 * 16 * 16;
+    std::vector<float> lower1(spec.patch_size() * cols);
+    im2col_batch(input.raw(), 12, 16, 16, spec, lower1.data());
+    std::vector<float> scatter1(input.numel(), 0.0f);
+    col2im_batch(lower1.data(), 12, 16, 16, spec, scatter1.data());
+    for (const std::size_t threads : {2u, 8u}) {
+        const scoped_intra_op_threads budget(threads);
+        EXPECT_TRUE(bitwise_equal(fwd1, conv2d_forward(input, weight, bias, spec)))
+            << "forward @" << threads;
+        const conv2d_grads grads_n = conv2d_backward(input, weight, fwd1, spec);
+        EXPECT_TRUE(bitwise_equal(grads1.grad_input, grads_n.grad_input))
+            << "dX @" << threads;
+        EXPECT_TRUE(bitwise_equal(grads1.grad_weight, grads_n.grad_weight))
+            << "dW @" << threads;
+        EXPECT_TRUE(bitwise_equal(grads1.grad_bias, grads_n.grad_bias))
+            << "db @" << threads;
+        std::vector<float> lower_n(lower1.size());
+        im2col_batch(input.raw(), 12, 16, 16, spec, lower_n.data());
+        EXPECT_EQ(0, std::memcmp(lower1.data(), lower_n.data(),
+                                 lower1.size() * sizeof(float)))
+            << "im2col @" << threads;
+        std::vector<float> scatter_n(scatter1.size(), 0.0f);
+        col2im_batch(lower_n.data(), 12, 16, 16, spec, scatter_n.data());
+        EXPECT_EQ(0, std::memcmp(scatter1.data(), scatter_n.data(),
+                                 scatter1.size() * sizeof(float)))
+            << "col2im @" << threads;
+    }
+}
+
+TEST(ParallelGemm, GroupedEvalDriversBitwiseAcrossBudgets) {
+    rng gen(113);
+    const conv2d_spec spec{4, 8, 3, 3, 1, 1};
+    const tensor input = random_tensor({6, 4, 12, 12}, gen);
+    const tensor bias = random_tensor({8}, gen);
+    std::vector<tensor> weights;
+    std::vector<const tensor*> weight_ptrs;
+    for (int g = 0; g < 3; ++g) { weights.push_back(random_tensor({8, 4, 3, 3}, gen)); }
+    for (const tensor& w : weights) { weight_ptrs.push_back(&w); }
+    const tensor x = random_tensor({48, 256}, gen);
+    std::vector<tensor> dense;
+    std::vector<const tensor*> dense_ptrs;
+    for (int g = 0; g < 3; ++g) { dense.push_back(random_tensor({64, 256}, gen)); }
+    for (const tensor& w : dense) { dense_ptrs.push_back(&w); }
+    const tensor stacked = random_tensor({144, 256}, gen);  // [G*N, in]
+    set_intra_op_threads(1);
+    const tensor fan1 = conv2d_forward_fanout(input, weight_ptrs, bias, spec);
+    const tensor fanx1 = matmul_nt_fanout(x, dense_ptrs);
+    const tensor grouped1 = matmul_nt_grouped(stacked, 3, dense_ptrs);
+    for (const std::size_t threads : {2u, 8u}) {
+        const scoped_intra_op_threads budget(threads);
+        EXPECT_TRUE(
+            bitwise_equal(fan1, conv2d_forward_fanout(input, weight_ptrs, bias, spec)))
+            << "conv fanout @" << threads;
+        EXPECT_TRUE(bitwise_equal(fanx1, matmul_nt_fanout(x, dense_ptrs)))
+            << "nt fanout @" << threads;
+        EXPECT_TRUE(bitwise_equal(grouped1, matmul_nt_grouped(stacked, 3, dense_ptrs)))
+            << "nt grouped @" << threads;
     }
 }
 
