@@ -1,0 +1,91 @@
+// Shared CLI plumbing of the distributed-service binaries
+// (reduce_coordinator / reduce_worker).
+//
+// The whole distributed design rests on SYMMETRIC CONSTRUCTION: the sweep
+// config never crosses the wire — coordinator and workers each build it
+// from their own command line, and the handshake fingerprint
+// (resilience_fingerprint, which transitively names the workload, grid,
+// fault model, seed, and schema version) proves they built the same thing.
+// Keeping the flag parsing in one header makes "same flags → same job" a
+// structural property instead of a convention: start every worker with the
+// same --tiny/--rates/--repeats/--budget/--seed values as its coordinator.
+#pragma once
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "core/fleet_executor.h"
+#include "core/resilience.h"
+#include "core/workload.h"
+#include "dist/protocol.h"
+#include "fault/chip.h"
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace reduce::dist_cli {
+
+/// The workload both ends train on. --tiny selects the test-sized workload
+/// (fast enough for CI smoke runs); default is the standard paper workload.
+inline workload make_cli_workload(const cli_args& args) {
+    if (args.get_flag("tiny")) { return make_standard_workload(make_test_workload_config()); }
+    return make_standard_workload();
+}
+
+/// The Step-1 sweep grid. Every value here feeds the fingerprint, so a
+/// worker started with different flags is rejected at handshake.
+inline resilience_config make_cli_sweep_config(const cli_args& args, const workload& w) {
+    resilience_config cfg;
+    cfg.fault_rates = args.get_double_list("rates", {0.0, 0.1, 0.2, 0.3});
+    cfg.repeats = static_cast<std::size_t>(args.get_int("repeats", 3));
+    cfg.max_epochs = args.get_double("budget", 4.0);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20230305));
+    cfg.context = w.context;
+    return cfg;
+}
+
+/// The fleet (fleet mode only). Deterministic from the flags, so the
+/// coordinator's ledger and any --local reference run agree chip for chip.
+inline fleet_config make_cli_fleet_config(const cli_args& args) {
+    fleet_config cfg;
+    cfg.num_chips = static_cast<std::size_t>(args.get_int("chips", 6));
+    cfg.distribution = rate_distribution_from_string(args.get("distribution", "uniform"));
+    cfg.rate_lo = args.get_double("rate-lo", 0.02);
+    cfg.rate_hi = args.get_double("rate-hi", 0.28);
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("fleet-seed", 77));
+    return cfg;
+}
+
+/// Fleet outcomes as a stable JSON document — what --save writes in fleet
+/// mode, byte-comparable between the serial and distributed paths.
+inline json_value policy_outcome_to_json(const policy_outcome& outcome) {
+    json_object doc;
+    doc.set("policy", json_value(outcome.policy_name));
+    doc.set("accuracy_constraint", json_value(outcome.accuracy_constraint));
+    json_array chips;
+    chips.reserve(outcome.chips.size());
+    for (const chip_outcome& c : outcome.chips) {
+        chips.push_back(dist::chip_outcome_to_json(c));
+    }
+    doc.set("chips", json_value(std::move(chips)));
+    return json_value(std::move(doc));
+}
+
+/// Resolves the coordinator port: --port when given, else poll --port-file
+/// until the coordinator writes its (possibly ephemeral) bound port there.
+inline int resolve_port(const cli_args& args) {
+    const int port = static_cast<int>(args.get_int("port", 0));
+    if (port != 0) { return port; }
+    const std::string path = args.get("port-file", "");
+    REDUCE_CHECK(!path.empty(), "need --port or --port-file to find the coordinator");
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        std::ifstream file(path);
+        int value = 0;
+        if (file >> value && value > 0) { return value; }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    throw error("no port appeared in " + path);
+}
+
+}  // namespace reduce::dist_cli

@@ -1,0 +1,60 @@
+// Example: the worker side of the distributed sweep/retraining service.
+//
+// Builds the SAME workload and sweep config as its coordinator (pass the
+// same --tiny/--rates/--repeats/--budget/--seed flags — the handshake
+// fingerprint enforces it), connects, and serves leased work units until
+// the coordinator shuts the job down. Run any number of these, on this
+// machine or others, against one reduce_coordinator.
+//
+// Usage: reduce_worker [--host 127.0.0.1] (--port N | --port-file P)
+//          [--name worker-0] [--gemm-threads 1] [--tiny]
+//          [--rates 0,0.1,...] [--repeats 3] [--budget 4] [--seed S]
+//          [--die-after N]   failure injection: vanish mid-lease at unit N
+
+#include <iostream>
+
+#include "dist/worker.h"
+#include "dist_cli.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+using namespace reduce;
+
+int main(int argc, char** argv) {
+    try {
+        const cli_args args(argc, argv);
+        set_log_level(log_level::info);
+        stopwatch timer;
+
+        workload w = dist_cli::make_cli_workload(args);
+        const resilience_config sweep_cfg = dist_cli::make_cli_sweep_config(args, w);
+
+        dist::worker_config wc;
+        wc.host = args.get("host", "127.0.0.1");
+        wc.port = dist_cli::resolve_port(args);
+        wc.name = args.get("name", "worker");
+        wc.gemm_threads = static_cast<std::size_t>(args.get_int("gemm-threads", 1));
+        wc.die_after_units = static_cast<std::size_t>(args.get_int("die-after", 0));
+
+        std::cout << "== Reduce distributed worker '" << wc.name << "' ==\n"
+                  << "coordinator " << wc.host << ":" << wc.port << ", fingerprint "
+                  << resilience_fingerprint(sweep_cfg) << '\n';
+
+        dist::worker node(wc, *w.model, w.pretrained, w.train_data, w.test_data, w.array,
+                          w.trainer_cfg, sweep_cfg);
+        const dist::worker_report report = node.run();
+
+        if (report.rejected) {
+            std::cerr << "rejected by the coordinator: " << report.reject_reason << '\n';
+            return 1;
+        }
+        std::cout << "worker done in " << timer.seconds() << " s: " << report.cells
+                  << " sweep cells, " << report.chips << " chips"
+                  << (report.shutdown_received ? " (job complete)" : "")
+                  << (report.connection_lost ? " (coordinator gone)" : "") << '\n';
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,5 +1,7 @@
 #include "core/resilience.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -200,6 +202,11 @@ resilience_table resilience_table::merge(const std::vector<resilience_table>& sh
                  "merged shards cover " << runs.size() << " of " << grid_cells
                                         << " sweep cells — missing shards or mismatched "
                                            "shard splits");
+    check_no_overlapping_cells(runs);
+    return resilience_table(std::move(runs), max_epochs, fingerprint, grid_cells);
+}
+
+void resilience_table::check_no_overlapping_cells(const std::vector<resilience_run>& runs) {
     std::vector<std::pair<double, std::size_t>> cells;
     cells.reserve(runs.size());
     for (const resilience_run& run : runs) { cells.emplace_back(run.fault_rate, run.repeat); }
@@ -215,7 +222,30 @@ resilience_table resilience_table::merge(const std::vector<resilience_table>& sh
                                                                 << ") appears in more than "
                                                                    "one shard");
     }
-    return resilience_table(std::move(runs), max_epochs, fingerprint, grid_cells);
+}
+
+void resilience_table::merge_into(resilience_table& into, const resilience_table& shard) {
+    if (into.fingerprint_.empty()) {
+        LOG_WARN << "resilience_table::merge_into: accumulator carries no config "
+                    "fingerprint (hand-built or pre-fingerprint artifact); cannot verify "
+                    "the shard comes from the same sweep";
+    }
+    REDUCE_CHECK(shard.max_epochs_ == into.max_epochs_,
+                 "shard tables disagree on max_epochs: " << shard.max_epochs_ << " vs "
+                                                         << into.max_epochs_);
+    REDUCE_CHECK(shard.fingerprint_ == into.fingerprint_,
+                 "shard tables come from different sweep configs (fingerprint '"
+                     << shard.fingerprint_ << "' vs '" << into.fingerprint_ << "')");
+    REDUCE_CHECK(shard.grid_cells_ == into.grid_cells_,
+                 "shard tables disagree on the sweep grid size: "
+                     << shard.grid_cells_ << " vs " << into.grid_cells_ << " cells");
+    std::vector<resilience_run> runs = into.runs_;
+    runs.insert(runs.end(), shard.runs_.begin(), shard.runs_.end());
+    check_no_overlapping_cells(runs);
+    // The constructor re-sorts into canonical (rate, repeat) order, so the
+    // accumulator's serialization never depends on arrival order.
+    into = resilience_table(std::move(runs), into.max_epochs_, into.fingerprint_,
+                            into.grid_cells_);
 }
 
 json_value resilience_table::to_json() const {
@@ -431,7 +461,14 @@ void resilience_cache::store(const resilience_table& table, const resilience_con
                              const sweep_options& opts) const {
     std::filesystem::create_directories(dir_);
     const std::string path = path_for(cfg, opts);
-    const std::string tmp = path + ".tmp";
+    // Unique temp name per process AND per attempt: with a fixed ".tmp"
+    // suffix, two processes sharing a cache directory (sharded sweeps, the
+    // distributed coordinator next to a local run) could clobber each
+    // other's in-flight write before the rename. gc() sweeps any ".tmp"
+    // infix, so interrupted stores under either scheme stay collectable.
+    static std::atomic<std::uint64_t> store_sequence{0};
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                            std::to_string(store_sequence.fetch_add(1));
     json_save_file(tmp, table.to_json());
     std::filesystem::rename(tmp, path);
     LOG_INFO << "resilience cache: stored " << path;
@@ -470,8 +507,12 @@ resilience_cache::gc_report resilience_cache::gc(const gc_options& opts) const {
         const std::string name = path.filename().string();
         if (name.rfind("step1-", 0) != 0) { continue; }
         const std::uint64_t bytes = static_cast<std::uint64_t>(dirent.file_size());
-        // .tmp litter from an interrupted store is always stale.
-        if (name.size() >= 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        // ".tmp" litter from an interrupted store is always stale. Matched
+        // as an infix: current stores suffix ".tmp.<pid>.<seq>" for
+        // concurrent-writer safety, and files from the older bare-".tmp"
+        // scheme must stay collectable too. Fingerprints are hex, so a
+        // committed entry's name can never contain ".tmp".
+        if (name.find(".tmp") != std::string::npos) {
             ++report.scanned;
             remove_file(path, bytes, report.removed_stale, "interrupted-store");
             continue;
@@ -561,6 +602,28 @@ resilience_table resilience_analyzer::analyze(const resilience_config& cfg,
     REDUCE_CHECK(!cells.empty(), "shard " << opts.shard_index << "/" << opts.shard_count
                                           << " selects no cells from a grid of "
                                           << grid.size());
+    return analyze_cells(cfg, cells, opts);
+}
+
+resilience_table resilience_analyzer::analyze_cells(const resilience_config& cfg,
+                                                    const std::vector<sweep_cell>& cells,
+                                                    const sweep_options& opts) {
+    const std::vector<sweep_cell> grid = enumerate_sweep_cells(cfg);
+    REDUCE_CHECK(!cells.empty(), "analyze_cells needs at least one cell");
+    for (const sweep_cell& cell : cells) {
+        // Cells must be grid members with their canonical seeds — a leased
+        // cell recomputed from a drifted config would merge silently wrong
+        // numbers into the table.
+        REDUCE_CHECK(cell.rate_index < cfg.fault_rates.size() && cell.repeat < cfg.repeats,
+                     "cell (rate_index=" << cell.rate_index << ", repeat=" << cell.repeat
+                                         << ") outside the sweep grid");
+        const sweep_cell& canonical = grid[cell.rate_index * cfg.repeats + cell.repeat];
+        REDUCE_CHECK(cell.map_seed == canonical.map_seed &&
+                         same_rate(cell.fault_rate, canonical.fault_rate),
+                     "cell (rate_index=" << cell.rate_index << ", repeat=" << cell.repeat
+                                         << ") does not match the grid's canonical seed "
+                                            "or rate — config drift?");
+    }
     const std::vector<double> eval_grid = resolved_eval_grid(cfg);
 
     // Work unit: a block of consecutive cells of this shard's list, at most

@@ -149,11 +149,30 @@ public:
     /// byte-identical to the single-shot sweep.
     static resilience_table merge(const std::vector<resilience_table>& shards);
 
+    /// Incremental counterpart of merge(): fuses one shard into an
+    /// accumulator table as it arrives — how the distributed coordinator
+    /// folds worker results in without buffering every shard until the end.
+    /// Applies the same validation as merge() (matching max_epochs /
+    /// fingerprint / grid size, no overlapping cells) EXCEPT the
+    /// completeness check, which only makes sense once every shard has
+    /// arrived — gate on complete() for that. The accumulator re-enters
+    /// canonical order after every call, so the final table is
+    /// byte-identical regardless of shard arrival order.
+    static void merge_into(resilience_table& into, const resilience_table& shard);
+
+    /// True when this table covers its producing sweep's whole grid (always
+    /// false for hand-built tables, which carry no grid size).
+    bool complete() const { return grid_cells_ != 0 && runs_.size() == grid_cells_; }
+
     /// JSON round-trip for caching the (expensive) Step-1 artifact.
     json_value to_json() const;
     static resilience_table from_json(const json_value& value);
 
 private:
+    /// Throws when two runs cover the same (fault_rate, repeat) cell —
+    /// shared by merge() and merge_into().
+    static void check_no_overlapping_cells(const std::vector<resilience_run>& runs);
+
     std::vector<resilience_run> runs_;
     std::vector<double> rates_;
     double max_epochs_;
@@ -312,6 +331,19 @@ public:
     /// table is bit-identical for any opts.threads, and the shard selected
     /// by opts covers exactly its subset of the canonical cell order.
     resilience_table analyze(const resilience_config& cfg, const sweep_options& opts = {});
+
+    /// Executes an EXPLICIT cell subset of cfg's grid — the work-unit entry
+    /// point of the distributed worker, which is leased arbitrary cell
+    /// batches rather than a round-robin shard. Every cell must belong to
+    /// cfg's grid with its canonical seed (validated; catches config drift
+    /// that survives a fingerprint collision). Returns a partial table
+    /// (grid_cells = the full grid size) that merges losslessly with any
+    /// disjoint sibling, byte-identical to the same cells computed by
+    /// analyze(). opts' shard fields are ignored — the cell list already IS
+    /// the shard.
+    resilience_table analyze_cells(const resilience_config& cfg,
+                                   const std::vector<sweep_cell>& cells,
+                                   const sweep_options& opts = {});
 
     /// Cache-aware sweep: returns the cached table when `cache` holds one
     /// for (cfg, opts), otherwise runs analyze() and stores the result.

@@ -1,0 +1,657 @@
+#include "dist/coordinator.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "fault/mask_builder.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace reduce::dist {
+
+namespace {
+
+/// Lease ids travel as decimal strings (JSON numbers are doubles; a u64
+/// would lose precision past 2^53). Rejects trailing garbage.
+std::uint64_t parse_lease(const json_value& message) {
+    const std::string& text = message.as_object().at("lease").as_string();
+    try {
+        std::size_t pos = 0;
+        const unsigned long long value = std::stoull(text, &pos);
+        if (pos != text.size()) { throw std::invalid_argument("trailing characters"); }
+        return value;
+    } catch (const std::exception&) {
+        throw io_error("malformed lease id '" + text + "'");
+    }
+}
+
+}  // namespace
+
+fleet_job plan_fleet_job(sequential& model, const array_config& array,
+                         const retraining_policy& policy, std::vector<chip> fleet,
+                         const std::string& run_name) {
+    REDUCE_CHECK(!fleet.empty(), "fleet job planned over an empty fleet");
+    const double constraint = policy.accuracy_target();
+    REDUCE_CHECK(constraint >= 0.0 && constraint <= 1.0,
+                 "accuracy constraint must be a fraction in [0, 1], got " << constraint);
+
+    // Same decision sequence as fleet_executor::run — per-chip views, then
+    // one fleet-level plan() — so policies with cross-chip context (binning)
+    // produce identical allocations on the distributed path.
+    const resilience_table* table = policy.table();
+    std::vector<chip_view> views;
+    views.reserve(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        chip_view view;
+        view.index = i;
+        view.device = &fleet[i];
+        view.effective_fault_rate =
+            effective_fault_rate(model, array, fleet[i].faults, policy.rate_kind());
+        view.table = table;
+        view.epoch_budget = table != nullptr ? table->max_epochs() : 0.0;
+        views.push_back(view);
+    }
+    const std::vector<epoch_allocation> allocations = policy.plan(views);
+    REDUCE_CHECK(allocations.size() == fleet.size(),
+                 "policy '" << policy.name() << "' planned " << allocations.size()
+                            << " allocations for " << fleet.size() << " chips");
+
+    fleet_job job;
+    job.constraint = constraint;
+    job.policy_name = run_name.empty() ? policy.name() : run_name;
+    job.allocations = allocations;
+    job.effective_rates.reserve(views.size());
+    for (const chip_view& view : views) {
+        job.effective_rates.push_back(view.effective_fault_rate);
+    }
+    job.fleet = std::move(fleet);
+    return job;
+}
+
+namespace {
+
+void check_timing(const coordinator_config& cfg) {
+    REDUCE_CHECK(cfg.heartbeat_ms >= 1, "heartbeat_ms must be positive");
+    REDUCE_CHECK(cfg.lease_timeout_ms > cfg.heartbeat_ms,
+                 "lease_timeout_ms must exceed heartbeat_ms or every lease expires");
+}
+
+}  // namespace
+
+coordinator::coordinator(coordinator_config cfg, sweep_job job)
+    : cfg_(std::move(cfg)), kind_(job_kind::sweep), sweep_(std::move(job)) {
+    check_timing(cfg_);
+    REDUCE_CHECK(cfg_.cells_per_lease >= 1, "cells_per_lease must be >= 1");
+    // enumerate validates the config; the coordinator only needs indices —
+    // workers re-enumerate the same canonical grid locally.
+    const std::vector<sweep_cell> cells = enumerate_sweep_cells(sweep_.cfg);
+    const std::string fp = resilience_fingerprint(sweep_.cfg);
+    if (cfg_.fingerprint.empty()) { cfg_.fingerprint = fp; }
+    REDUCE_CHECK(cfg_.fingerprint == fp,
+                 "coordinator fingerprint does not match its sweep config");
+    for (std::size_t begin = 0; begin < cells.size(); begin += cfg_.cells_per_lease) {
+        work_unit unit;
+        const std::size_t end = std::min(cells.size(), begin + cfg_.cells_per_lease);
+        for (std::size_t i = begin; i < end; ++i) { unit.cells.push_back(i); }
+        units_.push_back(std::move(unit));
+    }
+    for (std::size_t u = 0; u < units_.size(); ++u) { pending_.push_back(u); }
+    done_ = done_promise_.get_future().share();
+}
+
+coordinator::coordinator(coordinator_config cfg, fleet_job job)
+    : cfg_(std::move(cfg)), kind_(job_kind::fleet), fleet_(std::move(job)) {
+    check_timing(cfg_);
+    REDUCE_CHECK(!fleet_.fleet.empty(), "fleet job with no chips");
+    REDUCE_CHECK(fleet_.allocations.size() == fleet_.fleet.size() &&
+                     fleet_.effective_rates.size() == fleet_.fleet.size(),
+                 "fleet job carries " << fleet_.allocations.size() << " allocations / "
+                                      << fleet_.effective_rates.size() << " rates for "
+                                      << fleet_.fleet.size() << " chips");
+    REDUCE_CHECK(!cfg_.fingerprint.empty(),
+                 "fleet coordinators need an explicit job fingerprint");
+    units_.reserve(fleet_.fleet.size());
+    for (std::size_t i = 0; i < fleet_.fleet.size(); ++i) {
+        work_unit unit;
+        unit.chip_index = i;
+        units_.push_back(std::move(unit));
+        pending_.push_back(i);
+    }
+    outcomes_.resize(fleet_.fleet.size());
+    if (fleet_.collect_snapshots) {
+        pending_models_.resize(fleet_.fleet.size());
+        model_ready_.assign(fleet_.fleet.size(), false);
+    }
+    done_ = done_promise_.get_future().share();
+}
+
+coordinator::~coordinator() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (loop_.joinable()) { loop_.join(); }
+}
+
+void coordinator::set_model_sink(model_sink sink) {
+    REDUCE_CHECK(!loop_.joinable(), "install the model sink before start()");
+    sink_ = std::move(sink);
+}
+
+void coordinator::start() {
+    REDUCE_CHECK(!loop_.joinable(), "coordinator already started");
+    listener_.emplace(cfg_.bind_address, cfg_.port);
+    port_ = listener_->port();
+    LOG_INFO << "coordinator: serving a " << job_kind_name(kind_) << " job ("
+             << units_.size() << " work units) on " << cfg_.bind_address << ":" << port_;
+    loop_ = std::thread([this] { event_loop(); });
+}
+
+void coordinator::stop() { stop_.store(true, std::memory_order_relaxed); }
+
+coordinator_stats coordinator::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+resilience_table coordinator::wait_table() {
+    REDUCE_CHECK(kind_ == job_kind::sweep, "wait_table on a fleet coordinator");
+    done_.get();  // rethrows the event loop's failure
+    std::lock_guard<std::mutex> lock(mutex_);
+    REDUCE_CHECK(table_result_.has_value(), "sweep result already consumed");
+    resilience_table table = std::move(*table_result_);
+    table_result_.reset();
+    return table;
+}
+
+policy_outcome coordinator::wait_fleet() {
+    REDUCE_CHECK(kind_ == job_kind::fleet, "wait_fleet on a sweep coordinator");
+    done_.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    REDUCE_CHECK(fleet_result_.has_value(), "fleet result already consumed");
+    policy_outcome outcome = std::move(*fleet_result_);
+    fleet_result_.reset();
+    return outcome;
+}
+
+void coordinator::event_loop() {
+    try {
+        run_event_loop();
+        if (!job_done_) {
+            fail(std::make_exception_ptr(
+                error("coordinator stopped before the job completed")));
+        }
+    } catch (...) {
+        fail(std::current_exception());
+    }
+}
+
+void coordinator::run_event_loop() {
+    std::vector<::pollfd> fds;
+    while (true) {
+        if (stop_.load(std::memory_order_relaxed)) { break; }
+        if (job_done_) {
+            // Linger only to flush the shutdown broadcast; stragglers still
+            // computing a revoked lease find a closed socket, which their
+            // worker loop treats as the end of the job.
+            bool drained = true;
+            for (const auto& [fd, conn] : conns_) {
+                if (!conn.outbox.empty()) {
+                    drained = false;
+                    break;
+                }
+            }
+            if (drained || clock::now() >= drain_deadline_) { break; }
+        }
+
+        fds.clear();
+        if (!job_done_) { fds.push_back({listener_->fd(), POLLIN, 0}); }
+        for (auto& [fd, conn] : conns_) {
+            short events = POLLIN;
+            if (!conn.outbox.empty()) { events |= POLLOUT; }
+            fds.push_back({fd, events, 0});
+        }
+
+        // Sleep until the next lease deadline, capped so stop() and newly
+        // queued work stay responsive.
+        int timeout_ms = 100;
+        const clock::time_point now = clock::now();
+        for (const auto& [id, lease] : leases_) {
+            if (!lease.active) { continue; }
+            const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   lease.deadline - now)
+                                   .count();
+            timeout_ms = static_cast<int>(std::min<long long>(
+                timeout_ms, std::max<long long>(0, until)));
+        }
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+
+        if (!job_done_) {
+            while (std::optional<tcp_socket> sock = listener_->accept_one()) {
+                add_connection(std::move(*sock));
+            }
+        }
+
+        for (const ::pollfd& p : fds) {
+            if (p.fd == listener_->fd()) { continue; }
+            auto it = conns_.find(p.fd);
+            if (it == conns_.end()) { continue; }
+            connection& conn = it->second;
+
+            if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+                char buf[16384];
+                bool dropped = false;
+                for (;;) {
+                    const tcp_socket::recv_result r = conn.sock.recv_some(buf, sizeof buf);
+                    if (r.would_block) { break; }
+                    if (r.closed) {
+                        drop_connection(p.fd, "peer closed the connection");
+                        dropped = true;
+                        break;
+                    }
+                    conn.decoder.feed(buf, r.bytes);
+                    if (r.bytes < sizeof buf) { break; }
+                }
+                if (dropped) { continue; }
+                try {
+                    while (std::optional<json_value> message = conn.decoder.next()) {
+                        handle_message(p.fd, conn, *message);
+                        if (conns_.find(p.fd) == conns_.end()) { break; }
+                    }
+                } catch (const io_error& e) {
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        ++stats_.frames_rejected;
+                    }
+                    drop_connection(p.fd, std::string("protocol violation: ") + e.what());
+                    continue;
+                }
+            }
+
+            if (conns_.find(p.fd) == conns_.end()) { continue; }
+            if (!conn.outbox.empty()) {
+                try {
+                    flush_outbox(conn);
+                } catch (const io_error& e) {
+                    drop_connection(p.fd, std::string("send failed: ") + e.what());
+                    continue;
+                }
+            }
+            if (conn.closing && conn.outbox.empty()) {
+                drop_connection(p.fd, "handshake rejected");
+            }
+        }
+
+        expire_leases(clock::now());
+    }
+
+    for (auto& [fd, conn] : conns_) { conn.sock.close(); }
+    conns_.clear();
+    listener_->close();
+}
+
+void coordinator::add_connection(tcp_socket sock) {
+    const int fd = sock.fd();
+    connection conn;
+    conn.sock = std::move(sock);
+    conns_.emplace(fd, std::move(conn));
+    LOG_DEBUG << "coordinator: connection accepted (fd " << fd << ")";
+}
+
+void coordinator::drop_connection(int fd, const std::string& why) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) { return; }
+    const std::string who =
+        it->second.peer_name.empty() ? "fd " + std::to_string(fd) : it->second.peer_name;
+    if (job_done_) {
+        LOG_DEBUG << "coordinator: closing '" << who << "': " << why;
+    } else {
+        LOG_WARN << "coordinator: dropping '" << who << "': " << why;
+    }
+    const std::vector<std::uint64_t> leases = std::move(it->second.active_leases);
+    parked_.erase(std::remove(parked_.begin(), parked_.end(), fd), parked_.end());
+    it->second.sock.close();
+    conns_.erase(it);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.connections_dropped;
+    }
+    for (const std::uint64_t lease : leases) { revoke_lease(lease); }
+}
+
+void coordinator::queue_frame(connection& conn, const json_value& message) {
+    conn.outbox += encode_frame(message);
+}
+
+bool coordinator::flush_outbox(connection& conn) {
+    while (!conn.outbox.empty()) {
+        const std::size_t sent = conn.sock.send_some(conn.outbox.data(), conn.outbox.size());
+        if (sent == 0) { return false; }  // kernel buffer full; POLLOUT resumes
+        conn.outbox.erase(0, sent);
+    }
+    return true;
+}
+
+void coordinator::handle_message(int fd, connection& conn, const json_value& message) {
+    if (conn.closing) { return; }  // ignore chatter from a rejected peer
+    const std::string& type = message_type(message);
+    if (!conn.admitted) {
+        if (type != "hello") {
+            throw io_error("expected hello as the first message, got '" + type + "'");
+        }
+        handle_hello(fd, conn, message);
+        return;
+    }
+    if (type == "request_work") {
+        handle_request_work(fd, conn);
+    } else if (type == "heartbeat") {
+        handle_heartbeat(fd, message);
+    } else if (type == "result") {
+        handle_result(fd, conn, message);
+    } else {
+        throw io_error("unexpected message type '" + type + "'");
+    }
+}
+
+void coordinator::handle_hello(int fd, connection& conn, const json_value& message) {
+    (void)fd;
+    const json_object& obj = message.as_object();
+    const std::int64_t version = obj.at("version").as_int();
+    conn.peer_name = obj.at("name").as_string();
+    const std::string& fingerprint = obj.at("fingerprint").as_string();
+
+    std::string reason;
+    if (version != protocol_version) {
+        reason = "protocol version " + std::to_string(version) + " != coordinator's " +
+                 std::to_string(protocol_version);
+    } else if (fingerprint != cfg_.fingerprint) {
+        reason = "job fingerprint mismatch (worker built from a different config)";
+    }
+    if (!reason.empty()) {
+        LOG_WARN << "coordinator: rejecting worker '" << conn.peer_name << "': " << reason;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.workers_rejected;
+        }
+        queue_frame(conn, make_reject(reason));
+        conn.closing = true;
+        return;
+    }
+
+    conn.admitted = true;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.workers_admitted;
+    }
+    const bool want_snapshots = kind_ == job_kind::fleet && fleet_.collect_snapshots;
+    queue_frame(conn,
+                make_welcome(kind_, cfg_.heartbeat_ms, cfg_.lease_timeout_ms, want_snapshots));
+    LOG_INFO << "coordinator: admitted worker '" << conn.peer_name << "'";
+}
+
+void coordinator::handle_request_work(int fd, connection& conn) {
+    if (job_done_) {
+        if (!conn.shutdown_sent) {
+            queue_frame(conn, make_shutdown("job complete"));
+            conn.shutdown_sent = true;
+        }
+        return;
+    }
+    grant_to(fd, conn);
+}
+
+void coordinator::grant_to(int fd, connection& conn) {
+    // Skip queue entries that went stale while queued (finished via a
+    // straggler, or re-leased through another path).
+    while (!pending_.empty()) {
+        const work_unit& unit = units_[pending_.front()];
+        if (unit.done || unit.leased) {
+            pending_.pop_front();
+            continue;
+        }
+        break;
+    }
+    if (pending_.empty()) {
+        if (std::find(parked_.begin(), parked_.end(), fd) == parked_.end()) {
+            parked_.push_back(fd);
+        }
+        return;
+    }
+    const std::size_t unit_id = pending_.front();
+    pending_.pop_front();
+    const std::uint64_t lease_id = next_lease_++;
+    lease_info lease;
+    lease.unit = unit_id;
+    lease.conn_fd = fd;
+    lease.active = true;
+    lease.deadline = clock::now() + std::chrono::milliseconds(cfg_.lease_timeout_ms);
+    leases_[lease_id] = lease;
+    units_[unit_id].leased = true;
+    conn.active_leases.push_back(lease_id);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.leases_granted;
+    }
+    queue_frame(conn, work_message(lease_id, units_[unit_id]));
+    LOG_DEBUG << "coordinator: lease " << lease_id << " (unit " << unit_id << ") -> '"
+              << conn.peer_name << "'";
+}
+
+json_value coordinator::work_message(std::uint64_t lease_id, const work_unit& unit) const {
+    if (kind_ == job_kind::sweep) { return make_sweep_work(lease_id, unit.cells); }
+    const std::size_t i = unit.chip_index;
+    return make_chip_work(lease_id, fleet_.fleet[i], fleet_.allocations[i],
+                          fleet_.constraint, fleet_.effective_rates[i]);
+}
+
+void coordinator::grant_parked() {
+    while (!parked_.empty()) {
+        bool grantable = false;
+        for (const std::size_t unit_id : pending_) {
+            if (!units_[unit_id].done && !units_[unit_id].leased) {
+                grantable = true;
+                break;
+            }
+        }
+        if (!grantable) { return; }
+        const int fd = parked_.front();
+        parked_.pop_front();
+        auto it = conns_.find(fd);
+        if (it == conns_.end() || !it->second.admitted || it->second.closing) { continue; }
+        grant_to(fd, it->second);
+    }
+}
+
+void coordinator::handle_heartbeat(int fd, const json_value& message) {
+    const std::uint64_t lease_id = parse_lease(message);
+    auto it = leases_.find(lease_id);
+    if (it == leases_.end()) {
+        throw io_error("heartbeat for unknown lease " + std::to_string(lease_id));
+    }
+    // A heartbeat for a revoked lease is a straggler still computing — let
+    // it run; its result is accepted or deduplicated on arrival.
+    if (it->second.active && it->second.conn_fd == fd) {
+        it->second.deadline =
+            clock::now() + std::chrono::milliseconds(cfg_.lease_timeout_ms);
+    }
+}
+
+void coordinator::handle_result(int fd, connection& conn, const json_value& message) {
+    const std::uint64_t lease_id = parse_lease(message);
+    auto it = leases_.find(lease_id);
+    if (it == leases_.end()) {
+        throw io_error("result for unknown lease " + std::to_string(lease_id));
+    }
+    lease_info& lease = it->second;
+    if (lease.active) {
+        if (lease.conn_fd != fd) {
+            throw io_error("result for lease " + std::to_string(lease_id) +
+                           " from the wrong connection");
+        }
+        lease.active = false;
+        auto& owned = conn.active_leases;
+        owned.erase(std::remove(owned.begin(), owned.end(), lease_id), owned.end());
+        units_[lease.unit].leased = false;
+    }
+    work_unit& unit = units_[lease.unit];
+    if (unit.done) {
+        // Straggler duplicate: the unit re-executed elsewhere and finished
+        // first. Same bytes either way — drop it.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.duplicate_results;
+        LOG_DEBUG << "coordinator: duplicate result for lease " << lease_id << " dropped";
+        return;
+    }
+    try {
+        if (kind_ == job_kind::sweep) {
+            accept_sweep_result(message);
+        } else {
+            accept_fleet_result(unit, message);
+        }
+    } catch (const io_error&) {
+        // The payload was unusable, so the unit is still open — re-queue it
+        // before the connection is dropped for the violation.
+        if (!unit.done && !unit.leased) {
+            pending_.push_back(lease.unit);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.leases_reassigned;
+            }
+            grant_parked();
+        }
+        throw;
+    }
+    unit.done = true;
+    ++done_units_;
+    if (done_units_ == units_.size()) { finish_job(); }
+}
+
+void coordinator::accept_sweep_result(const json_value& message) {
+    const json_object& obj = message.as_object();
+    resilience_table shard = resilience_table::from_json(obj.at("table"));
+    if (!acc_.has_value()) {
+        // First shard seeds the accumulator; later ones go through
+        // merge_into, which re-validates against what the seed established.
+        if (shard.fingerprint() != cfg_.fingerprint) {
+            throw io_error("shard table fingerprint does not match the job");
+        }
+        std::size_t total_cells = 0;
+        for (const work_unit& unit : units_) { total_cells += unit.cells.size(); }
+        if (shard.grid_cells() != total_cells) {
+            throw io_error("shard table grid size " + std::to_string(shard.grid_cells()) +
+                           " != job grid " + std::to_string(total_cells));
+        }
+        acc_.emplace(std::move(shard));
+    } else {
+        resilience_table::merge_into(*acc_, shard);
+    }
+}
+
+void coordinator::accept_fleet_result(const work_unit& unit, const json_value& message) {
+    const json_object& obj = message.as_object();
+    chip_outcome outcome = chip_outcome_from_json(obj.at("outcome"));
+    const std::size_t index = unit.chip_index;
+    outcomes_[index] = outcome;
+    if (fleet_.collect_snapshots && sink_) {
+        if (!obj.contains("snapshot")) {
+            throw io_error("fleet result lacks the requested model snapshot");
+        }
+        pending_models_[index] =
+            snapshot_from_bytes(base64_decode(obj.at("snapshot").as_string()));
+        model_ready_[index] = true;
+        // Same fleet-order prefix streaming as fleet_executor: chip i sinks
+        // once chips 0..i have all landed, whatever the arrival order.
+        while (next_sink_ < model_ready_.size() && model_ready_[next_sink_]) {
+            sink_(fleet_.fleet[next_sink_], pending_models_[next_sink_]);
+            pending_models_[next_sink_] = model_snapshot{};  // free eagerly
+            ++next_sink_;
+        }
+    }
+}
+
+void coordinator::revoke_lease(std::uint64_t lease_id) {
+    auto it = leases_.find(lease_id);
+    if (it == leases_.end() || !it->second.active) { return; }
+    lease_info& lease = it->second;
+    lease.active = false;
+    auto cit = conns_.find(lease.conn_fd);
+    if (cit != conns_.end()) {
+        auto& owned = cit->second.active_leases;
+        owned.erase(std::remove(owned.begin(), owned.end(), lease_id), owned.end());
+    }
+    work_unit& unit = units_[lease.unit];
+    unit.leased = false;
+    if (!unit.done) {
+        pending_.push_back(lease.unit);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.leases_reassigned;
+        }
+        grant_parked();
+    }
+}
+
+void coordinator::expire_leases(clock::time_point now) {
+    std::vector<std::uint64_t> expired;
+    for (const auto& [id, lease] : leases_) {
+        if (lease.active && lease.deadline <= now) { expired.push_back(id); }
+    }
+    for (const std::uint64_t id : expired) {
+        LOG_WARN << "coordinator: lease " << id << " missed its heartbeat deadline; "
+                 << "re-queueing its unit";
+        revoke_lease(id);
+    }
+}
+
+void coordinator::finish_job() {
+    job_done_ = true;
+    drain_deadline_ = clock::now() + std::chrono::seconds(1);
+    if (kind_ == job_kind::sweep) {
+        REDUCE_CHECK(acc_.has_value() && acc_->complete(),
+                     "sweep job finished with an incomplete table");
+        if (!sweep_.cache_dir.empty()) {
+            resilience_cache(sweep_.cache_dir).store(*acc_, sweep_.cfg);
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        table_result_ = std::move(*acc_);
+        acc_.reset();
+    } else {
+        policy_outcome outcome;
+        outcome.policy_name = fleet_.policy_name;
+        outcome.accuracy_constraint = fleet_.constraint;
+        outcome.chips.reserve(outcomes_.size());
+        for (const std::optional<chip_outcome>& chip : outcomes_) {
+            REDUCE_CHECK(chip.has_value(), "fleet job finished with a missing chip outcome");
+            outcome.chips.push_back(*chip);
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        fleet_result_ = std::move(outcome);
+    }
+    fulfill_done();
+    for (auto& [fd, conn] : conns_) {
+        if (conn.admitted && !conn.shutdown_sent) {
+            queue_frame(conn, make_shutdown("job complete"));
+            conn.shutdown_sent = true;
+        }
+    }
+    parked_.clear();
+    LOG_INFO << "coordinator: " << job_kind_name(kind_) << " job complete ("
+             << units_.size() << " units)";
+}
+
+void coordinator::fulfill_done() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_set_) { return; }
+    done_set_ = true;
+    done_promise_.set_value();
+}
+
+void coordinator::fail(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (done_set_) { return; }
+    done_set_ = true;
+    done_promise_.set_exception(std::move(error));
+}
+
+}  // namespace reduce::dist

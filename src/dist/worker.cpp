@@ -1,0 +1,244 @@
+#include "dist/worker.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "fault/serialization.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+
+namespace reduce::dist {
+
+namespace {
+
+tcp_socket connect_with_retry(const worker_config& cfg) {
+    const int attempts = std::max(1, cfg.connect_attempts);
+    for (int attempt = 1;; ++attempt) {
+        try {
+            return tcp_socket::connect_to(cfg.host, cfg.port);
+        } catch (const io_error& e) {
+            if (attempt >= attempts) { throw; }
+            LOG_DEBUG << "worker '" << cfg.name << "': connect attempt " << attempt
+                      << " failed (" << e.what() << "); retrying";
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(std::max(1, cfg.connect_retry_ms)));
+        }
+    }
+}
+
+std::uint64_t parse_lease(const json_object& work) {
+    const std::string& text = work.at("lease").as_string();
+    try {
+        std::size_t pos = 0;
+        const unsigned long long value = std::stoull(text, &pos);
+        if (pos != text.size()) { throw std::invalid_argument("trailing characters"); }
+        return value;
+    } catch (const std::exception&) {
+        throw io_error("malformed lease id '" + text + "'");
+    }
+}
+
+}  // namespace
+
+worker::worker(worker_config cfg, const sequential& model, const model_snapshot& pretrained,
+               const dataset& train_data, const dataset& test_data,
+               const array_config& array, fat_config trainer_cfg,
+               resilience_config sweep_cfg)
+    : cfg_(std::move(cfg)),
+      model_(model),
+      pretrained_(pretrained),
+      train_data_(train_data),
+      test_data_(test_data),
+      array_(array),
+      trainer_cfg_(trainer_cfg),
+      sweep_cfg_(std::move(sweep_cfg)) {}
+
+worker_report worker::run() {
+    worker_report report;
+    const std::string fingerprint =
+        cfg_.fingerprint.empty() ? resilience_fingerprint(sweep_cfg_) : cfg_.fingerprint;
+
+    tcp_socket sock = connect_with_retry(cfg_);
+    // The heartbeat thread and the main loop share the socket for writes;
+    // reads stay on the main thread only.
+    std::mutex send_mutex;
+    const auto send_message = [&](const json_value& message) {
+        std::lock_guard<std::mutex> lock(send_mutex);
+        sock.send_all(encode_frame(message));
+    };
+    frame_decoder decoder;
+    const auto read_message = [&]() -> std::optional<json_value> {
+        for (;;) {
+            if (std::optional<json_value> message = decoder.next()) { return message; }
+            char buf[16384];
+            const tcp_socket::recv_result r = sock.recv_some(buf, sizeof buf);
+            if (r.closed) { return std::nullopt; }
+            decoder.feed(buf, r.bytes);
+        }
+    };
+
+    send_message(make_hello(fingerprint, cfg_.name));
+    std::optional<json_value> first;
+    try {
+        first = read_message();
+    } catch (const io_error&) {
+        first.reset();
+    }
+    if (!first.has_value()) {
+        report.connection_lost = true;
+        return report;
+    }
+    const std::string first_type = message_type(*first);
+    if (first_type == "reject") {
+        report.rejected = true;
+        report.reject_reason = first->as_object().at("reason").as_string();
+        LOG_WARN << "worker '" << cfg_.name << "': rejected by the coordinator: "
+                 << report.reject_reason;
+        return report;
+    }
+    REDUCE_CHECK(first_type == "welcome",
+                 "worker expected welcome or reject, got '" << first_type << "'");
+    const json_object& welcome = first->as_object();
+    REDUCE_CHECK(welcome.at("version").as_int() == protocol_version,
+                 "coordinator speaks protocol version " << welcome.at("version").as_int()
+                                                        << ", this worker "
+                                                        << protocol_version);
+    const int heartbeat_ms = static_cast<int>(welcome.at("heartbeat_ms").as_int());
+    const bool want_snapshots = welcome.at("want_snapshots").as_bool();
+    LOG_INFO << "worker '" << cfg_.name << "': admitted to a "
+             << welcome.at("job").as_string() << " job";
+
+    // Heartbeats keep the active lease alive while the main thread is deep
+    // in a training computation.
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::atomic<std::uint64_t> hb_lease{0};
+    std::thread heartbeats([&] {
+        std::unique_lock<std::mutex> lock(hb_mutex);
+        const auto interval = std::chrono::milliseconds(std::max(1, heartbeat_ms));
+        while (!hb_cv.wait_for(lock, interval, [&] { return hb_stop; })) {
+            const std::uint64_t lease = hb_lease.load(std::memory_order_relaxed);
+            if (lease == 0) { continue; }
+            try {
+                std::lock_guard<std::mutex> send_lock(send_mutex);
+                if (!sock.valid()) { return; }
+                sock.send_all(encode_frame(make_heartbeat(lease)));
+            } catch (const io_error&) {
+                return;  // the main loop will notice the broken connection
+            }
+        }
+    });
+    const auto stop_heartbeats = [&] {
+        {
+            std::lock_guard<std::mutex> lock(hb_mutex);
+            hb_stop = true;
+        }
+        hb_cv.notify_all();
+        heartbeats.join();
+    };
+
+    const std::vector<sweep_cell> grid = enumerate_sweep_cells(sweep_cfg_);
+    std::unique_ptr<resilience_analyzer> analyzer;
+    std::unique_ptr<chip_tuner> tuner;
+    const thread_budget budget = resolve_thread_budget(1, cfg_.gemm_threads, 1);
+    std::size_t units_received = 0;
+    try {
+        for (;;) {
+            send_message(make_request_work());
+            std::optional<json_value> message = read_message();
+            if (!message.has_value()) {
+                report.connection_lost = true;
+                break;
+            }
+            const std::string type = message_type(*message);
+            if (type == "shutdown") {
+                report.shutdown_received = true;
+                report.shutdown_reason = message->as_object().at("reason").as_string();
+                break;
+            }
+            if (type != "work") {
+                throw io_error("worker expected work or shutdown, got '" + type + "'");
+            }
+            ++units_received;
+            if (cfg_.die_after_units != 0 && units_received >= cfg_.die_after_units) {
+                // Injected mid-lease death: vanish with the lease held, no
+                // result and no goodbye — what a SIGKILLed process looks
+                // like from the coordinator's side.
+                LOG_WARN << "worker '" << cfg_.name
+                         << "': failure injection - dying mid-lease";
+                report.died = true;
+                std::lock_guard<std::mutex> lock(send_mutex);
+                sock.close();
+                break;
+            }
+            const json_object& work = message->as_object();
+            const std::uint64_t lease = parse_lease(work);
+            hb_lease.store(lease, std::memory_order_relaxed);
+            const std::string& kind = work.at("kind").as_string();
+            if (kind == "sweep_cells") {
+                std::vector<sweep_cell> cells;
+                for (const json_value& index : work.at("cells").as_array()) {
+                    const auto i = static_cast<std::size_t>(index.as_int());
+                    if (i >= grid.size()) {
+                        throw io_error("work unit cell index " + std::to_string(i) +
+                                       " outside the sweep grid");
+                    }
+                    cells.push_back(grid[i]);
+                }
+                if (!analyzer) {
+                    analyzer = std::make_unique<resilience_analyzer>(
+                        model_, pretrained_, train_data_, test_data_, array_, trainer_cfg_);
+                }
+                sweep_options opts;
+                opts.threads = 1;
+                opts.gemm_threads = cfg_.gemm_threads;
+                const resilience_table shard =
+                    analyzer->analyze_cells(sweep_cfg_, cells, opts);
+                send_message(make_sweep_result(lease, shard.to_json()));
+                ++report.sweep_units;
+                report.cells += cells.size();
+            } else if (kind == "fleet_chip") {
+                const chip c = chip_from_json(work.at("chip"));
+                const epoch_allocation alloc = allocation_from_json(work.at("allocation"));
+                const double constraint = work.at("constraint").as_number();
+                const double effective_rate = work.at("effective_rate").as_number();
+                if (!tuner) {
+                    tuner = std::make_unique<chip_tuner>(model_, pretrained_, train_data_,
+                                                         test_data_, array_, trainer_cfg_);
+                    tuner->set_capture_tuned(want_snapshots);
+                }
+                const scoped_intra_op_threads intra(budget.gemm_threads);
+                const chip_outcome outcome = tuner->tune(c, alloc, constraint, effective_rate);
+                std::string snapshot;
+                if (want_snapshots) { snapshot = snapshot_to_bytes(tuner->take_tuned()); }
+                send_message(make_chip_result(lease, outcome, snapshot));
+                ++report.chips;
+            } else {
+                throw io_error("unknown work kind '" + kind + "'");
+            }
+            hb_lease.store(0, std::memory_order_relaxed);
+        }
+    } catch (const io_error& e) {
+        // Transport endings (coordinator gone, garbage frame) are reported,
+        // not thrown — a worker outliving its coordinator is normal.
+        LOG_WARN << "worker '" << cfg_.name << "': connection error: " << e.what();
+        report.connection_lost = true;
+    } catch (...) {
+        stop_heartbeats();
+        throw;
+    }
+    stop_heartbeats();
+    LOG_INFO << "worker '" << cfg_.name << "': done (" << report.cells << " cells, "
+             << report.chips << " chips)";
+    return report;
+}
+
+}  // namespace reduce::dist

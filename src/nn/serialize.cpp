@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 
 #include "util/error.h"
 
@@ -68,19 +69,19 @@ constexpr char k_magic_v2[] = "RDNN2\n";
 constexpr std::size_t k_magic_len = 6;
 
 template <typename T>
-void write_pod(std::ofstream& os, T value) {
+void write_pod(std::ostream& os, T value) {
     os.write(reinterpret_cast<const char*>(&value), sizeof value);
 }
 
 template <typename T>
-T read_pod(std::ifstream& is) {
+T read_pod(std::istream& is) {
     T value{};
     is.read(reinterpret_cast<char*>(&value), sizeof value);
     if (!is) { throw io_error("unexpected end of snapshot file"); }
     return value;
 }
 
-void write_tensor(std::ofstream& os, const tensor& value) {
+void write_tensor(std::ostream& os, const tensor& value) {
     write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(value.dim()));
     for (const std::size_t extent : value.shape()) {
         write_pod<std::uint64_t>(os, extent);
@@ -96,7 +97,7 @@ void write_tensor(std::ofstream& os, const tensor& value) {
 constexpr std::uint64_t k_max_entries = 1u << 20;
 constexpr std::uint32_t k_max_rank = 32;
 
-tensor read_tensor(std::ifstream& is) {
+tensor read_tensor(std::istream& is) {
     const auto rank = read_pod<std::uint32_t>(is);
     if (rank > k_max_rank) {
         throw io_error("corrupt snapshot: tensor rank " + std::to_string(rank));
@@ -114,39 +115,42 @@ tensor read_tensor(std::ifstream& is) {
 
 }  // namespace
 
-void save_snapshot(const std::string& path, const model_snapshot& snapshot) {
-    std::ofstream file(path, std::ios::binary);
-    if (!file) { throw io_error("cannot open snapshot file for writing: " + path); }
+void save_snapshot(std::ostream& os, const model_snapshot& snapshot) {
     // State-free snapshots stay on the v1 format so their files remain
     // readable by pre-RDNN2 tools and byte-identical to earlier releases.
     const bool versioned = !snapshot.state.empty();
-    file.write(versioned ? k_magic_v2 : k_magic_v1, k_magic_len);
-    write_pod<std::uint64_t>(file, snapshot.size());
+    os.write(versioned ? k_magic_v2 : k_magic_v1, k_magic_len);
+    write_pod<std::uint64_t>(os, snapshot.size());
     for (std::size_t i = 0; i < snapshot.size(); ++i) {
         const std::string& name = snapshot.names[i];
-        write_pod<std::uint32_t>(file, static_cast<std::uint32_t>(name.size()));
-        file.write(name.data(), static_cast<std::streamsize>(name.size()));
-        write_tensor(file, snapshot.values[i]);
+        write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(name.size()));
+        os.write(name.data(), static_cast<std::streamsize>(name.size()));
+        write_tensor(os, snapshot.values[i]);
     }
     if (versioned) {
-        write_pod<std::uint64_t>(file, snapshot.state.size());
-        for (const tensor& buffer : snapshot.state) { write_tensor(file, buffer); }
+        write_pod<std::uint64_t>(os, snapshot.state.size());
+        for (const tensor& buffer : snapshot.state) { write_tensor(os, buffer); }
     }
+    if (!os) { throw io_error("failed while writing snapshot stream"); }
+}
+
+void save_snapshot(const std::string& path, const model_snapshot& snapshot) {
+    std::ofstream file(path, std::ios::binary);
+    if (!file) { throw io_error("cannot open snapshot file for writing: " + path); }
+    save_snapshot(static_cast<std::ostream&>(file), snapshot);
     if (!file) { throw io_error("failed while writing snapshot: " + path); }
 }
 
-model_snapshot load_snapshot(const std::string& path) {
-    std::ifstream file(path, std::ios::binary);
-    if (!file) { throw io_error("cannot open snapshot file: " + path); }
+model_snapshot load_snapshot(std::istream& is) {
     char magic[k_magic_len] = {};
-    file.read(magic, k_magic_len);
+    is.read(magic, k_magic_len);
     const std::string header(magic, k_magic_len);
     const bool v1 = header == std::string(k_magic_v1, k_magic_len);
     const bool v2 = header == std::string(k_magic_v2, k_magic_len);
-    if (!file || (!v1 && !v2)) {
-        throw io_error("not a model snapshot file: " + path);
+    if (!is || (!v1 && !v2)) {
+        throw io_error("not a model snapshot stream");
     }
-    const auto count = read_pod<std::uint64_t>(file);
+    const auto count = read_pod<std::uint64_t>(is);
     if (count > k_max_entries) {
         throw io_error("corrupt snapshot: parameter count " + std::to_string(count));
     }
@@ -154,28 +158,45 @@ model_snapshot load_snapshot(const std::string& path) {
     snap.names.reserve(count);
     snap.values.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
-        const auto name_len = read_pod<std::uint32_t>(file);
+        const auto name_len = read_pod<std::uint32_t>(is);
         if (name_len > k_max_entries) {
             throw io_error("corrupt snapshot: name length " + std::to_string(name_len));
         }
         std::string name(name_len, '\0');
-        file.read(name.data(), name_len);
-        if (!file) { throw io_error("unexpected end of snapshot file"); }
+        is.read(name.data(), name_len);
+        if (!is) { throw io_error("unexpected end of snapshot file"); }
         snap.names.push_back(std::move(name));
-        snap.values.push_back(read_tensor(file));
+        snap.values.push_back(read_tensor(is));
     }
     if (v2) {
-        const auto state_count = read_pod<std::uint64_t>(file);
+        const auto state_count = read_pod<std::uint64_t>(is);
         if (state_count > k_max_entries) {
             throw io_error("corrupt snapshot: state buffer count " +
                            std::to_string(state_count));
         }
         snap.state.reserve(state_count);
         for (std::uint64_t i = 0; i < state_count; ++i) {
-            snap.state.push_back(read_tensor(file));
+            snap.state.push_back(read_tensor(is));
         }
     }
     return snap;
+}
+
+model_snapshot load_snapshot(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) { throw io_error("cannot open snapshot file: " + path); }
+    return load_snapshot(static_cast<std::istream&>(file));
+}
+
+std::string snapshot_to_bytes(const model_snapshot& snapshot) {
+    std::ostringstream buffer(std::ios::binary);
+    save_snapshot(buffer, snapshot);
+    return std::move(buffer).str();
+}
+
+model_snapshot snapshot_from_bytes(const std::string& bytes) {
+    std::istringstream buffer(bytes, std::ios::binary);
+    return load_snapshot(buffer);
 }
 
 }  // namespace reduce

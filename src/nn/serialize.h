@@ -18,6 +18,7 @@
 // RDNN1 files.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -67,5 +68,17 @@ void save_snapshot(const std::string& path, const model_snapshot& snapshot);
 /// Reads a snapshot from a binary file (RDNN1 or RDNN2); throws io_error on
 /// malformed files.
 model_snapshot load_snapshot(const std::string& path);
+
+/// Stream overloads sharing the file implementation byte for byte — how
+/// RDNN snapshots cross a socket (the distributed worker serializes into a
+/// buffer, never a temp file). The stream must be binary-clean; failure
+/// states throw io_error.
+void save_snapshot(std::ostream& os, const model_snapshot& snapshot);
+model_snapshot load_snapshot(std::istream& is);
+
+/// Byte-buffer convenience wrappers over the stream overloads: the exact
+/// bytes save_snapshot(path, ...) would put on disk.
+std::string snapshot_to_bytes(const model_snapshot& snapshot);
+model_snapshot snapshot_from_bytes(const std::string& bytes);
 
 }  // namespace reduce

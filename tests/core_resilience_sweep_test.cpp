@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <thread>
 
 #include "core/resilience.h"
 #include "core/workload.h"
@@ -404,6 +405,154 @@ TEST(ResilienceTable, SerializesSchemaVersionAndRejectsForeignOnes) {
     json_object forged = json.as_object();
     forged.set("schema_version", json_value(resilience_schema_version + 1));
     EXPECT_THROW(resilience_table::from_json(json_value(std::move(forged))), error);
+}
+
+TEST_F(SweepFixture, MergeIntoIncrementallyReproducesTheSingleShot) {
+    // The distributed coordinator's fold: single-cell shards arriving one at
+    // a time, fused with merge_into, must reproduce the single-shot table
+    // byte for byte in ANY arrival order — and complete() must gate the
+    // moment the last cell lands, not before.
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+    const std::string reference = analyzer.analyze(cfg, {}).to_json().dump();
+
+    const std::vector<sweep_cell> grid = enumerate_sweep_cells(cfg);
+    std::vector<resilience_table> shards;
+    for (const sweep_cell& cell : grid) {
+        shards.push_back(analyzer.analyze_cells(cfg, {cell}));
+    }
+    ASSERT_EQ(shards.size(), 4u);
+
+    const auto fold = [&](const std::vector<std::size_t>& order) {
+        resilience_table acc = shards[order[0]];
+        for (std::size_t i = 1; i < order.size(); ++i) {
+            EXPECT_FALSE(acc.complete());
+            resilience_table::merge_into(acc, shards[order[i]]);
+        }
+        EXPECT_TRUE(acc.complete());
+        return acc.to_json().dump();
+    };
+    EXPECT_EQ(fold({0, 1, 2, 3}), reference);
+    EXPECT_EQ(fold({3, 1, 0, 2}), reference);  // arrival order is irrelevant
+}
+
+TEST_F(SweepFixture, MergeIntoAppliesTheSameValidationAsBatchMerge) {
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+    const std::vector<sweep_cell> grid = enumerate_sweep_cells(cfg);
+    resilience_table acc = analyzer.analyze_cells(cfg, {grid[0]});
+
+    // Overlap: the same cell arriving twice.
+    resilience_table overlap = acc;
+    EXPECT_THROW(resilience_table::merge_into(overlap, acc), error);
+
+    // A shard from a different sweep config (different fingerprint).
+    resilience_config other = cfg;
+    other.seed += 1;
+    const resilience_table foreign =
+        analyzer.analyze_cells(other, {enumerate_sweep_cells(other)[1]});
+    EXPECT_THROW(resilience_table::merge_into(acc, foreign), error);
+
+    // Hand-built tables disagreeing on the budget.
+    std::vector<resilience_run> runs_a(1);
+    runs_a[0].fault_rate = 0.0;
+    runs_a[0].trajectory = {{0.0, 0.5}};
+    std::vector<resilience_run> runs_b(1);
+    runs_b[0].fault_rate = 0.1;
+    runs_b[0].trajectory = {{0.0, 0.5}};
+    resilience_table a(std::move(runs_a), 1.0);
+    const resilience_table b(std::move(runs_b), 2.0);
+    EXPECT_THROW(resilience_table::merge_into(a, b), error);
+}
+
+TEST_F(SweepFixture, AnalyzeCellsMatchesAnalyzeAndCatchesConfigDrift) {
+    resilience_analyzer analyzer = make_analyzer();
+    const resilience_config cfg = small_config();
+    const std::string reference = analyzer.analyze(cfg, {}).to_json().dump();
+    const std::vector<sweep_cell> grid = enumerate_sweep_cells(cfg);
+
+    // The full grid as one explicit cell list is the single-shot sweep.
+    EXPECT_EQ(analyzer.analyze_cells(cfg, grid).to_json().dump(), reference);
+
+    // Arbitrary disjoint batches (NOT a round-robin shard split — the
+    // lease-sized batches a distributed worker actually receives) merge
+    // back to the same bytes.
+    const resilience_table batch_a = analyzer.analyze_cells(cfg, {grid[0], grid[3]});
+    const resilience_table batch_b = analyzer.analyze_cells(cfg, {grid[1], grid[2]});
+    EXPECT_EQ(resilience_table::merge({batch_a, batch_b}).to_json().dump(), reference);
+
+    // Validation: no empty work units...
+    EXPECT_THROW((void)analyzer.analyze_cells(cfg, {}), error);
+    // ...no cells outside the grid...
+    sweep_cell outside = grid[0];
+    outside.rate_index = cfg.fault_rates.size();
+    EXPECT_THROW((void)analyzer.analyze_cells(cfg, {outside}), error);
+    // ...and no cells whose seed drifted from the canonical derivation (a
+    // worker built from a different config than it claims).
+    sweep_cell drifted = grid[1];
+    drifted.map_seed += 1;
+    EXPECT_THROW((void)analyzer.analyze_cells(cfg, {drifted}), error);
+}
+
+TEST(ResilienceCache, ConcurrentStoresLeaveOneValidEntryAndNoLitter) {
+    // Many writers storing the same artifact concurrently (the distributed
+    // coordinator next to a local sweep, say) must never corrupt the entry:
+    // each writes its own uniquely-named temp file and renames atomically.
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / "reduce_race_cache").string();
+    std::filesystem::remove_all(dir);
+
+    resilience_config cfg;
+    cfg.fault_rates = {0.1};
+    cfg.repeats = 1;
+    cfg.max_epochs = 1.0;
+    cfg.context = "race-test";
+    resilience_run run;
+    run.fault_rate = 0.1;
+    run.trajectory = {{0.0, 0.5}, {1.0, 0.8}};
+    const resilience_table table({run}, cfg.max_epochs, resilience_fingerprint(cfg), 1);
+    const resilience_cache cache(dir);
+
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 8; ++t) {
+        writers.emplace_back([&] {
+            for (int i = 0; i < 5; ++i) { cache.store(table, cfg); }
+        });
+    }
+    for (std::thread& t : writers) { t.join(); }
+
+    const std::optional<resilience_table> loaded = cache.load(cfg);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->to_json().dump(), table.to_json().dump());
+    // Every temp file was renamed away — the directory holds exactly the
+    // committed entry.
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        ++files;
+        EXPECT_EQ(entry.path().filename().string().find(".tmp"), std::string::npos)
+            << "temp litter: " << entry.path();
+    }
+    EXPECT_EQ(files, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResilienceCache, GcSweepsUniquifiedTmpLitter) {
+    // Interrupted stores leave ".tmp.<pid>.<seq>"-suffixed files; gc must
+    // recognize the infix, not just the legacy bare ".tmp" suffix.
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / "reduce_tmp_litter_cache").string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream out((std::filesystem::path(dir) / "step1-x.json.tmp.1234.7").string());
+        out << "{";
+    }
+    const resilience_cache cache(dir);
+    const resilience_cache::gc_report report = cache.gc();
+    EXPECT_EQ(report.removed_stale, 1u);
+    EXPECT_FALSE(
+        std::filesystem::exists(std::filesystem::path(dir) / "step1-x.json.tmp.1234.7"));
+    std::filesystem::remove_all(dir);
 }
 
 TEST(ResilienceCache, GcRemovesStaleKeepsCurrentAndEnforcesBudget) {

@@ -1,0 +1,241 @@
+// Tests for the distributed-service wire layer (dist/protocol.h): frame
+// encoding/decoding under arbitrary byte fragmentation, protocol-violation
+// detection, base64 round-trips and rejection of malformed input, message
+// builders, and the chip_outcome / epoch_allocation JSON round-trips the
+// fleet path rides on.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/protocol.h"
+#include "util/error.h"
+
+namespace reduce::dist {
+namespace {
+
+json_value parse_one(const std::string& frame) {
+    frame_decoder decoder;
+    decoder.feed(frame.data(), frame.size());
+    std::optional<json_value> message = decoder.next();
+    EXPECT_TRUE(message.has_value());
+    return *message;
+}
+
+TEST(Framing, RoundTripsOneMessage) {
+    const json_value original = make_hello("abc123", "worker-0");
+    const json_value decoded = parse_one(encode_frame(original));
+    EXPECT_EQ(decoded.dump(), original.dump());
+    EXPECT_EQ(message_type(decoded), "hello");
+}
+
+TEST(Framing, DecodesFramesSplitAtEveryByteBoundary) {
+    const std::string frame = encode_frame(make_heartbeat(42));
+    for (std::size_t split = 0; split <= frame.size(); ++split) {
+        frame_decoder decoder;
+        decoder.feed(frame.data(), split);
+        if (split < frame.size()) {
+            EXPECT_FALSE(decoder.next().has_value()) << "split at " << split;
+            decoder.feed(frame.data() + split, frame.size() - split);
+        }
+        const std::optional<json_value> message = decoder.next();
+        ASSERT_TRUE(message.has_value()) << "split at " << split;
+        EXPECT_EQ(message_type(*message), "heartbeat");
+        EXPECT_EQ(decoder.buffered(), 0u);
+    }
+}
+
+TEST(Framing, DecodesMultipleFramesFromOneFeed) {
+    std::string wire = encode_frame(make_request_work());
+    wire += encode_frame(make_heartbeat(7));
+    wire += encode_frame(make_shutdown("done"));
+    frame_decoder decoder;
+    decoder.feed(wire.data(), wire.size());
+    EXPECT_EQ(message_type(*decoder.next()), "request_work");
+    EXPECT_EQ(message_type(*decoder.next()), "heartbeat");
+    EXPECT_EQ(message_type(*decoder.next()), "shutdown");
+    EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Framing, RejectsZeroLengthFrames) {
+    frame_decoder decoder;
+    const char zeros[4] = {0, 0, 0, 0};
+    decoder.feed(zeros, sizeof zeros);
+    EXPECT_THROW((void)decoder.next(), io_error);
+}
+
+TEST(Framing, RejectsOversizedLengthPrefixBeforeBuffering) {
+    // A garbage length prefix (e.g. the peer is not speaking this protocol
+    // at all) must be rejected from the 4-byte header alone, not after
+    // waiting for gigabytes that will never come.
+    frame_decoder decoder;
+    const char huge[4] = {'\x7f', '\x7f', '\x7f', '\x7f'};
+    decoder.feed(huge, sizeof huge);
+    EXPECT_THROW((void)decoder.next(), io_error);
+}
+
+TEST(Framing, RejectsUnparseablePayload) {
+    frame_decoder decoder;
+    const char frame[] = {0, 0, 0, 4, 'j', 'u', 'n', 'k'};
+    decoder.feed(frame, sizeof frame);
+    EXPECT_THROW((void)decoder.next(), io_error);
+}
+
+TEST(Framing, RejectsNonObjectPayload) {
+    frame_decoder decoder;
+    const std::string payload = "[1,2,3]";
+    std::string frame = {0, 0, 0, static_cast<char>(payload.size())};
+    frame += payload;
+    decoder.feed(frame.data(), frame.size());
+    EXPECT_THROW((void)decoder.next(), io_error);
+}
+
+TEST(Framing, MessageTypeRequiresTypeMember) {
+    frame_decoder decoder;
+    const std::string payload = "{\"kind\":\"x\"}";
+    std::string frame = {0, 0, 0, static_cast<char>(payload.size())};
+    frame += payload;
+    decoder.feed(frame.data(), frame.size());
+    const std::optional<json_value> message = decoder.next();
+    ASSERT_TRUE(message.has_value());  // well-formed object...
+    EXPECT_THROW((void)message_type(*message), io_error);  // ...but not a message
+}
+
+TEST(Base64, RoundTripsEveryResidueAndAllByteValues) {
+    std::string all_bytes;
+    for (int i = 0; i < 256; ++i) { all_bytes.push_back(static_cast<char>(i)); }
+    // Cover every length % 3 residue, including empty.
+    for (const std::size_t n : {0u, 1u, 2u, 3u, 4u, 255u, 256u}) {
+        const std::string bytes = all_bytes.substr(0, n);
+        const std::string encoded = base64_encode(bytes);
+        EXPECT_EQ(encoded.size() % 4, 0u);
+        EXPECT_EQ(base64_decode(encoded), bytes) << "length " << n;
+    }
+}
+
+TEST(Base64, KnownVectors) {
+    EXPECT_EQ(base64_encode(""), "");
+    EXPECT_EQ(base64_encode("f"), "Zg==");
+    EXPECT_EQ(base64_encode("fo"), "Zm8=");
+    EXPECT_EQ(base64_encode("foo"), "Zm9v");
+    EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, RejectsMalformedInput) {
+    EXPECT_THROW((void)base64_decode("Zg="), io_error);       // length % 4 != 0
+    EXPECT_THROW((void)base64_decode("Zm9!"), io_error);      // illegal character
+    EXPECT_THROW((void)base64_decode("=m9v"), io_error);      // padding up front
+    EXPECT_THROW((void)base64_decode("Zg==Zm8="), io_error);  // data after padding
+}
+
+TEST(Messages, JobKindNamesRoundTrip) {
+    EXPECT_EQ(job_kind_from_name(job_kind_name(job_kind::sweep)), job_kind::sweep);
+    EXPECT_EQ(job_kind_from_name(job_kind_name(job_kind::fleet)), job_kind::fleet);
+    EXPECT_THROW((void)job_kind_from_name("neither"), io_error);
+}
+
+TEST(Messages, SweepWorkCarriesLeaseAsDecimalString) {
+    // Lease ids are u64; beyond 2^53 they are not exactly representable as
+    // JSON doubles, so they travel as decimal strings.
+    const std::uint64_t big = 0xfedcba9876543210ull;
+    const json_value work = parse_one(encode_frame(make_sweep_work(big, {3, 1, 4})));
+    EXPECT_EQ(work.as_object().at("lease").as_string(), std::to_string(big));
+    const json_array& cells = work.as_object().at("cells").as_array();
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0].as_int(), 3);
+    EXPECT_EQ(cells[2].as_int(), 4);
+}
+
+TEST(Messages, ChipOutcomeRoundTripsExactly) {
+    chip_outcome outcome;
+    outcome.chip_id = 17;
+    outcome.nominal_fault_rate = 0.1234567890123456789;  // full double precision
+    outcome.effective_fault_rate = 1.0 / 3.0;
+    outcome.masked_weight_fraction = 0.017;
+    outcome.epochs_allocated = 2.5;
+    outcome.epochs_run = 2.0;
+    outcome.accuracy_before = 0.4987654321;
+    outcome.final_accuracy = 0.91;
+    outcome.meets_constraint = true;
+    outcome.selection_failed = false;
+    const chip_outcome back = chip_outcome_from_json(chip_outcome_to_json(outcome));
+    EXPECT_EQ(back.chip_id, outcome.chip_id);
+    EXPECT_EQ(back.nominal_fault_rate, outcome.nominal_fault_rate);
+    EXPECT_EQ(back.effective_fault_rate, outcome.effective_fault_rate);
+    EXPECT_EQ(back.masked_weight_fraction, outcome.masked_weight_fraction);
+    EXPECT_EQ(back.epochs_allocated, outcome.epochs_allocated);
+    EXPECT_EQ(back.epochs_run, outcome.epochs_run);
+    EXPECT_EQ(back.accuracy_before, outcome.accuracy_before);
+    EXPECT_EQ(back.final_accuracy, outcome.final_accuracy);
+    EXPECT_EQ(back.meets_constraint, outcome.meets_constraint);
+    EXPECT_EQ(back.selection_failed, outcome.selection_failed);
+}
+
+TEST(Messages, AllocationRoundTripsExactly) {
+    epoch_allocation alloc;
+    alloc.epochs = 3.75;
+    alloc.selection_failed = true;
+    alloc.train_to_target = true;
+    const epoch_allocation back = allocation_from_json(allocation_to_json(alloc));
+    EXPECT_EQ(back.epochs, alloc.epochs);
+    EXPECT_EQ(back.selection_failed, alloc.selection_failed);
+    EXPECT_EQ(back.train_to_target, alloc.train_to_target);
+}
+
+TEST(Messages, ChipResultSurvivesTheWireWithBinarySnapshot) {
+    chip_outcome outcome;
+    outcome.chip_id = 3;
+    outcome.final_accuracy = 0.875;
+    std::string snapshot_bytes;
+    for (int i = 0; i < 64; ++i) { snapshot_bytes.push_back(static_cast<char>(i * 7)); }
+    const json_value result =
+        parse_one(encode_frame(make_chip_result(99, outcome, snapshot_bytes)));
+    EXPECT_EQ(message_type(result), "result");
+    const json_object& body = result.as_object();
+    EXPECT_EQ(body.at("lease").as_string(), "99");
+    EXPECT_EQ(chip_outcome_from_json(body.at("outcome")).chip_id, 3u);
+    EXPECT_EQ(base64_decode(body.at("snapshot").as_string()), snapshot_bytes);
+}
+
+TEST(Sockets, LoopbackFrameDelivery) {
+    tcp_listener listener("127.0.0.1", 0);
+    ASSERT_GT(listener.port(), 0);
+    tcp_socket client = tcp_socket::connect_to("127.0.0.1", listener.port());
+    std::optional<tcp_socket> server;
+    for (int i = 0; i < 500 && !server.has_value(); ++i) {
+        server = listener.accept_one();
+        if (!server.has_value()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    ASSERT_TRUE(server.has_value());
+
+    client.send_all(encode_frame(make_hello("fp", "sock-test")));
+    frame_decoder decoder;
+    char buf[4096];
+    std::optional<json_value> message;
+    while (!message.has_value()) {
+        const tcp_socket::recv_result r = server->recv_some(buf, sizeof buf);
+        ASSERT_FALSE(r.closed);
+        if (r.would_block) { continue; }
+        decoder.feed(buf, r.bytes);
+        message = decoder.next();
+    }
+    EXPECT_EQ(message_type(*message), "hello");
+    EXPECT_EQ(message->as_object().at("name").as_string(), "sock-test");
+
+    // Closing the client surfaces as a clean `closed` on the server side.
+    client.close();
+    for (;;) {
+        const tcp_socket::recv_result r = server->recv_some(buf, sizeof buf);
+        if (r.would_block) { continue; }
+        EXPECT_TRUE(r.closed);
+        break;
+    }
+}
+
+}  // namespace
+}  // namespace reduce::dist
