@@ -1,15 +1,21 @@
 // micro_training — training-substrate micro-benchmark and the
-// parallel-vs-serial correctness gate for the intra-op tensor backend.
+// parallel-vs-serial / fused-vs-unfused correctness gate for the intra-op
+// tensor backend and the per-layer op scheduler.
 //
 // Times the per-step costs the fleet-level retraining budgets are built
-// from (forward, train step, masked train step, full evaluation) twice per
-// workload: once with serial tensor kernels (--gemm-threads 1) and once on
-// the intra-op thread budget under test. Every parallel result must equal
-// its serial counterpart BIT FOR BIT — logits, post-step parameter
-// snapshots, and accuracies are memcmp'd — and the process exits non-zero
-// on any mismatch and NEVER on timing, so CI can gate on correctness
-// without flaking on noise. Emits BENCH_train.json — the train-path perf
-// artifact reported next to BENCH_gemm.json / BENCH_eval.json.
+// from (forward, train step, masked train step, full evaluation) per
+// workload: with serial tensor kernels (--gemm-threads 1), on the intra-op
+// thread budget under test (fused scheduler, the default execution mode),
+// and on the same budget with layer fusion disabled (the unfused per-layer
+// reference). Every parallel result must equal its serial counterpart BIT
+// FOR BIT, and the fused scheduler's post-step parameter snapshot must
+// equal the unfused serial path bit for bit — logits, snapshots, and
+// accuracies are memcmp'd — and the process exits non-zero on any mismatch
+// and NEVER on timing, so CI can gate on correctness without flaking on
+// noise. Emits BENCH_train.json (schema 2: each case carries serial_ms /
+// parallel_ms for the fused default plus unfused_parallel_ms and
+// fusion_speedup) — the train-path perf artifact reported next to
+// BENCH_gemm.json / BENCH_eval.json.
 //
 // Workloads: "mlp" (the standard experiment scale — too small to gain from
 // intra-op threads, included to pin the no-regression floor) and "vgg"
@@ -46,6 +52,7 @@
 #include "nn/loss.h"
 #include "nn/models.h"
 #include "nn/optim.h"
+#include "nn/schedule.h"
 #include "nn/serialize.h"
 #include "util/cli.h"
 #include "util/json.h"
@@ -201,6 +208,28 @@ int main(int argc, char** argv) {
             data_loader fwd_loader(w.train_data, w.trainer_cfg.batch_size, 1);
             const batch fwd_batch = fwd_loader.next_batch();
 
+            // Fusion gate: the fused scheduler (the default path) must
+            // reproduce the UNFUSED SERIAL reference bit for bit — both
+            // serially and on the thread budget under test, masked included.
+            {
+                set_intra_op_threads(1);
+                model_snapshot unfused_serial;
+                {
+                    const scoped_layer_fusion off(false);
+                    unfused_serial = run_train_steps(w, /*masked=*/true, steps);
+                }
+                const scoped_layer_fusion on(true);
+                const model_snapshot fused_serial = run_train_steps(w, true, steps);
+                set_intra_op_threads(gemm_threads);
+                const model_snapshot fused_parallel = run_train_steps(w, true, steps);
+                set_intra_op_threads(1);
+                const bool fusion_ok = same_snapshot(unfused_serial, fused_serial) &&
+                                       same_snapshot(unfused_serial, fused_parallel);
+                all_ok = all_ok && fusion_ok;
+                std::cout << w.name << " fused-vs-unfused snapshot: "
+                          << (fusion_ok ? "bitwise identical" : "*** MISMATCH ***") << '\n';
+            }
+
             struct row {
                 const char* op;
                 std::function<void()> run;       ///< the timed body
@@ -270,8 +299,16 @@ int main(int argc, char** argv) {
                 const double serial_ms = best_ms_per_call(r.run, min_ms, samples);
                 set_intra_op_threads(gemm_threads);
                 const double parallel_ms = best_ms_per_call(r.run, min_ms, samples);
+                // Same body, same budget, fusion off: isolates what the
+                // epilogue/scheduler fusion buys on this row.
+                double unfused_parallel_ms;
+                {
+                    const scoped_layer_fusion off(false);
+                    unfused_parallel_ms = best_ms_per_call(r.run, min_ms, samples);
+                }
                 set_intra_op_threads(1);
                 const double speedup = serial_ms / parallel_ms;
+                const double fusion_speedup = unfused_parallel_ms / parallel_ms;
                 if (w.name == "vgg" && std::string(r.op) == "train_step") {
                     vgg_train_step_speedup = speedup;
                 }
@@ -286,8 +323,10 @@ int main(int argc, char** argv) {
                 entry.set("op", json_value(std::string(r.op)));
                 entry.set("serial_ms", json_value(serial_ms));
                 entry.set("parallel_ms", json_value(parallel_ms));
+                entry.set("unfused_parallel_ms", json_value(unfused_parallel_ms));
                 entry.set("gemm_threads", json_value(gemm_threads));
                 entry.set("speedup", json_value(speedup));
+                entry.set("fusion_speedup", json_value(fusion_speedup));
                 entry.set("items_per_s", json_value(r.items / (parallel_ms / 1000.0)));
                 entry.set("verified", json_value(ok));
                 case_json.push_back(json_value(std::move(entry)));
@@ -296,7 +335,8 @@ int main(int argc, char** argv) {
 
         json_object root;
         root.set("bench", json_value("micro_training"));
-        root.set("schema_version", json_value(1));
+        root.set("schema_version", json_value(2));
+        root.set("layer_fusion", json_value(layer_fusion_enabled()));
 #ifdef REDUCE_NATIVE
         root.set("march_native", json_value(true));
 #else

@@ -1,5 +1,9 @@
 // Wire protocol of the distributed sweep/retraining service.
 //
+// The rendered protocol reference lives in docs/protocol.md — keep the
+// two in sync when changing anything wire-visible (and bump
+// protocol_version below).
+//
 // ## Transport
 //
 // Plain TCP, no external dependencies. Both ends exchange *frames*:

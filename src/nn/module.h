@@ -15,6 +15,8 @@
 
 namespace reduce {
 
+class op_schedule;
+
 /// A trainable tensor with its gradient and an optional fault mask.
 ///
 /// When `mask` is non-empty it has the same shape as `value`; entries equal
@@ -91,9 +93,18 @@ protected:
 };
 
 /// Owning container that runs layers in sequence.
+///
+/// Execution routes through a lazily built op_schedule (nn/schedule.h): at
+/// the first forward — and again whenever the layer list or the process-wide
+/// fusion toggle changed — the container plans which adjacent layer pairs
+/// run as fused kernel steps. The plan never changes results (fused paths
+/// are bit-identical to per-layer execution); it only changes how many
+/// memory passes each step costs.
 class sequential : public module {
 public:
-    sequential() = default;
+    // Both out-of-line: op_schedule is incomplete here.
+    sequential();
+    ~sequential() override;
 
     /// Appends a layer; returns a reference for further configuration.
     module& add(std::unique_ptr<module> layer);
@@ -123,6 +134,7 @@ public:
 
 private:
     std::vector<std::unique_ptr<module>> layers_;
+    std::unique_ptr<op_schedule> schedule_;  ///< lazily built execution plan
 };
 
 /// Deep-copies a model (see module::clone) with the concrete sequential type

@@ -1,12 +1,32 @@
 #include "nn/optim.h"
 
 #include <cmath>
+#include <functional>
 #include <numbers>
 
 #include "tensor/ops.h"
 #include "util/error.h"
+#include "util/thread_pool.h"
 
 namespace reduce {
+
+namespace {
+
+// Optimizer updates are independent per element — index i touches only its
+// own w/v/m slots — so partitioning by element keeps every arithmetic chain
+// whole and results bit-identical at any --gemm-threads. The bar matches
+// the elementwise ops in tensor/ops.cpp.
+constexpr double k_optim_parallel_min_elems = 256.0 * 1024.0;
+
+void for_each_elem(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+    if (n > 1 && should_fan_out(static_cast<double>(n), k_optim_parallel_min_elems)) {
+        parallel_for(n, body);
+    } else {
+        body(0, n);
+    }
+}
+
+}  // namespace
 
 optimizer::optimizer(std::vector<parameter*> params) : params_(std::move(params)) {
     REDUCE_CHECK(!params_.empty(), "optimizer needs at least one parameter");
@@ -48,16 +68,21 @@ void sgd::step() {
         const float* g = p.grad.raw();
         if (cfg_.momentum > 0.0) {
             float* v = velocity_[k].raw();
-            for (std::size_t i = 0; i < p.value.numel(); ++i) {
-                const float grad_i = g[i] + wd * w[i];
-                v[i] = mu * v[i] + grad_i;
-                const float update = cfg_.nesterov ? grad_i + mu * v[i] : v[i];
-                w[i] -= lr * update;
-            }
+            const bool nesterov = cfg_.nesterov;
+            for_each_elem(p.value.numel(), [&, v, nesterov](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                    const float grad_i = g[i] + wd * w[i];
+                    v[i] = mu * v[i] + grad_i;
+                    const float update = nesterov ? grad_i + mu * v[i] : v[i];
+                    w[i] -= lr * update;
+                }
+            });
         } else {
-            for (std::size_t i = 0; i < p.value.numel(); ++i) {
-                w[i] -= lr * (g[i] + wd * w[i]);
-            }
+            for_each_elem(p.value.numel(), [&](std::size_t i0, std::size_t i1) {
+                for (std::size_t i = i0; i < i1; ++i) {
+                    w[i] -= lr * (g[i] + wd * w[i]);
+                }
+            });
         }
         p.apply_mask();
     }
@@ -95,14 +120,16 @@ void adam::step() {
         const float* g = p.grad.raw();
         float* m = m_[k].raw();
         float* v = v_[k].raw();
-        for (std::size_t i = 0; i < p.value.numel(); ++i) {
-            const float grad_i = g[i] + wd * w[i];
-            m[i] = b1 * m[i] + (1.0f - b1) * grad_i;
-            v[i] = b2 * v[i] + (1.0f - b2) * grad_i * grad_i;
-            const float m_hat = m[i] * inv_bias1;
-            const float v_hat = v[i] * inv_bias2;
-            w[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
-        }
+        for_each_elem(p.value.numel(), [&, m, v](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                const float grad_i = g[i] + wd * w[i];
+                m[i] = b1 * m[i] + (1.0f - b1) * grad_i;
+                v[i] = b2 * v[i] + (1.0f - b2) * grad_i * grad_i;
+                const float m_hat = m[i] * inv_bias1;
+                const float v_hat = v[i] * inv_bias2;
+                w[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+            }
+        });
         p.apply_mask();
     }
 }

@@ -1,0 +1,132 @@
+#include "nn/schedule.h"
+
+#include <atomic>
+
+#include "nn/conv_layers.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "util/error.h"
+
+namespace reduce {
+
+namespace {
+
+std::atomic<bool> g_layer_fusion{true};
+
+}  // namespace
+
+bool set_layer_fusion(bool enabled) {
+    return g_layer_fusion.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool layer_fusion_enabled() { return g_layer_fusion.load(std::memory_order_relaxed); }
+
+void op_schedule::build(sequential& model) {
+    steps_.clear();
+    fused_ = layer_fusion_enabled();
+    layer_count_ = model.size();
+    for (std::size_t i = 0; i < model.size(); ++i) {
+        fusion_step step;
+        step.layer = i;
+        const bool relu_next =
+            i + 1 < model.size() && dynamic_cast<relu_layer*>(&model.layer(i + 1)) != nullptr;
+        if (fused_ && relu_next) {
+            if (dynamic_cast<linear*>(&model.layer(i)) != nullptr) {
+                step.kind = fusion_step::op::linear_bias_relu;
+                step.span = 2;
+            } else if (dynamic_cast<conv2d_layer*>(&model.layer(i)) != nullptr) {
+                step.kind = fusion_step::op::conv_bias_relu;
+                step.span = 2;
+            }
+        }
+        steps_.push_back(step);
+        i += step.span - 1;
+    }
+    state_.assign(steps_.size(), exec_state{});
+}
+
+bool op_schedule::valid_for(const sequential& model) const {
+    return layer_count_ == model.size() && !steps_.empty() == (layer_count_ > 0) &&
+           fused_ == layer_fusion_enabled();
+}
+
+tensor op_schedule::forward(sequential& model, const tensor& input) {
+    tensor x = input;
+    for (std::size_t s = 0; s < steps_.size(); ++s) {
+        const fusion_step& step = steps_[s];
+        switch (step.kind) {
+            case fusion_step::op::passthrough:
+                x = model.layer(step.layer).forward(x);
+                break;
+            case fusion_step::op::linear_bias_relu: {
+                auto* fc = dynamic_cast<linear*>(&model.layer(step.layer));
+                REDUCE_CHECK(fc != nullptr, "fusion plan is stale: step " << s
+                                                                          << " expects a linear layer");
+                x = fc->forward_fused_relu(x, state_[s].relu_keep);
+                break;
+            }
+            case fusion_step::op::conv_bias_relu: {
+                auto* conv = dynamic_cast<conv2d_layer*>(&model.layer(step.layer));
+                REDUCE_CHECK(conv != nullptr, "fusion plan is stale: step "
+                                                  << s << " expects a conv2d layer");
+                x = conv->forward_fused_relu(x, state_[s].relu_keep);
+                break;
+            }
+        }
+    }
+    return x;
+}
+
+tensor op_schedule::backward(sequential& model, const tensor& grad_output) {
+    tensor g = grad_output;
+    for (std::size_t s = steps_.size(); s-- > 0;) {
+        const fusion_step& step = steps_[s];
+        if (step.kind == fusion_step::op::passthrough) {
+            g = model.layer(step.layer).backward(g);
+            continue;
+        }
+        const exec_state& st = state_[s];
+        REDUCE_CHECK(st.relu_keep.size() == g.numel(),
+                     "fused backward without a matching fused forward (step " << s << ")");
+        // The keep-mask recorded at forward time reproduces relu_backward
+        // exactly (stored as !(z <= 0)); the primary layer's own backward
+        // then runs unchanged on the masked gradient.
+        g = relu_keep_backward(g, st.relu_keep.data());
+        g = model.layer(step.layer).backward(g);
+    }
+    return g;
+}
+
+std::vector<std::string> describe_fusion_plan(sequential& model) {
+    op_schedule plan;
+    plan.build(model);
+    const bool fused = layer_fusion_enabled();
+    std::vector<std::string> names;
+    names.reserve(plan.steps().size());
+    for (const fusion_step& step : plan.steps()) {
+        switch (step.kind) {
+            case fusion_step::op::linear_bias_relu:
+                names.push_back("linear+bias+relu");
+                break;
+            case fusion_step::op::conv_bias_relu:
+                names.push_back("conv2d+bias+relu");
+                break;
+            case fusion_step::op::passthrough: {
+                module& layer = model.layer(step.layer);
+                std::string label = layer.name();
+                // A lone linear/conv2d under an enabled toggle still fuses
+                // its bias into the kernel tail.
+                if (fused && (dynamic_cast<linear*>(&layer) != nullptr ||
+                              dynamic_cast<conv2d_layer*>(&layer) != nullptr)) {
+                    label += "+bias";
+                }
+                names.push_back(std::move(label));
+                break;
+            }
+        }
+    }
+    return names;
+}
+
+}  // namespace reduce

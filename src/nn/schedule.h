@@ -1,0 +1,109 @@
+// Per-layer op scheduler: the thin planning layer between `sequential` and
+// the fused tensor kernels.
+//
+// The blocked GEMM backend (tensor/gemm.h) can apply bias and ReLU in the
+// micro-kernel tail while each output tile is still cache-hot
+// (gemm_epilogue), and the conv lowering can do the same in its scatter
+// pass (conv_fusion). This file decides WHEN those fused paths run: an
+// op_schedule inspects a model's layer sequence once (at first forward,
+// rebuilt after structural changes or a fusion-toggle flip) and emits a
+// step plan — adjacent (linear, relu) and (conv2d, relu) pairs collapse
+// into single fused steps; everything else passes through the layer's own
+// forward/backward. Fallback is always safe: an unrecognized pattern runs
+// exactly as it did before this scheduler existed.
+//
+// Determinism contract: fused and unfused execution are bit-identical at
+// any --gemm-threads, NaN/Inf included. The fused forward records the ReLU
+// keep-mask as !(z <= 0) per pre-activation (relu_backward's exact
+// predicate), and the fused backward masks the upstream gradient with it
+// before the matmul/conv backward — the same values the separate relu
+// layer would have produced. Toggling set_layer_fusion therefore never
+// changes results, only the number of memory passes per step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace reduce {
+
+class sequential;
+
+/// Process-wide fused-execution toggle (default ON). Off routes every model
+/// through the historical per-layer path — the unfused reference the
+/// equivalence tests and bench/micro_training compare against. Returns the
+/// previous value.
+bool set_layer_fusion(bool enabled);
+
+/// Current fused-execution toggle.
+bool layer_fusion_enabled();
+
+/// RAII fusion override for tests and benches.
+class scoped_layer_fusion {
+public:
+    explicit scoped_layer_fusion(bool enabled) : previous_(set_layer_fusion(enabled)) {}
+    scoped_layer_fusion(const scoped_layer_fusion&) = delete;
+    scoped_layer_fusion& operator=(const scoped_layer_fusion&) = delete;
+    ~scoped_layer_fusion() { set_layer_fusion(previous_); }
+
+private:
+    bool previous_;
+};
+
+/// One step of a fusion plan: `span` consecutive layers starting at `layer`
+/// executed as a unit.
+struct fusion_step {
+    enum class op : std::uint8_t {
+        passthrough,       ///< one layer through its own forward/backward
+        linear_bias_relu,  ///< linear + relu via the GEMM epilogue
+        conv_bias_relu,    ///< conv2d + relu via the conv scatter tail
+    };
+    op kind = op::passthrough;
+    std::size_t layer = 0;
+    std::size_t span = 1;
+};
+
+/// The execution plan a `sequential` container runs. Owned by the
+/// container, rebuilt lazily whenever the layer count or the process-wide
+/// fusion toggle changed since the last build.
+class op_schedule {
+public:
+    /// Plans `model` under the current fusion toggle (all-passthrough when
+    /// fusion is disabled).
+    void build(sequential& model);
+
+    /// True while the plan still matches `model` and the fusion toggle.
+    bool valid_for(const sequential& model) const;
+
+    /// Runs the planned forward pass; fused steps cache their keep-masks
+    /// for the matching backward.
+    tensor forward(sequential& model, const tensor& input);
+
+    /// Runs the planned backward pass. Fused steps require the matching
+    /// forward to have run on the same schedule (checked).
+    tensor backward(sequential& model, const tensor& grad_output);
+
+    /// The planned steps, in execution order.
+    const std::vector<fusion_step>& steps() const { return steps_; }
+
+private:
+    struct exec_state {
+        std::vector<std::uint8_t> relu_keep;  ///< keep-mask of the last fused forward
+    };
+
+    std::vector<fusion_step> steps_;
+    std::vector<exec_state> state_;
+    bool fused_ = false;          ///< fusion toggle at build time
+    std::size_t layer_count_ = 0; ///< model size at build time
+};
+
+/// Human-readable fusion plan of `model` under the current toggle — one
+/// entry per step, e.g. {"linear+bias+relu", "dropout", "linear+bias"}.
+/// Fused pairs carry the "+relu" suffix; single linear/conv2d steps under
+/// an enabled toggle still fuse their bias into the kernel tail and are
+/// reported as "+bias".
+std::vector<std::string> describe_fusion_plan(sequential& model);
+
+}  // namespace reduce

@@ -23,6 +23,8 @@
 // budget; the engage thresholds are shape-only.
 #pragma once
 
+#include <cstdint>
+
 #include "tensor/tensor.h"
 
 namespace reduce {
@@ -84,6 +86,26 @@ std::size_t conv_lowering_budget_bytes();
 tensor conv2d_forward(const tensor& input, const tensor& weight, const tensor& bias,
                       const conv2d_spec& spec);
 
+/// Post-ops fused into the conv tail. With a fusion request the bias moves
+/// from the output scatter into the GEMM epilogue (row bias per output
+/// channel, applied as each lowered tile is stored), and the ReLU — with its
+/// optional backward keep-mask — is applied during the scatter copy, the
+/// pass that already touches every output element. Both placements execute
+/// the exact per-element operation sequence of the unfused passes
+/// (bias-add, then z > 0 ? z : 0; keep recorded as !(z <= 0)), so fused
+/// results are bit-identical to conv2d_forward + relu at any
+/// --gemm-threads, NaN/Inf included.
+struct conv_fusion {
+    bool relu = false;                  ///< apply ReLU in the scatter tail
+    std::uint8_t* relu_keep = nullptr;  ///< optional keep-mask in output (NCHW) layout,
+                                        ///< output-numel entries; requires relu
+};
+
+/// Fused-tail variant of conv2d_forward (see conv_fusion). Passing nullptr
+/// is the plain forward.
+tensor conv2d_forward(const tensor& input, const tensor& weight, const tensor& bias,
+                      const conv2d_spec& spec, const conv_fusion* fusion);
+
 // ---- grouped conv forward (multi-mask evaluation) ---------------------------
 //
 // The batched fleet evaluator runs K fault-masked weight variants through
@@ -113,16 +135,20 @@ void im2col_batch_rows(const float* input, std::size_t batch, std::size_t in_h,
 
 /// "Apply K weight variants × one input batch": lowers `input` [N,C,H,W]
 /// once and multiplies every weights[g] ([out_c,in_c,kh,kw]) against the
-/// shared packed patch panels.
+/// shared packed patch panels. `fuse_relu` applies the activation during
+/// the scatter tail (inference-only fusion: no keep-mask) — bit-identical
+/// to the separate relu pass.
 tensor conv2d_forward_fanout(const tensor& input, const std::vector<const tensor*>& weights,
-                             const tensor& bias, const conv2d_spec& spec);
+                             const tensor& bias, const conv2d_spec& spec,
+                             bool fuse_relu = false);
 
 /// Grouped conv forward over an already variant-stacked batch
 /// [G*N, C, H, W]: image block g is convolved with weights[g]; lowering,
-/// output scatter, and bias run once over the stacked batch.
+/// output scatter, and bias run once over the stacked batch. Same optional
+/// ReLU fusion as conv2d_forward_fanout.
 tensor conv2d_forward_grouped(const tensor& input, std::size_t groups,
                               const std::vector<const tensor*>& weights, const tensor& bias,
-                              const conv2d_spec& spec);
+                              const conv2d_spec& spec, bool fuse_relu = false);
 
 /// Gradients of conv2d.
 struct conv2d_grads {

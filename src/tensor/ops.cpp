@@ -24,6 +24,24 @@ void check_rank2(const tensor& a, const char* op) {
     }
 }
 
+// Minimum element count before an elementwise pass fans out over the
+// intra-op pool — these are memory-bound streams, so the bar matches the
+// column-sums one. Every loop below has one independent operation chain per
+// element (never a cross-element reduction), so ANY contiguous partition
+// produces the serial bits; the threshold is shape-only and moves
+// wall-clock time, never results.
+constexpr double k_elementwise_min_elems = 256.0 * 1024.0;
+
+/// Runs `body(i0, i1)` over [0, n), fanned out when n crosses the
+/// elementwise bar — the shared gate of every per-element loop here.
+void for_each_range(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+    if (should_fan_out(static_cast<double>(n), k_elementwise_min_elems) && n > 1) {
+        parallel_for(n, body);
+    } else {
+        body(0, n);
+    }
+}
+
 }  // namespace
 
 tensor add(const tensor& a, const tensor& b) {
@@ -38,7 +56,9 @@ tensor sub(const tensor& a, const tensor& b) {
     tensor c = a;
     float* out = c.raw();
     const float* rhs = b.raw();
-    for (std::size_t i = 0; i < c.numel(); ++i) { out[i] -= rhs[i]; }
+    for_each_range(c.numel(), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) { out[i] -= rhs[i]; }
+    });
     return c;
 }
 
@@ -59,26 +79,34 @@ void add_inplace(tensor& a, const tensor& b) {
     check_same_shape(a, b, "add_inplace");
     float* out = a.raw();
     const float* rhs = b.raw();
-    for (std::size_t i = 0; i < a.numel(); ++i) { out[i] += rhs[i]; }
+    for_each_range(a.numel(), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) { out[i] += rhs[i]; }
+    });
 }
 
 void axpy_inplace(tensor& a, float s, const tensor& b) {
     check_same_shape(a, b, "axpy_inplace");
     float* out = a.raw();
     const float* rhs = b.raw();
-    for (std::size_t i = 0; i < a.numel(); ++i) { out[i] += s * rhs[i]; }
+    for_each_range(a.numel(), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) { out[i] += s * rhs[i]; }
+    });
 }
 
 void mul_inplace(tensor& a, const tensor& b) {
     check_same_shape(a, b, "mul_inplace");
     float* out = a.raw();
     const float* rhs = b.raw();
-    for (std::size_t i = 0; i < a.numel(); ++i) { out[i] *= rhs[i]; }
+    for_each_range(a.numel(), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) { out[i] *= rhs[i]; }
+    });
 }
 
 void scale_inplace(tensor& a, float s) {
     float* out = a.raw();
-    for (std::size_t i = 0; i < a.numel(); ++i) { out[i] *= s; }
+    for_each_range(a.numel(), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) { out[i] *= s; }
+    });
 }
 
 tensor matmul(const tensor& a, const tensor& b) {
@@ -110,6 +138,32 @@ tensor matmul_nt(const tensor& a, const tensor& b) {
     return c;
 }
 
+tensor matmul_nt_bias(const tensor& a, const tensor& b, const tensor& bias, bool fuse_relu,
+                      std::uint8_t* relu_keep) {
+    check_rank2(a, "matmul_nt_bias");
+    check_rank2(b, "matmul_nt_bias");
+    const std::size_t m = a.extent(0);
+    const std::size_t k = a.extent(1);
+    REDUCE_CHECK(b.extent(1) == k,
+                 "matmul_nt_bias inner dimensions differ: " << a.describe() << " vs "
+                                                            << b.describe());
+    const std::size_t n = b.extent(0);
+    REDUCE_CHECK(bias.dim() == 1 && bias.extent(0) == n,
+                 "matmul_nt_bias bias " << bias.describe() << " does not match " << n
+                                        << " outputs");
+    REDUCE_CHECK(relu_keep == nullptr || fuse_relu,
+                 "matmul_nt_bias keep-mask requires fuse_relu");
+    tensor c({m, n});
+    gemm_epilogue epi;
+    epi.col_bias = bias.raw();
+    epi.relu = fuse_relu;
+    epi.relu_keep = relu_keep;
+    epi.keep_ld = n;
+    gemm_nt(m, n, k, a.raw(), k, b.raw(), k, c.raw(), n, /*accumulate=*/false,
+            workspace::local(), &epi);
+    return c;
+}
+
 tensor matmul_tn(const tensor& a, const tensor& b) {
     check_rank2(a, "matmul_tn");
     check_rank2(b, "matmul_tn");
@@ -125,12 +179,34 @@ tensor matmul_tn(const tensor& a, const tensor& b) {
     return c;
 }
 
-tensor matmul_nt_fanout(const tensor& x, const std::vector<const tensor*>& weights) {
+namespace {
+
+/// Builds the shared epilogue of the grouped linear drivers (bias and/or
+/// ReLU folded into each variant's GEMM); returns nullptr when unfused.
+const gemm_epilogue* group_linear_epilogue(gemm_epilogue& epi, const tensor* bias,
+                                           bool fuse_relu, std::size_t out, const char* op) {
+    if (bias != nullptr && !bias->empty()) {
+        REDUCE_CHECK(bias->dim() == 1 && bias->extent(0) == out,
+                     op << " bias " << bias->describe() << " does not match " << out
+                        << " outputs");
+        epi.col_bias = bias->raw();
+    }
+    epi.relu = fuse_relu;
+    return (epi.col_bias != nullptr || epi.relu) ? &epi : nullptr;
+}
+
+}  // namespace
+
+tensor matmul_nt_fanout(const tensor& x, const std::vector<const tensor*>& weights,
+                        const tensor* bias, bool fuse_relu) {
     check_rank2(x, "matmul_nt_fanout");
     REDUCE_CHECK(!weights.empty(), "matmul_nt_fanout needs at least one weight variant");
     const std::size_t rows = x.extent(0);
     const std::size_t in = x.extent(1);
     const std::size_t out = weights.front()->extent(0);
+    gemm_epilogue epi;
+    const gemm_epilogue* epi_ptr =
+        group_linear_epilogue(epi, bias, fuse_relu, out, "matmul_nt_fanout");
     // Per-variant gemm_nt calls straight into the stacked output. A dense
     // layer's operands are cheap to pack (unlike a lowered convolution's
     // patch panels), so re-packing the shared x per variant is faster in
@@ -146,13 +222,14 @@ tensor matmul_nt_fanout(const tensor& x, const std::vector<const tensor*>& weigh
                      "matmul_nt_fanout weight " << g << " is " << w.describe()
                                                 << ", expected [" << out << "," << in << "]");
         gemm_nt(rows, out, in, x.raw(), in, w.raw(), in, stacked.raw() + g * rows * out, out,
-                /*accumulate=*/false, ws);
+                /*accumulate=*/false, ws, epi_ptr);
     }
     return stacked;
 }
 
 tensor matmul_nt_grouped(const tensor& x, std::size_t groups,
-                         const std::vector<const tensor*>& weights) {
+                         const std::vector<const tensor*>& weights, const tensor* bias,
+                         bool fuse_relu) {
     check_rank2(x, "matmul_nt_grouped");
     REDUCE_CHECK(groups > 0 && weights.size() == groups,
                  "matmul_nt_grouped got " << weights.size() << " weights for " << groups
@@ -164,6 +241,9 @@ tensor matmul_nt_grouped(const tensor& x, std::size_t groups,
                                                                         << groups << " groups");
     const std::size_t rows = total / groups;
     const std::size_t out = weights.front()->extent(0);
+    gemm_epilogue epi;
+    const gemm_epilogue* epi_ptr =
+        group_linear_epilogue(epi, bias, fuse_relu, out, "matmul_nt_grouped");
     tensor stacked({total, out});
     workspace& ws = workspace::local();
     for (std::size_t g = 0; g < groups; ++g) {
@@ -172,7 +252,7 @@ tensor matmul_nt_grouped(const tensor& x, std::size_t groups,
                      "matmul_nt_grouped weight " << g << " is " << w.describe()
                                                  << ", expected [" << out << "," << in << "]");
         gemm_nt(rows, out, in, x.raw() + g * rows * in, in, w.raw(), in,
-                stacked.raw() + g * rows * out, out, /*accumulate=*/false, ws);
+                stacked.raw() + g * rows * out, out, /*accumulate=*/false, ws, epi_ptr);
     }
     return stacked;
 }
@@ -201,9 +281,22 @@ void add_row_bias_inplace(tensor& a, const tensor& bias) {
     const std::size_t n = a.extent(1);
     float* pa = a.raw();
     const float* pb = bias.raw();
-    for (std::size_t i = 0; i < m; ++i) {
-        float* row = pa + i * n;
-        for (std::size_t j = 0; j < n; ++j) { row[j] += pb[j]; }
+    // Partitioned by ROW so a chunk owns whole rows (contiguous writes,
+    // bias vector re-read per thread); each element is touched exactly once
+    // either way.
+    const auto add_rows = [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            float* row = pa + i * n;
+            for (std::size_t j = 0; j < n; ++j) { row[j] += pb[j]; }
+        }
+    };
+    constexpr double k_row_bias_min_elems = 256.0 * 1024.0;
+    if (should_fan_out(static_cast<double>(m) * static_cast<double>(n),
+                       k_row_bias_min_elems) &&
+        m > 1) {
+        parallel_for(m, add_rows);
+    } else {
+        add_rows(0, m);
     }
 }
 
@@ -312,7 +405,9 @@ std::vector<std::size_t> argmax_rows(const tensor& a) {
 tensor relu(const tensor& a) {
     tensor out = a;
     float* po = out.raw();
-    for (std::size_t i = 0; i < out.numel(); ++i) { po[i] = po[i] > 0.0f ? po[i] : 0.0f; }
+    for_each_range(out.numel(), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) { po[i] = po[i] > 0.0f ? po[i] : 0.0f; }
+    });
     return out;
 }
 
@@ -321,9 +416,23 @@ tensor relu_backward(const tensor& grad_out, const tensor& input) {
     tensor grad_in = grad_out;
     float* pg = grad_in.raw();
     const float* px = input.raw();
-    for (std::size_t i = 0; i < grad_in.numel(); ++i) {
-        if (px[i] <= 0.0f) { pg[i] = 0.0f; }
-    }
+    for_each_range(grad_in.numel(), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            if (px[i] <= 0.0f) { pg[i] = 0.0f; }
+        }
+    });
+    return grad_in;
+}
+
+tensor relu_keep_backward(const tensor& grad_out, const std::uint8_t* keep) {
+    REDUCE_CHECK(keep != nullptr, "relu_keep_backward requires a keep-mask");
+    tensor grad_in = grad_out;
+    float* pg = grad_in.raw();
+    for_each_range(grad_in.numel(), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            if (keep[i] == 0) { pg[i] = 0.0f; }
+        }
+    });
     return grad_in;
 }
 

@@ -6,15 +6,19 @@
 #include <cstdio>
 #include <fstream>
 
+#include <cstring>
+
 #include "nn/loss.h"
 #include "nn/metrics.h"
 #include "nn/models.h"
 #include "nn/norm.h"
+#include "nn/schedule.h"
 #include "nn/serialize.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 #include "util/error.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace reduce {
 namespace {
@@ -23,6 +27,11 @@ tensor random_tensor(shape_t shape, rng& gen) {
     tensor t(std::move(shape));
     uniform_init(t, -1.0f, 1.0f, gen);
     return t;
+}
+
+bool bitwise_equal(const tensor& a, const tensor& b) {
+    return a.shape() == b.shape() &&
+           std::memcmp(a.raw(), b.raw(), a.numel() * sizeof(float)) == 0;
 }
 
 TEST(Linear, ForwardComputesAffineMap) {
@@ -47,6 +56,51 @@ TEST(Linear, BackwardBeforeForwardThrows) {
     rng gen(3);
     linear fc(2, 2, gen);
     EXPECT_THROW(fc.backward(tensor({1, 2})), error);
+}
+
+TEST(Linear, FusedForwardBitwiseMatchesUnfusedAcrossThreadBudgets) {
+    rng gen(41);
+    linear fc(96, 64, gen);
+    const tensor x = random_tensor({32, 96}, gen);
+    set_intra_op_threads(1);
+    tensor unfused;
+    {
+        const scoped_layer_fusion off(false);
+        unfused = fc.forward(x);
+    }
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        const scoped_intra_op_threads budget(threads);
+        const scoped_layer_fusion on(true);
+        EXPECT_TRUE(bitwise_equal(unfused, fc.forward(x))) << "@" << threads;
+        std::vector<std::uint8_t> keep;
+        EXPECT_TRUE(bitwise_equal(relu(unfused), fc.forward_fused_relu(x, keep)))
+            << "fused relu @" << threads;
+        ASSERT_EQ(keep.size(), unfused.numel());
+        for (std::size_t i = 0; i < keep.size(); ++i) {
+            ASSERT_EQ(unfused.raw()[i] > 0.0f ? 1 : 0, keep[i]) << "keep " << i;
+        }
+    }
+}
+
+TEST(Conv2dLayer, FusedForwardBitwiseMatchesUnfusedAcrossThreadBudgets) {
+    rng gen(43);
+    conv2d_layer conv(conv2d_spec{4, 8, 3, 3, 1, 1}, gen);
+    const tensor x = random_tensor({6, 4, 10, 10}, gen);
+    set_intra_op_threads(1);
+    tensor unfused;
+    {
+        const scoped_layer_fusion off(false);
+        unfused = conv.forward(x);
+    }
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        const scoped_intra_op_threads budget(threads);
+        const scoped_layer_fusion on(true);
+        EXPECT_TRUE(bitwise_equal(unfused, conv.forward(x))) << "@" << threads;
+        std::vector<std::uint8_t> keep;
+        EXPECT_TRUE(bitwise_equal(relu(unfused), conv.forward_fused_relu(x, keep)))
+            << "fused relu @" << threads;
+        ASSERT_EQ(keep.size(), unfused.numel());
+    }
 }
 
 TEST(Linear, GradientsAccumulateAcrossBatches) {

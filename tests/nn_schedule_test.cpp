@@ -1,0 +1,315 @@
+// Tests for the per-layer op scheduler (nn/schedule.h): fusion plans for
+// the stock model builders, bitwise train-step equivalence between fused
+// and unfused execution at several --gemm-threads budgets (NaN included),
+// plan invalidation on structural/toggle changes, and the grouped
+// multi-mask walker's look-ahead fusion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "nn/norm.h"
+#include "nn/optim.h"
+#include "nn/schedule.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace reduce {
+namespace {
+
+tensor random_tensor(shape_t shape, rng& gen) {
+    tensor t(std::move(shape));
+    uniform_init(t, -1.0f, 1.0f, gen);
+    return t;
+}
+
+bool bitwise_equal(const tensor& a, const tensor& b) {
+    return a.shape() == b.shape() &&
+           std::memcmp(a.raw(), b.raw(), a.numel() * sizeof(float)) == 0;
+}
+
+// ---- fusion plans -----------------------------------------------------------
+
+TEST(OpSchedule, MlpPlanFusesLinearReluPairs) {
+    const scoped_layer_fusion on(true);
+    rng gen(1);
+    auto plain = make_mlp({8, 16, 4}, gen);
+    EXPECT_EQ((std::vector<std::string>{"linear+bias+relu", "linear+bias"}),
+              describe_fusion_plan(*plain));
+    auto dropped = make_mlp({8, 16, 16, 4}, gen, 0.25);
+    EXPECT_EQ((std::vector<std::string>{"linear+bias+relu", "dropout", "linear+bias+relu",
+                                        "dropout", "linear+bias"}),
+              describe_fusion_plan(*dropped));
+}
+
+TEST(OpSchedule, TinyCnnPlanFusesConvReluPairs) {
+    const scoped_layer_fusion on(true);
+    rng gen(2);
+    auto model = make_tiny_cnn({1, 8, 8}, 3, gen, 4);
+    EXPECT_EQ((std::vector<std::string>{"conv2d+bias+relu", "max_pool2d",
+                                        "conv2d+bias+relu", "max_pool2d", "flatten",
+                                        "linear+bias"}),
+              describe_fusion_plan(*model));
+}
+
+TEST(OpSchedule, BatchNormBlocksConvReluFusion) {
+    // conv → bn → relu: the bn in between means no pair fuses; the conv
+    // still fuses its bias into the GEMM tail.
+    const scoped_layer_fusion on(true);
+    vgg11_config cfg;
+    cfg.input = {1, 8, 8};
+    cfg.num_classes = 2;
+    cfg.width_multiplier = 0.0625;
+    cfg.batch_norm = true;
+    rng gen(3);
+    auto model = make_vgg11(cfg, gen);
+    const std::vector<std::string> plan = describe_fusion_plan(*model);
+    ASSERT_GE(plan.size(), 3u);
+    EXPECT_EQ("conv2d+bias", plan[0]);
+    EXPECT_EQ("batch_norm2d", plan[1]);
+    EXPECT_EQ("relu", plan[2]);
+}
+
+TEST(OpSchedule, DisabledToggleYieldsAllPassthrough) {
+    const scoped_layer_fusion off(false);
+    rng gen(4);
+    auto model = make_mlp({8, 16, 4}, gen);
+    EXPECT_EQ((std::vector<std::string>{"linear", "relu", "linear"}),
+              describe_fusion_plan(*model));
+}
+
+TEST(OpSchedule, StepSpansCoverEveryLayerExactlyOnce) {
+    const scoped_layer_fusion on(true);
+    rng gen(5);
+    auto model = make_tiny_cnn({1, 8, 8}, 3, gen, 4);
+    op_schedule plan;
+    plan.build(*model);
+    std::size_t covered = 0;
+    for (const fusion_step& step : plan.steps()) {
+        EXPECT_EQ(covered, step.layer);
+        covered += step.span;
+    }
+    EXPECT_EQ(model->size(), covered);
+}
+
+// ---- bitwise train equivalence ----------------------------------------------
+
+// Runs `steps` SGD steps on a freshly seeded model and returns the final
+// parameter values plus the per-step losses. Identical construction seeds
+// mean identical dropout streams, so fused and unfused runs are comparable
+// bit for bit.
+struct train_outcome {
+    std::vector<tensor> params;
+    std::vector<double> losses;
+    tensor last_grad_in;  ///< gradient returned to the input on the last step
+};
+
+template <typename MakeModel>
+train_outcome run_training(const MakeModel& make_model, const tensor& x,
+                           const std::vector<std::size_t>& labels, std::size_t steps) {
+    auto model = make_model();
+    model->set_training(true);
+    sgd opt(model->parameters(), {.learning_rate = 0.05, .momentum = 0.9});
+    train_outcome out;
+    for (std::size_t s = 0; s < steps; ++s) {
+        const loss_result loss = cross_entropy_loss(model->forward(x), labels);
+        opt.zero_grad();
+        out.last_grad_in = model->backward(loss.grad);
+        opt.step();
+        out.losses.push_back(loss.value);
+    }
+    for (parameter* p : model->parameters()) { out.params.push_back(p->value); }
+    return out;
+}
+
+template <typename MakeModel>
+void expect_fused_matches_unfused(const MakeModel& make_model, const tensor& x,
+                                  const std::vector<std::size_t>& labels,
+                                  std::size_t steps) {
+    set_intra_op_threads(1);
+    train_outcome reference;
+    {
+        const scoped_layer_fusion off(false);
+        reference = run_training(make_model, x, labels, steps);
+    }
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        const scoped_intra_op_threads budget(threads);
+        const scoped_layer_fusion on(true);
+        const train_outcome fused = run_training(make_model, x, labels, steps);
+        ASSERT_EQ(reference.losses, fused.losses) << "@" << threads;
+        EXPECT_TRUE(bitwise_equal(reference.last_grad_in, fused.last_grad_in))
+            << "input grad @" << threads;
+        ASSERT_EQ(reference.params.size(), fused.params.size());
+        for (std::size_t i = 0; i < reference.params.size(); ++i) {
+            EXPECT_TRUE(bitwise_equal(reference.params[i], fused.params[i]))
+                << "param " << i << " @" << threads;
+        }
+    }
+}
+
+TEST(OpSchedule, MlpTrainingBitwiseMatchesUnfused) {
+    rng data_gen(11);
+    const tensor x = random_tensor({16, 12}, data_gen);
+    std::vector<std::size_t> labels(16);
+    for (std::size_t i = 0; i < labels.size(); ++i) { labels[i] = i % 4; }
+    expect_fused_matches_unfused(
+        [] {
+            rng gen(21);
+            return make_mlp({12, 32, 4}, gen, 0.2);
+        },
+        x, labels, 4);
+}
+
+TEST(OpSchedule, CnnTrainingBitwiseMatchesUnfused) {
+    rng data_gen(13);
+    const tensor x = random_tensor({8, 1, 8, 8}, data_gen);
+    std::vector<std::size_t> labels(8);
+    for (std::size_t i = 0; i < labels.size(); ++i) { labels[i] = i % 3; }
+    expect_fused_matches_unfused(
+        [] {
+            rng gen(23);
+            return make_tiny_cnn({1, 8, 8}, 3, gen, 4);
+        },
+        x, labels, 3);
+}
+
+TEST(OpSchedule, BatchNormDropoutModelBitwiseMatchesUnfused) {
+    rng data_gen(17);
+    const tensor x = random_tensor({16, 10}, data_gen);
+    std::vector<std::size_t> labels(16);
+    for (std::size_t i = 0; i < labels.size(); ++i) { labels[i] = i % 2; }
+    expect_fused_matches_unfused(
+        [] {
+            rng gen(29);
+            auto model = std::make_unique<sequential>();
+            model->emplace<linear>(10, 24, gen);
+            model->emplace<batch_norm1d>(24);
+            model->emplace<relu_layer>();
+            model->emplace<dropout>(0.3, gen.next_u64());
+            model->emplace<linear>(24, 2, gen);
+            return model;
+        },
+        x, labels, 3);
+}
+
+TEST(OpSchedule, NanInputPropagatesIdenticallyThroughFusedPaths) {
+    rng gen(31);
+    auto build = [] {
+        rng g(37);
+        return make_mlp({8, 16, 3}, g);
+    };
+    tensor x = random_tensor({4, 8}, gen);
+    x.raw()[9] = std::numeric_limits<float>::quiet_NaN();
+    const tensor grad = random_tensor({4, 3}, gen);
+
+    set_intra_op_threads(1);
+    tensor out_ref;
+    tensor grad_ref;
+    std::vector<tensor> param_grads_ref;
+    {
+        const scoped_layer_fusion off(false);
+        auto model = build();
+        out_ref = model->forward(x);
+        grad_ref = model->backward(grad);
+        for (parameter* p : model->parameters()) { param_grads_ref.push_back(p->grad); }
+    }
+    // relu clamps NaN activations to 0, so the forward output stays finite —
+    // but the ReLU keep-mask treats NaN pre-activations as kept, so dW of
+    // the first layer (dYᵀ · X with the poisoned X) must carry the NaN.
+    bool saw_nan = false;
+    for (const tensor& g : param_grads_ref) {
+        for (std::size_t i = 0; i < g.numel(); ++i) {
+            if (std::isnan(g.raw()[i])) { saw_nan = true; }
+        }
+    }
+    EXPECT_TRUE(saw_nan) << "poison never reached the parameter gradients";
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        const scoped_intra_op_threads budget(threads);
+        const scoped_layer_fusion on(true);
+        auto model = build();
+        EXPECT_TRUE(bitwise_equal(out_ref, model->forward(x))) << "@" << threads;
+        EXPECT_TRUE(bitwise_equal(grad_ref, model->backward(grad))) << "@" << threads;
+        const std::vector<parameter*> params = model->parameters();
+        ASSERT_EQ(param_grads_ref.size(), params.size());
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            EXPECT_TRUE(bitwise_equal(param_grads_ref[i], params[i]->grad))
+                << "grad " << i << " @" << threads;
+        }
+    }
+}
+
+// ---- plan lifecycle ---------------------------------------------------------
+
+TEST(OpSchedule, ToggleFlipRebuildsPlanBetweenForwards) {
+    rng gen(41);
+    auto model = make_mlp({6, 12, 2}, gen);
+    const tensor x = random_tensor({4, 6}, gen);
+    set_intra_op_threads(1);
+    const scoped_layer_fusion on(true);
+    const tensor fused_out = model->forward(x);
+    tensor unfused_out;
+    {
+        const scoped_layer_fusion off(false);
+        unfused_out = model->forward(x);  // rebuilds as all-passthrough
+    }
+    EXPECT_TRUE(bitwise_equal(fused_out, unfused_out));
+    // A backward under a different toggle than its forward must be refused
+    // (the keep-masks it would consume belong to the other plan).
+    (void)model->forward(x);
+    {
+        const scoped_layer_fusion off(false);
+        EXPECT_THROW((void)model->backward(random_tensor({4, 2}, gen)), error);
+    }
+}
+
+TEST(OpSchedule, BackwardBeforeForwardThrows) {
+    rng gen(43);
+    auto model = make_mlp({4, 8, 2}, gen);
+    EXPECT_THROW((void)model->backward(tensor({2, 2})), error);
+}
+
+// ---- grouped multi-mask walker ----------------------------------------------
+
+TEST(OpSchedule, MaskedGroupWalkerBitwiseMatchesUnfused) {
+    rng gen(47);
+    auto model = make_tiny_cnn({1, 8, 8}, 3, gen, 4);
+    model->set_training(false);
+    const tensor x = random_tensor({5, 1, 8, 8}, gen);
+
+    // Three masked variants per mapped layer: weight ⊙ random 0/1 mask.
+    const std::vector<mapped_layer> mapped = collect_mapped_layers(*model);
+    std::vector<std::vector<tensor>> masked_weights(mapped.size());
+    for (std::size_t l = 0; l < mapped.size(); ++l) {
+        for (int g = 0; g < 3; ++g) {
+            tensor w = mapped[l].weight->value;
+            for (std::size_t i = 0; i < w.numel(); ++i) {
+                if (gen.uniform() < 0.2) { w.raw()[i] = 0.0f; }
+            }
+            masked_weights[l].push_back(std::move(w));
+        }
+    }
+
+    set_intra_op_threads(1);
+    tensor reference;
+    {
+        const scoped_layer_fusion off(false);
+        reference = forward_masked_group(*model, x, 3, masked_weights);
+    }
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        const scoped_intra_op_threads budget(threads);
+        const scoped_layer_fusion on(true);
+        EXPECT_TRUE(
+            bitwise_equal(reference, forward_masked_group(*model, x, 3, masked_weights)))
+            << "@" << threads;
+    }
+}
+
+}  // namespace
+}  // namespace reduce

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Documentation consistency checker (stdlib only; CI `docs` job).
+
+Two classes of drift this catches:
+
+  1. Broken internal links: every relative markdown link (and #anchor)
+     in README.md, CONTRIBUTING.md, and docs/*.md must resolve to a
+     real file (and a real heading, when an anchor is given).
+  2. Phantom binaries: every `./build/<name>` mentioned in those pages
+     must be a CMake target. Targets are derived the same way
+     CMakeLists.txt derives them — bench/<f>.cpp -> bench_<f>,
+     examples/<f>.cpp -> example_<f>, tests/<f>.cpp -> <f> — so the
+     check needs no configured build tree.
+
+Exit status is non-zero when anything fails; findings go to stderr.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BINARY_RE = re.compile(r"(?:\./)?\bbuild/([A-Za-z0-9_]+)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def doc_pages():
+    pages = [REPO / "README.md", REPO / "CONTRIBUTING.md"]
+    pages += sorted((REPO / "docs").glob("*.md"))
+    return [p for p in pages if p.is_file()]
+
+
+def cmake_targets():
+    """The add_executable names CMakeLists.txt's globs would produce."""
+    targets = set()
+    for src in (REPO / "bench").glob("*.cpp"):
+        targets.add("bench_" + src.stem)
+    for src in (REPO / "examples").glob("*.cpp"):
+        targets.add("example_" + src.stem)
+    for src in (REPO / "tests").glob("*.cpp"):
+        targets.add(src.stem)
+    return targets
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text)
+
+
+def heading_slugs(path, cache={}):
+    if path not in cache:
+        slugs = set()
+        counts = {}
+        for match in HEADING_RE.finditer(path.read_text(encoding="utf-8")):
+            slug = github_slug(match.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_links(page, text, errors):
+    for target in LINK_RE.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        path_part, _, anchor = target.partition("#")
+        dest = page if not path_part else (page.parent / path_part).resolve()
+        if not dest.exists():
+            errors.append(f"{page.relative_to(REPO)}: broken link -> {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if anchor not in heading_slugs(dest):
+                errors.append(
+                    f"{page.relative_to(REPO)}: missing anchor -> {target}"
+                )
+
+
+def check_binaries(page, text, targets, errors):
+    for name in BINARY_RE.findall(text):
+        if name not in targets:
+            errors.append(
+                f"{page.relative_to(REPO)}: build/{name} is not a CMake target"
+            )
+
+
+def main():
+    targets = cmake_targets()
+    if not targets:
+        print("check_docs: found no CMake sources — wrong directory?",
+              file=sys.stderr)
+        return 1
+    errors = []
+    pages = doc_pages()
+    for page in pages:
+        text = page.read_text(encoding="utf-8")
+        check_links(page, text, errors)
+        check_binaries(page, text, targets, errors)
+    for err in errors:
+        print(f"check_docs: {err}", file=sys.stderr)
+    print(f"check_docs: {len(pages)} pages, {len(targets)} targets, "
+          f"{len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
