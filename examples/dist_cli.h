@@ -72,20 +72,32 @@ inline json_value policy_outcome_to_json(const policy_outcome& outcome) {
     return json_value(std::move(doc));
 }
 
-/// Resolves the coordinator port: --port when given, else poll --port-file
-/// until the coordinator writes its (possibly ephemeral) bound port there.
-inline int resolve_port(const cli_args& args) {
+/// One non-blocking look at --port/--port-file: the coordinator port as of
+/// right now, or 0 when it is not knowable yet. The re-resolution primitive
+/// behind worker reconnects — a restarted coordinator binds a fresh
+/// ephemeral port and rewrites its --port-file, and the next read sees it.
+inline int try_read_port(const cli_args& args) {
     const int port = static_cast<int>(args.get_int("port", 0));
     if (port != 0) { return port; }
     const std::string path = args.get("port-file", "");
-    REDUCE_CHECK(!path.empty(), "need --port or --port-file to find the coordinator");
+    if (path.empty()) { return 0; }
+    std::ifstream file(path);
+    int value = 0;
+    if (file >> value && value > 0) { return value; }
+    return 0;
+}
+
+/// Resolves the coordinator port: --port when given, else poll --port-file
+/// until the coordinator writes its (possibly ephemeral) bound port there.
+inline int resolve_port(const cli_args& args) {
+    REDUCE_CHECK(args.get_int("port", 0) != 0 || !args.get("port-file", "").empty(),
+                 "need --port or --port-file to find the coordinator");
     for (int attempt = 0; attempt < 100; ++attempt) {
-        std::ifstream file(path);
-        int value = 0;
-        if (file >> value && value > 0) { return value; }
+        const int value = try_read_port(args);
+        if (value > 0) { return value; }
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
-    throw error("no port appeared in " + path);
+    throw error("no port appeared in " + args.get("port-file", ""));
 }
 
 }  // namespace reduce::dist_cli

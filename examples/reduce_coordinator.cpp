@@ -8,10 +8,20 @@
 // with any worker count (and any worker deaths) writes the same bytes as
 // --local with the same flags.
 //
+// Crash safety: with --journal <dir> every completed unit is made durable
+// before it is acknowledged, so a coordinator killed mid-job (even -9) can
+// be restarted with the same flags and the same --journal — it replays the
+// finished units, serves only the remainder, and writes the byte-identical
+// artifact. Workers started with --reconnect-ms ride the restart out.
+// --chaos-seed interposes a deterministic faulty-transport proxy
+// (dist/chaos.h) in front of the job; the proxied port is what --port-file
+// advertises.
+//
 // Usage: reduce_coordinator [--mode sweep|fleet] [--tiny]
 //          [--rates 0,0.1,...] [--repeats 3] [--budget 4] [--seed S]
 //          [--port 0] [--port-file P] [--save out.json] [--cache-dir D]
 //          [--cells-per-lease 4] [--heartbeat-ms 500] [--lease-timeout-ms 10000]
+//          [--drain-timeout-ms 1000] [--journal D] [--chaos-seed S]
 //          [--local [--threads N] [--gemm-threads N]]
 //          fleet mode: [--chips 6] [--constraint 0.9] [--policy reduce]
 //          [--distribution uniform] [--rate-lo 0.02] [--rate-hi 0.28]
@@ -22,8 +32,10 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "core/policy.h"
+#include "dist/chaos.h"
 #include "dist/coordinator.h"
 #include "dist_cli.h"
 #include "util/log.h"
@@ -60,6 +72,38 @@ void save_artifact(const cli_args& args, const json_value& artifact) {
     std::cout << "artifact saved to " << path << '\n';
 }
 
+/// Publishes the endpoint workers should dial — the coordinator's own port,
+/// or (with --chaos-seed) a chaos proxy fronting it — to stdout and
+/// --port-file.
+int publish_endpoint(const cli_args& args, int coord_port,
+                     std::unique_ptr<dist::chaos_proxy>& proxy) {
+    const auto chaos_seed = static_cast<std::uint64_t>(args.get_int("chaos-seed", 0));
+    int port = coord_port;
+    if (chaos_seed != 0) {
+        dist::chaos_config chaos;
+        chaos.seed = chaos_seed;
+        proxy = std::make_unique<dist::chaos_proxy>(chaos, "127.0.0.1",
+                                                    [coord_port] { return coord_port; });
+        proxy->start();
+        port = proxy->port();
+        std::cout << "chaos proxy (seed " << chaos_seed << ") fronting the job\n";
+    }
+    if (args.has("port-file")) {
+        std::ofstream port_file(args.get("port-file", ""));
+        port_file << port << '\n';
+    }
+    std::cout << "serving on port " << port << "; waiting for workers\n";
+    return port;
+}
+
+void print_recovery_stats(const dist::coordinator_stats& stats) {
+    std::cout << "(" << stats.workers_admitted << " workers, " << stats.leases_granted
+              << " leases, " << stats.leases_reassigned << " reassigned, "
+              << stats.journal_units_replayed << " units replayed from journal, "
+              << stats.workers_resumed << " sessions resumed, " << stats.stray_results
+              << " stray results)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +127,8 @@ int main(int argc, char** argv) {
         cc.cells_per_lease = static_cast<std::size_t>(args.get_int("cells-per-lease", 4));
         cc.heartbeat_ms = static_cast<int>(args.get_int("heartbeat-ms", 500));
         cc.lease_timeout_ms = static_cast<int>(args.get_int("lease-timeout-ms", 10000));
+        cc.drain_timeout_ms = static_cast<int>(args.get_int("drain-timeout-ms", 1000));
+        cc.journal_dir = args.get("journal", "");
 
         if (mode == "sweep") {
             if (args.get_flag("local")) {
@@ -104,17 +150,13 @@ int main(int argc, char** argv) {
             job.cache_dir = args.get("cache-dir", "");
             dist::coordinator coord(cc, std::move(job));
             coord.start();
-            if (args.has("port-file")) {
-                std::ofstream port_file(args.get("port-file", ""));
-                port_file << coord.port() << '\n';
-            }
-            std::cout << "serving on port " << coord.port() << "; waiting for workers\n";
+            std::unique_ptr<dist::chaos_proxy> proxy;
+            publish_endpoint(args, coord.port(), proxy);
             const resilience_table table = coord.wait_table();
             const dist::coordinator_stats stats = coord.stats();
             std::cout << "distributed sweep: " << table.runs().size() << " cells in "
-                      << timer.seconds() << " s (" << stats.workers_admitted << " workers, "
-                      << stats.leases_granted << " leases, " << stats.leases_reassigned
-                      << " reassigned)\n";
+                      << timer.seconds() << " s ";
+            print_recovery_stats(stats);
             save_artifact(args, table.to_json());
             return 0;
         }
@@ -152,17 +194,13 @@ int main(int argc, char** argv) {
         cc.fingerprint = resilience_fingerprint(sweep_cfg);
         dist::coordinator coord(cc, std::move(job));
         coord.start();
-        if (args.has("port-file")) {
-            std::ofstream port_file(args.get("port-file", ""));
-            port_file << coord.port() << '\n';
-        }
-        std::cout << "serving on port " << coord.port() << "; waiting for workers\n";
+        std::unique_ptr<dist::chaos_proxy> proxy;
+        publish_endpoint(args, coord.port(), proxy);
         const policy_outcome outcome = coord.wait_fleet();
         const dist::coordinator_stats stats = coord.stats();
         std::cout << "distributed fleet run: " << outcome.chips.size() << " chips in "
-                  << timer.seconds() << " s (" << stats.workers_admitted << " workers, "
-                  << stats.leases_granted << " leases, " << stats.leases_reassigned
-                  << " reassigned)\n";
+                  << timer.seconds() << " s ";
+        print_recovery_stats(stats);
         save_artifact(args, dist_cli::policy_outcome_to_json(outcome));
         return 0;
     } catch (const std::exception& e) {

@@ -6,13 +6,24 @@
 // the coordinator shuts the job down. Run any number of these, on this
 // machine or others, against one reduce_coordinator.
 //
+// A worker survives its coordinator: on a mid-job transport loss it backs
+// off, re-reads --port-file (a restarted coordinator writes a fresh port
+// there), re-handshakes, and continues — until --reconnect-ms burns with no
+// session. --chaos-seed interposes a deterministic faulty-transport proxy
+// (dist/chaos.h) between this worker and the coordinator, for crash/
+// recovery drills like CI's chaos-smoke job.
+//
 // Usage: reduce_worker [--host 127.0.0.1] (--port N | --port-file P)
 //          [--name worker-0] [--gemm-threads 1] [--tiny]
 //          [--rates 0,0.1,...] [--repeats 3] [--budget 4] [--seed S]
+//          [--reconnect-ms 10000]  per-outage budget to rejoin; 0 disables
+//          [--chaos-seed S]  batter this worker's wire deterministically
 //          [--die-after N]   failure injection: vanish mid-lease at unit N
 
 #include <iostream>
+#include <memory>
 
+#include "dist/chaos.h"
 #include "dist/worker.h"
 #include "dist_cli.h"
 #include "util/log.h"
@@ -34,11 +45,33 @@ int main(int argc, char** argv) {
         wc.port = dist_cli::resolve_port(args);
         wc.name = args.get("name", "worker");
         wc.gemm_threads = static_cast<std::size_t>(args.get_int("gemm-threads", 1));
+        wc.reconnect_deadline_ms = static_cast<int>(args.get_int("reconnect-ms", 10000));
         wc.die_after_units = static_cast<std::size_t>(args.get_int("die-after", 0));
 
         std::cout << "== Reduce distributed worker '" << wc.name << "' ==\n"
                   << "coordinator " << wc.host << ":" << wc.port << ", fingerprint "
                   << resilience_fingerprint(sweep_cfg) << '\n';
+
+        std::unique_ptr<dist::chaos_proxy> proxy;
+        const auto chaos_seed = static_cast<std::uint64_t>(args.get_int("chaos-seed", 0));
+        if (chaos_seed != 0) {
+            // The proxy is this worker's stable endpoint; it re-resolves the
+            // coordinator (the port file again) per upstream connect, so it
+            // keeps working across coordinator restarts.
+            dist::chaos_config chaos;
+            chaos.seed = chaos_seed;
+            proxy = std::make_unique<dist::chaos_proxy>(
+                chaos, wc.host, [&args] { return dist_cli::try_read_port(args); });
+            proxy->start();
+            std::cout << "chaos proxy (seed " << chaos_seed << ") on port "
+                      << proxy->port() << '\n';
+            wc.host = "127.0.0.1";
+            wc.port = proxy->port();
+        } else {
+            // Reconnects re-read the port file directly — a restarted
+            // coordinator publishes a fresh port there.
+            wc.port_resolver = [&args] { return dist_cli::try_read_port(args); };
+        }
 
         dist::worker node(wc, *w.model, w.pretrained, w.train_data, w.test_data, w.array,
                           w.trainer_cfg, sweep_cfg);
@@ -49,8 +82,8 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::cout << "worker done in " << timer.seconds() << " s: " << report.cells
-                  << " sweep cells, " << report.chips << " chips"
-                  << (report.shutdown_received ? " (job complete)" : "")
+                  << " sweep cells, " << report.chips << " chips, " << report.reconnects
+                  << " reconnects" << (report.shutdown_received ? " (job complete)" : "")
                   << (report.connection_lost ? " (coordinator gone)" : "") << '\n';
         return 0;
     } catch (const std::exception& e) {

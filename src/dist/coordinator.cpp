@@ -78,6 +78,9 @@ void check_timing(const coordinator_config& cfg) {
     REDUCE_CHECK(cfg.heartbeat_ms >= 1, "heartbeat_ms must be positive");
     REDUCE_CHECK(cfg.lease_timeout_ms > cfg.heartbeat_ms,
                  "lease_timeout_ms must exceed heartbeat_ms or every lease expires");
+    REDUCE_CHECK(cfg.drain_timeout_ms > cfg.heartbeat_ms,
+                 "drain_timeout_ms must exceed heartbeat_ms or workers mid-heartbeat "
+                 "never see the shutdown frame");
 }
 
 }  // namespace
@@ -100,6 +103,7 @@ coordinator::coordinator(coordinator_config cfg, sweep_job job)
         units_.push_back(std::move(unit));
     }
     for (std::size_t u = 0; u < units_.size(); ++u) { pending_.push_back(u); }
+    stats_.units_total = units_.size();
     done_ = done_promise_.get_future().share();
 }
 
@@ -126,6 +130,7 @@ coordinator::coordinator(coordinator_config cfg, fleet_job job)
         pending_models_.resize(fleet_.fleet.size());
         model_ready_.assign(fleet_.fleet.size(), false);
     }
+    stats_.units_total = units_.size();
     done_ = done_promise_.get_future().share();
 }
 
@@ -141,6 +146,11 @@ void coordinator::set_model_sink(model_sink sink) {
 
 void coordinator::start() {
     REDUCE_CHECK(!loop_.joinable(), "coordinator already started");
+    // Replay before binding: a foreign or unreadable journal throws here,
+    // synchronously, before any worker can connect. Runs after the model
+    // sink is installed (set_model_sink precedes start) so replayed fleet
+    // snapshots stream through it exactly like fresh ones.
+    replay_journal();
     listener_.emplace(cfg_.bind_address, cfg_.port);
     port_ = listener_->port();
     LOG_INFO << "coordinator: serving a " << job_kind_name(kind_) << " job ("
@@ -360,6 +370,7 @@ void coordinator::handle_hello(int fd, connection& conn, const json_value& messa
     const std::int64_t version = obj.at("version").as_int();
     conn.peer_name = obj.at("name").as_string();
     const std::string& fingerprint = obj.at("fingerprint").as_string();
+    const bool resumed = obj.contains("resumed") && obj.at("resumed").as_bool();
 
     std::string reason;
     if (version != protocol_version) {
@@ -383,11 +394,13 @@ void coordinator::handle_hello(int fd, connection& conn, const json_value& messa
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.workers_admitted;
+        if (resumed) { ++stats_.workers_resumed; }
     }
     const bool want_snapshots = kind_ == job_kind::fleet && fleet_.collect_snapshots;
     queue_frame(conn,
                 make_welcome(kind_, cfg_.heartbeat_ms, cfg_.lease_timeout_ms, want_snapshots));
-    LOG_INFO << "coordinator: admitted worker '" << conn.peer_name << "'";
+    LOG_INFO << "coordinator: admitted worker '" << conn.peer_name << "'"
+             << (resumed ? " (resumed session)" : "");
 }
 
 void coordinator::handle_request_work(int fd, connection& conn) {
@@ -478,20 +491,32 @@ void coordinator::handle_heartbeat(int fd, const json_value& message) {
 }
 
 void coordinator::handle_result(int fd, connection& conn, const json_value& message) {
+    (void)fd;
+    (void)conn;
     const std::uint64_t lease_id = parse_lease(message);
     auto it = leases_.find(lease_id);
     if (it == leases_.end()) {
-        throw io_error("result for unknown lease " + std::to_string(lease_id));
+        // A lease this incarnation never granted: a resumed worker delivering
+        // work leased by a pre-crash coordinator. The lease→unit mapping died
+        // with that incarnation, so the bytes cannot be routed — drop the
+        // result and let the unit re-execute (idempotent, same bytes).
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.stray_results;
+        LOG_DEBUG << "coordinator: stray result for unknown lease " << lease_id
+                  << " dropped (granted by a previous incarnation?)";
+        return;
     }
     lease_info& lease = it->second;
     if (lease.active) {
-        if (lease.conn_fd != fd) {
-            throw io_error("result for lease " + std::to_string(lease_id) +
-                           " from the wrong connection");
-        }
+        // Accept from any admitted connection, not only the lease's own: a
+        // worker that lost its socket mid-send resumes on a fresh fd and
+        // resends. Deactivate the lease wherever it was recorded.
         lease.active = false;
-        auto& owned = conn.active_leases;
-        owned.erase(std::remove(owned.begin(), owned.end(), lease_id), owned.end());
+        auto cit = conns_.find(lease.conn_fd);
+        if (cit != conns_.end()) {
+            auto& owned = cit->second.active_leases;
+            owned.erase(std::remove(owned.begin(), owned.end(), lease_id), owned.end());
+        }
         units_[lease.unit].leased = false;
     }
     work_unit& unit = units_[lease.unit];
@@ -522,8 +547,80 @@ void coordinator::handle_result(int fd, connection& conn, const json_value& mess
         }
         throw;
     }
-    unit.done = true;
+    if (journal_.is_open()) {
+        // Durability before acknowledgment: a crash after this append replays
+        // the unit, a crash before it recomputes the unit — both converge on
+        // the same bytes. A disk failure, unlike a protocol violation, must
+        // fail the JOB (the durability contract is broken), so it is
+        // rethrown as a non-io_error the event loop treats as fatal.
+        try {
+            journal_.append(journal_record(lease.unit, message));
+        } catch (const io_error& e) {
+            throw error(std::string("cannot journal completed unit: ") + e.what());
+        }
+    }
+    complete_unit(lease.unit);
+}
+
+json_value coordinator::journal_record(std::size_t unit_id, const json_value& message) const {
+    const json_object& obj = message.as_object();
+    json_object record;
+    record.set("type", json_value("unit"));
+    record.set("unit", json_value(unit_id));
+    if (kind_ == job_kind::sweep) {
+        record.set("table", obj.at("table"));
+    } else {
+        record.set("outcome", obj.at("outcome"));
+        if (obj.contains("snapshot")) { record.set("snapshot", obj.at("snapshot")); }
+    }
+    return json_value(std::move(record));
+}
+
+void coordinator::replay_journal() {
+    if (cfg_.journal_dir.empty()) { return; }
+    const std::vector<json_value> records =
+        journal_.open(cfg_.journal_dir, kind_, cfg_.fingerprint, units_.size());
+    for (const json_value& record : records) {
+        const json_object& obj = record.as_object();
+        const std::int64_t raw = obj.at("unit").as_int();
+        if (raw < 0 || static_cast<std::size_t>(raw) >= units_.size()) {
+            throw io_error("journal replays unit " + std::to_string(raw) +
+                           " outside the job's " + std::to_string(units_.size()) +
+                           " units");
+        }
+        const std::size_t unit_id = static_cast<std::size_t>(raw);
+        if (units_[unit_id].done) {
+            LOG_WARN << "coordinator: journal repeats unit " << unit_id << "; ignoring";
+            continue;
+        }
+        if (kind_ == job_kind::sweep) {
+            accept_sweep_result(record);
+        } else {
+            accept_fleet_result(units_[unit_id], record);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.journal_units_replayed;
+        }
+        complete_unit(unit_id);
+    }
+    if (!records.empty()) {
+        pending_.clear();
+        for (std::size_t u = 0; u < units_.size(); ++u) {
+            if (!units_[u].done) { pending_.push_back(u); }
+        }
+        LOG_INFO << "coordinator: journal recovered " << records.size() << " unit(s); "
+                 << pending_.size() << " left to compute";
+    }
+}
+
+void coordinator::complete_unit(std::size_t unit_id) {
+    units_[unit_id].done = true;
     ++done_units_;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.units_completed;
+    }
     if (done_units_ == units_.size()) { finish_job(); }
 }
 
@@ -606,7 +703,7 @@ void coordinator::expire_leases(clock::time_point now) {
 
 void coordinator::finish_job() {
     job_done_ = true;
-    drain_deadline_ = clock::now() + std::chrono::seconds(1);
+    drain_deadline_ = clock::now() + std::chrono::milliseconds(cfg_.drain_timeout_ms);
     if (kind_ == job_kind::sweep) {
         REDUCE_CHECK(acc_.has_value() && acc_->complete(),
                      "sweep job finished with an incomplete table");

@@ -18,7 +18,14 @@
 //   * shard tables are fused incrementally via resilience_table::merge_into
 //     as they arrive, so the final artifact is byte-identical to the
 //     single-machine sweep regardless of worker count, scheduling, or
-//     arrival order — and is persisted through resilience_cache.
+//     arrival order — and is persisted through resilience_cache;
+//   * with a journal directory configured, every completed unit is made
+//     durable (dist/journal.h: append + fsync) BEFORE it is acknowledged,
+//     so a coordinator restarted after a crash replays the journal,
+//     re-queues only the unfinished remainder, and still produces the
+//     byte-identical artifact — results for leases granted by the dead
+//     incarnation arrive as strays and are dropped (the unit re-executes
+//     idempotently).
 //
 // Architecture: a single-threaded poll()-based event loop on a background
 // thread owns every connection, lease, and partial result; wait_table() /
@@ -43,6 +50,7 @@
 #include "core/fleet_executor.h"
 #include "core/policy.h"
 #include "core/resilience.h"
+#include "dist/journal.h"
 #include "dist/protocol.h"
 #include "fault/chip.h"
 
@@ -66,6 +74,15 @@ struct coordinator_config {
     int heartbeat_ms = 500;
     /// Silence threshold after which a lease is revoked and re-queued.
     int lease_timeout_ms = 10000;
+    /// How long a finished job lingers to flush the shutdown broadcast to
+    /// connected workers before the event loop exits.
+    int drain_timeout_ms = 1000;
+    /// When non-empty, every completed unit is journaled (write + fsync to
+    /// <journal_dir>/journal-<fingerprint>.wal) before being acknowledged,
+    /// and start() replays an existing journal, re-queueing only the
+    /// unfinished units. Empty → in-memory only; a coordinator crash loses
+    /// the job.
+    std::string journal_dir;
 };
 
 /// A Step-1 job: compute the full resilience table for `cfg`.
@@ -110,6 +127,11 @@ struct coordinator_stats {
     std::size_t leases_granted = 0;
     std::size_t leases_reassigned = 0;  ///< revoked (death/straggle) and re-queued
     std::size_t duplicate_results = 0;  ///< straggler results for done units
+    std::size_t stray_results = 0;      ///< results for leases this incarnation never granted
+    std::size_t workers_resumed = 0;    ///< admissions with hello.resumed set
+    std::size_t journal_units_replayed = 0;  ///< units recovered on start()
+    std::size_t units_total = 0;        ///< work units in the job
+    std::size_t units_completed = 0;    ///< replayed + freshly accepted
 };
 
 /// The service. One coordinator serves exactly one job, then shuts its
@@ -198,6 +220,9 @@ private:
     void grant_parked();
     void revoke_lease(std::uint64_t lease_id);
     void expire_leases(clock::time_point now);
+    void replay_journal();
+    json_value journal_record(std::size_t unit_id, const json_value& message) const;
+    void complete_unit(std::size_t unit_id);
     void finish_job();
     void fulfill_done();
     void fail(std::exception_ptr error);
@@ -208,6 +233,7 @@ private:
     sweep_job sweep_;
     fleet_job fleet_;
     model_sink sink_;
+    journal journal_;
 
     std::optional<tcp_listener> listener_;
     int port_ = 0;

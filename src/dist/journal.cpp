@@ -1,0 +1,215 @@
+#include "dist/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/error.h"
+#include "util/log.h"
+
+namespace reduce::dist {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>(v & 0xff));
+}
+
+std::uint32_t get_u32(const std::string& bytes, std::size_t at) {
+    const auto b = [&](std::size_t i) {
+        return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + i]));
+    };
+    return (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+}
+
+std::string encode_record(const json_value& record) {
+    const std::string payload = record.dump();
+    REDUCE_CHECK(!payload.empty() && payload.size() <= max_frame_payload,
+                 "journal record of " << payload.size() << " bytes out of range");
+    std::string bytes;
+    bytes.reserve(8 + payload.size());
+    put_u32(bytes, static_cast<std::uint32_t>(payload.size()));
+    put_u32(bytes, journal_checksum(payload));
+    bytes += payload;
+    return bytes;
+}
+
+void write_and_sync(int fd, const std::string& bytes, const char* what) {
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+        const ::ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) { continue; }
+            throw io_error(std::string(what) + ": write failed: " + std::strerror(errno));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        throw io_error(std::string(what) + ": fsync failed: " + std::strerror(errno));
+    }
+}
+
+json_value make_header(job_kind kind, const std::string& fingerprint,
+                       std::size_t unit_count) {
+    json_object header;
+    header.set("type", json_value("journal"));
+    header.set("version", json_value(journal_format_version));
+    header.set("kind", json_value(job_kind_name(kind)));
+    header.set("fingerprint", json_value(fingerprint));
+    header.set("units", json_value(unit_count));
+    return json_value(std::move(header));
+}
+
+}  // namespace
+
+std::string journal_path(const std::string& dir, const std::string& fingerprint) {
+    return (std::filesystem::path(dir) / ("journal-" + fingerprint + ".wal")).string();
+}
+
+std::uint32_t journal_checksum(const std::string& bytes) {
+    std::uint32_t hash = 2166136261u;
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 16777619u;
+    }
+    return hash;
+}
+
+std::vector<json_value> journal::open(const std::string& dir, job_kind kind,
+                                      const std::string& fingerprint,
+                                      std::size_t unit_count) {
+    REDUCE_CHECK(fd_ < 0, "journal already open");
+    REDUCE_CHECK(!dir.empty() && !fingerprint.empty(),
+                 "journal needs a directory and a job fingerprint");
+    std::filesystem::create_directories(dir);
+    const std::string path = journal_path(dir, fingerprint);
+    fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
+        throw io_error("cannot open journal " + path + ": " + std::strerror(errno));
+    }
+
+    // Slurp and parse. Journals are bounded by the job (one record per
+    // unit), so whole-file reads are fine even for snapshot-heavy fleets.
+    std::string bytes;
+    char buf[1 << 16];
+    for (;;) {
+        const ::ssize_t n = ::read(fd_, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR) { continue; }
+            const std::string what = std::strerror(errno);
+            close();
+            throw io_error("cannot read journal " + path + ": " + what);
+        }
+        if (n == 0) { break; }
+        bytes.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::vector<json_value> records;
+    std::size_t good = 0;  // offset past the last intact record
+    std::string torn;      // why parsing stopped early, if it did
+    while (good < bytes.size()) {
+        if (bytes.size() - good < 8) {
+            torn = "short record header";
+            break;
+        }
+        const std::uint32_t length = get_u32(bytes, good);
+        const std::uint32_t checksum = get_u32(bytes, good + 4);
+        if (length == 0 || length > max_frame_payload) {
+            torn = "implausible record length " + std::to_string(length);
+            break;
+        }
+        if (bytes.size() - good - 8 < length) {
+            torn = "record truncated mid-payload";
+            break;
+        }
+        const std::string payload = bytes.substr(good + 8, length);
+        if (journal_checksum(payload) != checksum) {
+            torn = "record checksum mismatch";
+            break;
+        }
+        json_value record;
+        try {
+            record = json_parse(payload);
+        } catch (const io_error&) {
+            torn = "record payload is not valid JSON";
+            break;
+        }
+        records.push_back(std::move(record));
+        good += 8 + length;
+    }
+    if (!torn.empty()) {
+        // The signature of a crash mid-append: everything before the tear
+        // is valid and replays; the tear itself is discarded so new
+        // appends land on a clean boundary.
+        LOG_WARN << "journal " << path << ": torn tail at offset " << good << " (" << torn
+                 << "); truncating " << bytes.size() - good << " bytes";
+        if (::ftruncate(fd_, static_cast<::off_t>(good)) != 0) {
+            const std::string what = std::strerror(errno);
+            close();
+            throw io_error("cannot truncate torn journal " + path + ": " + what);
+        }
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) {
+        const std::string what = std::strerror(errno);
+        close();
+        throw io_error("cannot seek journal " + path + ": " + what);
+    }
+
+    const json_value header = make_header(kind, fingerprint, unit_count);
+    if (records.empty()) {
+        try {
+            write_and_sync(fd_, encode_record(header), "journal header");
+        } catch (...) {
+            close();
+            throw;
+        }
+        LOG_INFO << "journal: started " << path;
+        return {};
+    }
+
+    // Re-opened journal: the header must describe THIS job exactly. The
+    // fingerprint-keyed filename already makes a mismatch unlikely; this
+    // check makes it impossible (e.g. a hand-copied file).
+    const json_value& existing = records.front();
+    bool header_ok = false;
+    try {
+        const json_object& h = existing.as_object();
+        header_ok = h.at("type").as_string() == "journal" &&
+                    h.at("version").as_int() == journal_format_version &&
+                    h.at("kind").as_string() == job_kind_name(kind) &&
+                    h.at("fingerprint").as_string() == fingerprint &&
+                    static_cast<std::size_t>(h.at("units").as_int()) == unit_count;
+    } catch (const std::exception&) {
+        header_ok = false;  // missing/mistyped members read as a foreign file
+    }
+    if (!header_ok) {
+        close();
+        throw io_error("journal " + path + " belongs to a different job (header " +
+                       existing.dump() + ")");
+    }
+    records.erase(records.begin());
+    LOG_INFO << "journal: replaying " << records.size() << " completed unit(s) from "
+             << path;
+    return records;
+}
+
+void journal::append(const json_value& record) {
+    REDUCE_CHECK(is_open(), "append on a closed journal");
+    write_and_sync(fd_, encode_record(record), "journal append");
+}
+
+void journal::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+}  // namespace reduce::dist

@@ -372,11 +372,13 @@ json_object typed(const char* type) {
 
 }  // namespace
 
-json_value make_hello(const std::string& fingerprint, const std::string& worker_name) {
+json_value make_hello(const std::string& fingerprint, const std::string& worker_name,
+                      bool resumed) {
     json_object msg = typed("hello");
     msg.set("version", json_value(protocol_version));
     msg.set("fingerprint", json_value(fingerprint));
     msg.set("name", json_value(worker_name));
+    msg.set("resumed", json_value(resumed));
     return json_value(std::move(msg));
 }
 

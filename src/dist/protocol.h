@@ -29,7 +29,7 @@
 //   worker → coordinator              coordinator → worker
 //   --------------------              --------------------
 //   hello {version, fingerprint,      welcome {version, job, heartbeat_ms,
-//          name}                               lease_timeout_ms,
+//          name, resumed}                      lease_timeout_ms,
 //                                              want_snapshots}
 //                                     reject {reason}            (then close)
 //   request_work {}                   work {lease, kind=sweep_cells,
@@ -86,7 +86,8 @@ namespace reduce::dist {
 
 /// Wire protocol revision. Bumped on ANY wire-visible change; both ends
 /// must match exactly (checked in the hello/welcome handshake).
-inline constexpr int protocol_version = 1;
+/// v2: hello gained the mandatory `resumed` flag (worker session-resume).
+inline constexpr int protocol_version = 2;
 
 /// Upper bound on a frame payload. Far above any real message (the largest
 /// are RDNN2 snapshots of this repo's models, well under a hundred MB even
@@ -211,7 +212,10 @@ job_kind job_kind_from_name(const std::string& name);
 /// Mandatory "type" member of a message; throws io_error when absent.
 const std::string& message_type(const json_value& message);
 
-json_value make_hello(const std::string& fingerprint, const std::string& worker_name);
+/// `resumed` marks a re-handshake after a mid-job transport loss; the
+/// coordinator counts it (workers_resumed) and expects stray results.
+json_value make_hello(const std::string& fingerprint, const std::string& worker_name,
+                      bool resumed = false);
 json_value make_welcome(job_kind kind, int heartbeat_ms, int lease_timeout_ms,
                         bool want_snapshots);
 json_value make_reject(const std::string& reason);

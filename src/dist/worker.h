@@ -18,6 +18,17 @@
 // (long) training computation runs on the main thread; socket writes are
 // mutex-guarded so heartbeats interleave safely with result frames.
 //
+// Session resume: a mid-job transport loss (coordinator restarted, network
+// partition, chaos proxy severing the wire) does not end run(). The worker
+// reconnects under the same capped-exponential-backoff-with-jitter budget
+// the initial connect uses (per outage, reconnect_deadline_ms), re-
+// handshakes with hello.resumed set, and continues pulling work. A result
+// whose send failed is stashed and resent on the next session; the
+// coordinator either routes it (lease known — idempotent, same bytes) or
+// drops it as a stray (lease granted by a dead incarnation — the unit
+// re-executes). Only when a whole reconnect budget burns without a session
+// does run() return with connection_lost.
+//
 // Failure injection: die_after_units > 0 makes the worker close its socket
 // abruptly after *receiving* its Nth work unit, before computing anything —
 // the in-process stand-in for SIGKILL mid-lease that the loopback tests use
@@ -25,12 +36,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "core/fleet_executor.h"
 #include "core/resilience.h"
 #include "dist/protocol.h"
+#include "util/rng.h"
 
 namespace reduce::dist {
 
@@ -45,9 +58,25 @@ struct worker_config {
     std::string fingerprint;
     /// Intra-op (GEMM/conv-lowering) threads for this worker's kernels.
     std::size_t gemm_threads = 1;
-    /// Connect retry budget — lets a worker start before its coordinator.
-    int connect_attempts = 40;
-    int connect_retry_ms = 250;
+    /// Backoff between connect attempts: delays double from
+    /// backoff_initial_ms up to backoff_max_ms, each jittered into
+    /// [delay/2, delay] by a seeded per-worker stream so a fleet of workers
+    /// hammering a restarting coordinator desynchronizes deterministically.
+    int backoff_initial_ms = 50;
+    int backoff_max_ms = 2000;
+    /// Jitter stream seed; 0 → derived from `name` (stable per worker).
+    std::uint64_t backoff_seed = 0;
+    /// Total budget for the initial connect — lets a worker start before
+    /// its coordinator. Exhaustion throws io_error (misconfiguration).
+    int connect_deadline_ms = 10000;
+    /// Total budget for re-establishing a session after a mid-job transport
+    /// loss, counted per outage (it resets on every successful handshake).
+    /// 0 disables resume: a transport loss ends run() with connection_lost.
+    int reconnect_deadline_ms = 10000;
+    /// When set, re-resolves the coordinator port before every connect
+    /// attempt (e.g. re-reading a --port-file that a restarted coordinator
+    /// rewrote). Unset → `port`.
+    std::function<int()> port_resolver;
     /// Failure injection: abruptly close the connection upon receiving the
     /// Nth work unit (0 → disabled).
     std::size_t die_after_units = 0;
@@ -63,8 +92,16 @@ struct worker_report {
     bool shutdown_received = false;///< clean end of job
     std::string shutdown_reason;
     bool died = false;             ///< die_after_units fired
-    bool connection_lost = false;  ///< peer vanished without a shutdown
+    bool connection_lost = false;  ///< a reconnect budget burned without a session
+    std::size_t reconnects = 0;    ///< sessions resumed after a transport loss
+    std::size_t results_resent = 0;///< computed results delivered on a later session
 };
+
+/// The shared backoff curve of initial connect and mid-job reconnect: the
+/// delay before (0-based) attempt `attempt`, doubling from initial_ms,
+/// capped at max_ms, jittered into [delay/2, delay] by `jitter`. Exposed
+/// for tests (dist_chaos_test pins the curve).
+int backoff_delay_ms(int initial_ms, int max_ms, int attempt, rng& jitter);
 
 /// One worker process/thread. The referenced model/datasets/snapshot must
 /// outlive it and are never mutated (per-unit work runs on internal clones,

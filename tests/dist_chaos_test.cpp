@@ -1,0 +1,538 @@
+// Crash-safety tests of the distributed service: the chaos schedule/proxy
+// (dist/chaos.h), the durable coordinator journal (dist/journal.h), worker
+// session-resume, and their composition — the load-bearing claims being
+// that (1) a coordinator SIGKILLed mid-job and restarted from its journal,
+// and (2) workers riding out a deterministically battered wire, both still
+// produce artifacts byte-identical to the single-machine path.
+//
+// Everything stochastic here is seeded: a failing run reproduces from the
+// seeds in this file.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fleet_executor.h"
+#include "core/policy.h"
+#include "core/workload.h"
+#include "dist/chaos.h"
+#include "dist/coordinator.h"
+#include "dist/journal.h"
+#include "dist/worker.h"
+#include "fault/chip.h"
+#include "nn/serialize.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace reduce {
+namespace {
+
+resilience_config small_config(std::size_t repeats) {
+    resilience_config cfg;
+    cfg.fault_rates = {0.0, 0.3};
+    cfg.repeats = repeats;
+    cfg.max_epochs = 0.5;
+    cfg.seed = 77;
+    cfg.context = "dist-test-workload";
+    return cfg;
+}
+
+std::string make_temp_dir(const std::string& tag) {
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        ("reduce_chaos_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+    return path.string();
+}
+
+/// Minimal protocol-speaking client used as a lease hostage: it takes one
+/// work unit and sits on it silently, so the first coordinator incarnation
+/// provably cannot finish the job before the test kills it.
+struct raw_client {
+    dist::tcp_socket sock;
+    dist::frame_decoder decoder;
+
+    explicit raw_client(int port)
+        : sock(dist::tcp_socket::connect_to("127.0.0.1", port)) {}
+
+    void send(const json_value& message) { sock.send_all(dist::encode_frame(message)); }
+
+    json_value read() {
+        for (;;) {
+            if (std::optional<json_value> message = decoder.next()) { return *message; }
+            char buf[4096];
+            const dist::tcp_socket::recv_result r = sock.recv_some(buf, sizeof buf);
+            REDUCE_CHECK(!r.closed, "coordinator closed the raw client's connection");
+            if (!r.would_block) { decoder.feed(buf, r.bytes); }
+        }
+    }
+
+    /// Handshakes and takes (then silently holds) one lease.
+    void take_hostage_lease(const std::string& fingerprint) {
+        send(dist::make_hello(fingerprint, "hostage"));
+        REDUCE_CHECK(dist::message_type(read()) == "welcome", "hostage not admitted");
+        send(dist::make_request_work());
+        REDUCE_CHECK(dist::message_type(read()) == "work", "hostage got no lease");
+    }
+};
+
+template <typename Pred>
+bool eventually(Pred pred, int timeout_ms = 60000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() >= deadline) { return false; }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+}
+
+// --- chaos_schedule / backoff (pure determinism, no sockets) ---------------
+
+TEST(ChaosSchedule, DeterministicPerSeedAndStream) {
+    dist::chaos_config cfg;
+    cfg.seed = 123;
+    dist::chaos_schedule s1(cfg, 5);
+    dist::chaos_schedule s2(cfg, 5);
+    dist::chaos_schedule s3(cfg, 6);
+    std::vector<int> a, b, c;
+    std::size_t faults = 0;
+    for (int i = 0; i < 500; ++i) {
+        const dist::chaos_action action = s1.next_action();
+        if (action != dist::chaos_action::pass) { ++faults; }
+        a.push_back(static_cast<int>(action));
+        b.push_back(static_cast<int>(s2.next_action()));
+        c.push_back(static_cast<int>(s3.next_action()));
+    }
+    EXPECT_EQ(a, b) << "same seed + stream must replay the same plan";
+    EXPECT_NE(a, c) << "different streams must not be correlated";
+    // Default rates sum to 0.46 — a 500-frame plan with no faults (or all
+    // faults) would mean the thresholds are broken.
+    EXPECT_GT(faults, 100u);
+    EXPECT_LT(faults, 400u);
+}
+
+TEST(ChaosSchedule, FrameEditsStayInBounds) {
+    dist::chaos_config cfg;
+    cfg.seed = 9;
+    dist::chaos_schedule schedule(cfg, 0);
+    const std::string original = dist::encode_frame(dist::make_heartbeat(7));
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t split = schedule.split_point(original.size());
+        EXPECT_GE(split, 1u);
+        EXPECT_LT(split, original.size());
+        const std::size_t keep = schedule.truncate_point(original.size());
+        EXPECT_GE(keep, 1u);
+        EXPECT_LT(keep, original.size());
+        const int delay = schedule.delay_ms();
+        EXPECT_GE(delay, cfg.delay_min_ms);
+        EXPECT_LE(delay, cfg.delay_max_ms);
+        std::string frame = original;
+        const std::size_t offset = schedule.garble(frame);
+        EXPECT_GE(offset, 4u) << "garble must never touch the length prefix";
+        EXPECT_LT(offset, frame.size());
+        EXPECT_NE(frame, original) << "garble must actually change a byte";
+        EXPECT_EQ(frame.substr(0, 4), original.substr(0, 4));
+    }
+}
+
+TEST(Backoff, DelaysDoubleCapAndJitterDeterministically) {
+    rng a(42);
+    rng b(42);
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        const int d1 = dist::backoff_delay_ms(50, 2000, attempt, a);
+        const int d2 = dist::backoff_delay_ms(50, 2000, attempt, b);
+        EXPECT_EQ(d1, d2) << "same jitter seed must schedule the same delays";
+        const long long nominal = std::min<long long>(2000, 50ll << std::min(attempt, 20));
+        EXPECT_GE(d1, static_cast<int>(std::max<long long>(1, nominal / 2)))
+            << "attempt " << attempt;
+        EXPECT_LE(d1, static_cast<int>(nominal)) << "attempt " << attempt;
+    }
+    // Different seeds must desynchronize (the whole point of jitter).
+    rng c(1);
+    rng d(2);
+    bool diverged = false;
+    for (int attempt = 0; attempt < 12 && !diverged; ++attempt) {
+        diverged = dist::backoff_delay_ms(50, 2000, attempt, c) !=
+                   dist::backoff_delay_ms(50, 2000, attempt, d);
+    }
+    EXPECT_TRUE(diverged);
+}
+
+// --- journal (pure file round-trips) ---------------------------------------
+
+json_value unit_record(std::size_t unit, const std::string& payload) {
+    json_object record;
+    record.set("type", json_value("unit"));
+    record.set("unit", json_value(unit));
+    record.set("table", json_value(payload));
+    return json_value(std::move(record));
+}
+
+TEST(Journal, RoundTripsRecordsAndTruncatesTornTails) {
+    const std::string dir = make_temp_dir("journal_rt");
+    const std::string path = dist::journal_path(dir, "fp123");
+    {
+        dist::journal j;
+        EXPECT_TRUE(j.open(dir, dist::job_kind::sweep, "fp123", 4).empty());
+        j.append(unit_record(0, "alpha"));
+        j.append(unit_record(2, "gamma"));
+    }  // closed without fanfare — a crash keeps the fsync'd records
+    {
+        dist::journal j;
+        const std::vector<json_value> records =
+            j.open(dir, dist::job_kind::sweep, "fp123", 4);
+        ASSERT_EQ(records.size(), 2u);
+        EXPECT_EQ(records[0].as_object().at("unit").as_int(), 0);
+        EXPECT_EQ(records[1].as_object().at("unit").as_int(), 2);
+        EXPECT_EQ(records[1].as_object().at("table").as_string(), "gamma");
+    }
+    // A crash mid-append leaves a torn tail: first a short header...
+    {
+        std::ofstream file(path, std::ios::binary | std::ios::app);
+        file.write("\x00\x00\x01", 3);
+    }
+    {
+        dist::journal j;
+        EXPECT_EQ(j.open(dir, dist::job_kind::sweep, "fp123", 4).size(), 2u)
+            << "short-header tail must be truncated away";
+        // ...and appending after recovery lands on a clean boundary.
+        j.append(unit_record(3, "delta"));
+    }
+    // ...then a full record whose checksum lies (bit rot / torn payload).
+    {
+        std::ofstream file(path, std::ios::binary | std::ios::app);
+        const std::string bogus = std::string("\x00\x00\x00\x04", 4) +
+                                  std::string("\x00\x00\x00\x00", 4) + "null";
+        file.write(bogus.data(), static_cast<std::streamsize>(bogus.size()));
+    }
+    {
+        dist::journal j;
+        const std::vector<json_value> records =
+            j.open(dir, dist::job_kind::sweep, "fp123", 4);
+        ASSERT_EQ(records.size(), 3u) << "checksum-mismatched tail must be truncated";
+        EXPECT_EQ(records[2].as_object().at("table").as_string(), "delta");
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Journal, RefusesAJournalFromADifferentJob) {
+    const std::string dir = make_temp_dir("journal_foreign");
+    {
+        dist::journal j;
+        j.open(dir, dist::job_kind::sweep, "fpA", 4);
+        j.append(unit_record(1, "x"));
+    }
+    {
+        dist::journal j;  // unit count changed → different job shape
+        EXPECT_THROW((void)j.open(dir, dist::job_kind::sweep, "fpA", 5), io_error);
+    }
+    {
+        dist::journal j;  // kind changed
+        EXPECT_THROW((void)j.open(dir, dist::job_kind::fleet, "fpA", 4), io_error);
+    }
+    {
+        dist::journal j;  // the exact same job still replays
+        EXPECT_EQ(j.open(dir, dist::job_kind::sweep, "fpA", 4).size(), 1u);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// --- chaos_proxy -----------------------------------------------------------
+
+TEST(ChaosProxy, SeedZeroIsATransparentRelay) {
+    dist::tcp_listener server("127.0.0.1", 0);
+    std::atomic<int> target{server.port()};
+    dist::chaos_config cfg;  // seed 0 → pass-through
+    dist::chaos_proxy proxy(cfg, "127.0.0.1", [&] { return target.load(); });
+    proxy.start();
+    ASSERT_GT(proxy.port(), 0);
+
+    dist::tcp_socket client = dist::tcp_socket::connect_to("127.0.0.1", proxy.port());
+    std::optional<dist::tcp_socket> accepted;
+    ASSERT_TRUE(eventually(
+        [&] {
+            if (!accepted.has_value()) { accepted = server.accept_one(); }
+            return accepted.has_value();
+        },
+        10000));
+    accepted->set_nonblocking(false);
+
+    client.send_all(dist::encode_frame(dist::make_hello("fp", "through-proxy")));
+    dist::frame_decoder decoder;
+    char buf[4096];
+    std::optional<json_value> message;
+    while (!message.has_value()) {
+        const dist::tcp_socket::recv_result r = accepted->recv_some(buf, sizeof buf);
+        ASSERT_FALSE(r.closed);
+        decoder.feed(buf, r.bytes);
+        message = decoder.next();
+    }
+    EXPECT_EQ(dist::message_type(*message), "hello");
+    EXPECT_EQ(message->as_object().at("name").as_string(), "through-proxy");
+    EXPECT_EQ(proxy.stats().frames, 1u);
+    EXPECT_EQ(proxy.stats().drops, 0u);
+    proxy.stop();
+}
+
+// --- end-to-end crash/chaos fixtures ---------------------------------------
+
+class DistChaosFixture : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        shared_ = new workload(make_standard_workload(make_test_workload_config()));
+    }
+    static void TearDownTestSuite() {
+        delete shared_;
+        shared_ = nullptr;
+    }
+    workload& w() { return *shared_; }
+
+    std::string serial_sweep_bytes(const resilience_config& cfg) {
+        resilience_analyzer analyzer(*w().model, w().pretrained, w().train_data,
+                                     w().test_data, w().array, w().trainer_cfg);
+        return analyzer.analyze(cfg).to_json().dump();
+    }
+
+    dist::worker_config worker_config_for(int port, const std::string& name) {
+        dist::worker_config wc;
+        wc.port = port;
+        wc.name = name;
+        wc.backoff_seed = 0x5eed + name.size();
+        wc.backoff_initial_ms = 10;
+        wc.backoff_max_ms = 200;
+        wc.reconnect_deadline_ms = 30000;  // TSan-sized restart gaps
+        return wc;
+    }
+
+    dist::worker_report run_worker(const dist::worker_config& wc,
+                                   const resilience_config& sweep_cfg) {
+        dist::worker node(wc, *w().model, w().pretrained, w().train_data, w().test_data,
+                          w().array, w().trainer_cfg, sweep_cfg);
+        return node.run();
+    }
+
+    static workload* shared_;
+};
+
+workload* DistChaosFixture::shared_ = nullptr;
+
+TEST_F(DistChaosFixture, SweepSurvivesABatteredWireByteIdentically) {
+    const resilience_config cfg = small_config(2);
+    const std::string reference = serial_sweep_bytes(cfg);
+
+    dist::coordinator_config cc;
+    cc.cells_per_lease = 1;
+    dist::coordinator coord(cc, dist::sweep_job{cfg, ""});
+    coord.start();
+
+    // Both workers dial through one chaos proxy that drops, delays, splits,
+    // duplicates, garbles, and truncates frames per a fixed seed.
+    std::atomic<int> target{coord.port()};
+    dist::chaos_config chaos;
+    chaos.seed = 20230808;
+    dist::chaos_proxy proxy(chaos, "127.0.0.1", [&] { return target.load(); });
+    proxy.start();
+
+    std::vector<dist::worker_report> reports(2);
+    std::thread t0([&] { reports[0] = run_worker(worker_config_for(proxy.port(), "c0"), cfg); });
+    std::thread t1([&] { reports[1] = run_worker(worker_config_for(proxy.port(), "c1"), cfg); });
+    const resilience_table table = coord.wait_table();
+    t0.join();
+    t1.join();
+    proxy.stop();
+
+    EXPECT_EQ(table.to_json().dump(), reference)
+        << "chaos (seed " << chaos.seed << ") changed the artifact bytes";
+    EXPECT_GT(proxy.stats().frames, 0u);
+    std::size_t total_cells = 0;
+    for (const dist::worker_report& report : reports) {
+        EXPECT_FALSE(report.rejected);
+        total_cells += report.cells;
+    }
+    EXPECT_GE(total_cells, 4u);  // revocations may recompute cells, never lose them
+}
+
+TEST_F(DistChaosFixture, CoordinatorKilledMidSweepRestartsFromJournalByteIdentically) {
+    const resilience_config cfg = small_config(4);  // 8 cells / 8 units
+    const std::string reference = serial_sweep_bytes(cfg);
+    const std::string jdir = make_temp_dir("sweep_restart");
+
+    dist::coordinator_config cc;
+    cc.cells_per_lease = 1;
+    cc.journal_dir = jdir;
+    cc.lease_timeout_ms = 60000;  // the hostage must outlive incarnation #1
+
+    auto coord1 = std::make_unique<dist::coordinator>(cc, dist::sweep_job{cfg, ""});
+    coord1->start();
+
+    // The worker dials a chaos proxy — the stable endpoint that outlives the
+    // coordinator — and the proxy re-resolves its target per connect.
+    std::atomic<int> target{coord1->port()};
+    dist::chaos_config chaos;
+    chaos.seed = 808;
+    dist::chaos_proxy proxy(chaos, "127.0.0.1", [&] { return target.load(); });
+    proxy.start();
+
+    // The hostage (direct, no chaos) holds one lease silently so incarnation
+    // #1 cannot finish the job before the kill below.
+    raw_client hostage(coord1->port());
+    hostage.take_hostage_lease(resilience_fingerprint(cfg));
+
+    dist::worker_report report;
+    std::thread worker_thread(
+        [&] { report = run_worker(worker_config_for(proxy.port(), "survivor"), cfg); });
+
+    // Wait for real progress to be journaled, then kill incarnation #1 with
+    // no goodbye to anyone — the in-process stand-in for SIGKILL.
+    ASSERT_TRUE(eventually([&] { return coord1->stats().units_completed >= 2; }))
+        << "no units completed before the kill";
+    target.store(-1);
+    coord1.reset();
+
+    dist::coordinator coord2(cc, dist::sweep_job{cfg, ""});
+    coord2.start();  // replays the journal before serving
+    EXPECT_GE(coord2.stats().journal_units_replayed, 2u);
+    EXPECT_LT(coord2.stats().journal_units_replayed, 8u);
+    target.store(coord2.port());
+
+    const resilience_table table = coord2.wait_table();
+    worker_thread.join();
+    proxy.stop();
+
+    EXPECT_EQ(table.to_json().dump(), reference)
+        << "journal restart + chaos changed the artifact bytes";
+    EXPECT_GE(report.reconnects, 1u) << "the worker never resumed its session";
+    const dist::coordinator_stats stats = coord2.stats();
+    EXPECT_GE(stats.workers_resumed, 1u);
+    EXPECT_EQ(stats.units_completed, 8u);
+    std::filesystem::remove_all(jdir);
+}
+
+TEST_F(DistChaosFixture, FleetJobSurvivesCoordinatorRestartWithSnapshotsIntact) {
+    const resilience_config cfg = small_config(2);
+    fleet_config fc;
+    fc.num_chips = 4;
+    fc.rate_lo = 0.05;
+    fc.rate_hi = 0.3;
+    fc.seed = 91;
+    const std::vector<chip> fleet = make_fleet(w().array, fc);
+    const fixed_policy policy(0.5, 0.85);
+
+    // Serial reference: outcomes plus tuned snapshots in fleet order.
+    fleet_executor executor(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg);
+    std::vector<std::string> serial_snaps;
+    executor.set_model_sink([&](const chip&, const model_snapshot& snap) {
+        serial_snaps.push_back(snapshot_to_bytes(snap));
+    });
+    const policy_outcome serial = executor.run(policy, fleet);
+
+    const std::string jdir = make_temp_dir("fleet_restart");
+    dist::coordinator_config cc;
+    cc.fingerprint = resilience_fingerprint(cfg);
+    cc.journal_dir = jdir;
+    cc.lease_timeout_ms = 60000;
+
+    const auto make_job = [&] {
+        dist::fleet_job job = dist::plan_fleet_job(*w().model, w().array, policy, fleet);
+        job.collect_snapshots = true;
+        return job;
+    };
+
+    auto coord1 = std::make_unique<dist::coordinator>(cc, make_job());
+    coord1->set_model_sink([](const chip&, const model_snapshot&) {});
+    coord1->start();
+
+    std::atomic<int> target{coord1->port()};
+    dist::chaos_config chaos;
+    chaos.seed = 4242;
+    dist::chaos_proxy proxy(chaos, "127.0.0.1", [&] { return target.load(); });
+    proxy.start();
+
+    raw_client hostage(coord1->port());
+    hostage.take_hostage_lease(cc.fingerprint);
+
+    dist::worker_report report;
+    std::thread worker_thread(
+        [&] { report = run_worker(worker_config_for(proxy.port(), "tuner"), cfg); });
+
+    ASSERT_TRUE(eventually([&] { return coord1->stats().units_completed >= 1; }))
+        << "no chips completed before the kill";
+    target.store(-1);
+    coord1.reset();
+
+    // Incarnation #2 replays the journaled chips — including their snapshot
+    // bytes — through ITS model sink, then serves the remainder.
+    dist::coordinator coord2(cc, make_job());
+    std::vector<std::string> dist_snaps;
+    std::vector<std::size_t> sink_chip_ids;
+    coord2.set_model_sink([&](const chip& c, const model_snapshot& snap) {
+        sink_chip_ids.push_back(c.id);
+        dist_snaps.push_back(snapshot_to_bytes(snap));
+    });
+    coord2.start();
+    EXPECT_GE(coord2.stats().journal_units_replayed, 1u);
+    target.store(coord2.port());
+
+    const policy_outcome distributed = coord2.wait_fleet();
+    worker_thread.join();
+    proxy.stop();
+
+    ASSERT_EQ(distributed.chips.size(), serial.chips.size());
+    for (std::size_t i = 0; i < serial.chips.size(); ++i) {
+        EXPECT_EQ(distributed.chips[i].chip_id, serial.chips[i].chip_id) << "chip " << i;
+        EXPECT_EQ(distributed.chips[i].final_accuracy, serial.chips[i].final_accuracy)
+            << "chip " << i;
+        EXPECT_EQ(distributed.chips[i].epochs_run, serial.chips[i].epochs_run)
+            << "chip " << i;
+    }
+    ASSERT_EQ(dist_snaps.size(), serial_snaps.size())
+        << "the restarted coordinator must stream ALL snapshots (replayed included)";
+    for (std::size_t i = 0; i < serial_snaps.size(); ++i) {
+        EXPECT_EQ(sink_chip_ids[i], fleet[i].id) << "sink order broke at " << i;
+        EXPECT_EQ(dist_snaps[i], serial_snaps[i]) << "snapshot " << i << " diverged";
+    }
+    EXPECT_GE(report.reconnects, 1u);
+    std::filesystem::remove_all(jdir);
+}
+
+TEST_F(DistChaosFixture, FullyJournaledJobFinishesWithoutAnyWorkers) {
+    const resilience_config cfg = small_config(2);
+    const std::string reference = serial_sweep_bytes(cfg);
+    const std::string jdir = make_temp_dir("complete_replay");
+
+    dist::coordinator_config cc;
+    cc.cells_per_lease = 1;
+    cc.journal_dir = jdir;
+    {
+        dist::coordinator coord(cc, dist::sweep_job{cfg, ""});
+        coord.start();
+        dist::worker_config wc = worker_config_for(coord.port(), "filler");
+        std::thread worker_thread([&] { (void)run_worker(wc, cfg); });
+        EXPECT_EQ(coord.wait_table().to_json().dump(), reference);
+        worker_thread.join();
+    }
+    // A second incarnation pointed at the same journal needs no workers at
+    // all: every unit replays, and the artifact is still byte-identical.
+    dist::coordinator coord(cc, dist::sweep_job{cfg, ""});
+    coord.start();
+    const resilience_table table = coord.wait_table();
+    const dist::coordinator_stats stats = coord.stats();
+    EXPECT_EQ(table.to_json().dump(), reference);
+    EXPECT_EQ(stats.journal_units_replayed, stats.units_total);
+    EXPECT_EQ(stats.workers_admitted, 0u);
+    std::filesystem::remove_all(jdir);
+}
+
+}  // namespace
+}  // namespace reduce

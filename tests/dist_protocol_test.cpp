@@ -11,8 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "dist/chaos.h"
 #include "dist/protocol.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace reduce::dist {
 namespace {
@@ -102,6 +104,94 @@ TEST(Framing, MessageTypeRequiresTypeMember) {
     const std::optional<json_value> message = decoder.next();
     ASSERT_TRUE(message.has_value());  // well-formed object...
     EXPECT_THROW((void)message_type(*message), io_error);  // ...but not a message
+}
+
+// --- Seeded randomized streams (the chaos scheduler's RNG drives the ---
+// --- fragmentation, so every failure reproduces from one seed)       ---
+
+TEST(Framing, DecodesSeededRandomFragmentationWithDuplicates) {
+    // A long wire image of many frames — some duplicated, as the chaos
+    // proxy's duplicate fault produces — fed to the decoder in random-sized
+    // chunks at arbitrary byte boundaries. Every frame must come out intact,
+    // in order, exactly as many times as it went in.
+    chaos_config cfg;
+    cfg.seed = 20230805;
+    chaos_schedule schedule(cfg, 0);
+    rng& random = schedule.random();
+
+    std::vector<std::string> expected;
+    std::string wire;
+    for (int i = 0; i < 200; ++i) {
+        json_value message;
+        switch (random.uniform_index(3)) {
+            case 0: message = make_heartbeat(random.next_u64()); break;
+            case 1: message = make_sweep_work(random.next_u64(), {1, 2, 3}); break;
+            default: message = make_hello("fp", "rand-" + std::to_string(i)); break;
+        }
+        const std::string frame = encode_frame(message);
+        const int copies = random.bernoulli(0.2) ? 2 : 1;
+        for (int c = 0; c < copies; ++c) {
+            wire += frame;
+            expected.push_back(message.dump());
+        }
+    }
+
+    frame_decoder decoder;
+    std::vector<std::string> got;
+    std::size_t at = 0;
+    while (at < wire.size()) {
+        const std::size_t chunk = 1 + static_cast<std::size_t>(random.uniform_index(
+                                          std::min<std::uint64_t>(4096, wire.size() - at)));
+        decoder.feed(wire.data() + at, chunk);
+        at += chunk;
+        while (std::optional<json_value> message = decoder.next()) {
+            got.push_back(message->dump());
+        }
+    }
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Framing, GarbledPayloadNeverDecodesToTheOriginal) {
+    // One flipped payload byte must surface — either as an io_error (the
+    // JSON broke) or as a message with different bytes (a digit flipped to
+    // another digit). Silently yielding the original would mean the decoder
+    // dropped or masked corruption.
+    chaos_config cfg;
+    cfg.seed = 99;
+    chaos_schedule schedule(cfg, 1);
+    const json_value original = make_hello("fingerprint-abc", "garble-target");
+    for (int trial = 0; trial < 100; ++trial) {
+        std::string frame = encode_frame(original);
+        schedule.garble(frame);
+        frame_decoder decoder;
+        decoder.feed(frame.data(), frame.size());
+        try {
+            const std::optional<json_value> message = decoder.next();
+            ASSERT_TRUE(message.has_value());  // length prefix was untouched
+            EXPECT_NE(message->dump(), original.dump()) << "trial " << trial;
+        } catch (const io_error&) {
+            // Rejected outright — the common case, and always acceptable.
+        }
+    }
+}
+
+TEST(Framing, TruncatedFrameNeverYieldsAMessage) {
+    // A frame cut anywhere (the chaos truncate fault: prefix, then the
+    // connection dies) must leave the decoder waiting, never emit a partial
+    // or fabricated message.
+    chaos_config cfg;
+    cfg.seed = 7;
+    chaos_schedule schedule(cfg, 2);
+    const std::string frame = encode_frame(make_shutdown("gone"));
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t keep = schedule.truncate_point(frame.size());
+        ASSERT_LT(keep, frame.size());
+        frame_decoder decoder;
+        decoder.feed(frame.data(), keep);
+        EXPECT_FALSE(decoder.next().has_value()) << "kept " << keep;
+        EXPECT_EQ(decoder.buffered(), keep);
+    }
 }
 
 TEST(Base64, RoundTripsEveryResidueAndAllByteValues) {
