@@ -9,10 +9,15 @@
 // Usage: chip_fleet [--chips 20] [--constraint 0.91] [--out /tmp/fleet_out]
 //          [--distribution uniform|lognormal|fixed] [--policy reduce]
 //          [--threads 1] [--gemm-threads 1] [--fixed-epochs 1.0]
+//          [--eval-batch-chips 1] [--train-batch-chips 1]
 //
 // The policy under test is resolved by name from the policy registry
 // (reduce, reduce-mean, oracle, binned, ...) and compared against the
 // fixed-epochs baseline; tuning fans out over --threads workers.
+// --eval-batch-chips groups accuracy_before evaluations,
+// --train-batch-chips groups the retraining episodes themselves into
+// lockstep groups — both byte-identical to the serial path; the run log
+// reports how many chips actually grouped and why any fell back.
 
 #include <filesystem>
 #include <iostream>
@@ -43,6 +48,10 @@ int main(int argc, char** argv) {
         const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 1));
         const std::size_t gemm_threads =
             static_cast<std::size_t>(args.get_int("gemm-threads", 1));
+        const std::size_t eval_batch_chips =
+            static_cast<std::size_t>(args.get_int("eval-batch-chips", 1));
+        const std::size_t train_batch_chips =
+            static_cast<std::size_t>(args.get_int("train-batch-chips", 1));
         const double fixed_epochs = args.get_double("fixed-epochs", 1.0);
         // Fail on typos before paying for the workload + resilience analysis.
         REDUCE_CHECK(policy_registry::global().contains(policy_name),
@@ -66,7 +75,11 @@ int main(int argc, char** argv) {
                   << args.get("distribution", "uniform") << ")\n\n";
 
         fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
-                                w.trainer_cfg, fleet_executor_config{.threads = threads, .gemm_threads = gemm_threads});
+                                w.trainer_cfg,
+                                fleet_executor_config{.threads = threads,
+                                                      .gemm_threads = gemm_threads,
+                                                      .eval_batch_chips = eval_batch_chips,
+                                                      .train_batch_chips = train_batch_chips});
 
         // Step 1 once for the whole lot.
         resilience_config rc;

@@ -17,13 +17,24 @@ std::vector<double> make_eval_grid(double max_epochs, double fine_until, double 
     REDUCE_CHECK(fine_until >= 0.0, "fine_until must be non-negative");
     std::vector<double> grid;
     const double eps = 1e-9;
-    double e = fine_step;
-    while (e <= std::min(fine_until, max_epochs) + eps) {
+    // Every point is an integer multiple of its step — ONE rounded product
+    // per point instead of a growing addition chain, so awkward steps like
+    // 0.1 yield 0.3 rather than 0.30000000000000004. Checkpoint values then
+    // compare exactly across trajectories, cached-table fingerprints, and
+    // the grouped/serial training paths, which all phrase queries on this
+    // grid.
+    const double fine_limit = std::min(fine_until, max_epochs);
+    for (std::size_t i = 1;; ++i) {
+        const double e = static_cast<double>(i) * fine_step;
+        if (e > fine_limit + eps) { break; }
         grid.push_back(e);
-        e += fine_step;
     }
-    double start = grid.empty() ? coarse_step : grid.back() + coarse_step;
-    for (double c = start; c <= max_epochs + eps; c += coarse_step) { grid.push_back(c); }
+    const double coarse_base = grid.empty() ? 0.0 : grid.back();
+    for (std::size_t j = 1;; ++j) {
+        const double c = coarse_base + static_cast<double>(j) * coarse_step;
+        if (c > max_epochs + eps) { break; }
+        grid.push_back(c);
+    }
     if (grid.empty() || grid.back() < max_epochs - eps) { grid.push_back(max_epochs); }
     return grid;
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "core/grouped_fat_trainer.h"
 #include "core/multi_mask_eval.h"
 #include "fault/mask_builder.h"
 #include "tensor/workspace.h"
@@ -177,6 +178,7 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
     outcome.policy_name = run_name.empty() ? policy.name() : run_name;
     outcome.accuracy_constraint = constraint;
     outcome.chips.resize(fleet.size());
+    stats_ = fleet_run_stats{};
 
     // Completed-but-not-yet-sunk snapshots. Flushed as a fleet-order prefix
     // so memory stays bounded by worker skew, not O(fleet).
@@ -203,8 +205,13 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
     const thread_budget budget =
         resolve_thread_budget(cfg_.threads, cfg_.gemm_threads, fleet.size());
     const std::size_t worker_budget = budget.fleet_workers;
+    // The claim width serves BOTH grouping knobs: a block is the unit of
+    // grouped accuracy_before evaluation AND the pool grouped training
+    // carves same-allocation runs from.
+    const std::size_t claim_width = std::max<std::size_t>(
+        {cfg_.eval_batch_chips, cfg_.train_batch_chips, std::size_t{1}});
     const std::size_t group =
-        cap_group_at_fair_share(cfg_.eval_batch_chips, fleet.size(), worker_budget);
+        cap_group_at_fair_share(claim_width, fleet.size(), worker_budget);
     // Spawn no more workers than there are claimable blocks — a surplus
     // worker would deep-clone a tuner model just to find the queue empty.
     const std::size_t workers =
@@ -221,9 +228,104 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
         // reused for every chip after it.
         workspace& arena = workspace::local();
         tuner.set_capture_tuned(static_cast<bool>(sink_));
-        // The grouped evaluator is built lazily: a worker that never claims
-        // a multi-chip block (ragged tails, tiny fleets) never clones for it.
+        // Grouped engines are built lazily: a worker that never claims a
+        // multi-chip block (ragged tails, tiny fleets) never clones for them.
         std::unique_ptr<multi_mask_evaluator> evaluator;
+        std::unique_ptr<grouped_chip_tuner> gtuner;
+
+        // Sink flushing — caller must hold progress_mutex. Snapshots leave
+        // as a fleet-order prefix regardless of completion order.
+        auto flush_sinks = [&]() {
+            while (next_sink < fleet.size() && ready[next_sink]) {
+                sink_(fleet[next_sink], pending[next_sink]);
+                pending[next_sink] = model_snapshot{};  // free eagerly
+                ++next_sink;
+            }
+        };
+
+        // Serial per-chip path (also the fallback target of every grouped
+        // downgrade). `before` spans [begin, end) when grouped evaluation ran.
+        auto tune_serial = [&](std::size_t i, std::size_t begin,
+                               const std::vector<double>& before) {
+            outcome.chips[i] = tuner.tune(
+                fleet[i], allocations[i], constraint, views[i].effective_fault_rate,
+                before.empty() ? std::nullopt
+                               : std::optional<double>(before[i - begin]));
+            LOG_DEBUG << outcome.policy_name << ": chip " << fleet[i].id
+                      << " rate=" << views[i].effective_fault_rate
+                      << " epochs=" << allocations[i].epochs
+                      << " acc=" << outcome.chips[i].final_accuracy;
+            // Count, notify, and sink under one lock: the reported
+            // 'completed' sequence is strictly increasing and sinks fire in
+            // fleet order regardless of which worker finished first.
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            ++stats_.serial_train_chips;
+            ++completed;
+            if (progress_) { progress_(completed, fleet.size(), outcome.chips[i]); }
+            if (sink_) {
+                pending[i] = tuner.take_tuned();
+                ready[i] = true;
+                flush_sinks();
+            }
+        };
+
+        // Lockstep path over the same-allocation run [s, e). Returns false
+        // when the group hit non-finite state — the caller re-runs it
+        // serially (the downgrade is logged AND counted, never silent).
+        auto tune_grouped = [&](std::size_t s, std::size_t e, std::size_t begin,
+                                const std::vector<double>& before) -> bool {
+            if (!gtuner) {
+                gtuner = std::make_unique<grouped_chip_tuner>(
+                    model_, pretrained_, train_data_, test_data_, array_, trainer_cfg_);
+                gtuner->set_capture_tuned(static_cast<bool>(sink_));
+            }
+            const std::size_t k = e - s;
+            std::vector<const chip*> chips(k);
+            std::vector<const epoch_allocation*> allocs(k);
+            std::vector<double> rates(k);
+            std::vector<double> before_slice;
+            if (!before.empty()) { before_slice.resize(k); }
+            for (std::size_t g = 0; g < k; ++g) {
+                chips[g] = &fleet[s + g];
+                allocs[g] = &allocations[s + g];
+                rates[g] = views[s + g].effective_fault_rate;
+                if (!before.empty()) { before_slice[g] = before[s + g - begin]; }
+            }
+            std::vector<chip_outcome> results;
+            try {
+                results = gtuner->tune_group(chips, allocs, constraint, rates, before_slice);
+            } catch (const grouped_nonfinite_error& err) {
+                LOG_WARN << outcome.policy_name << ": grouped retraining of chips ["
+                         << fleet[s].id << ".." << fleet[e - 1].id
+                         << "] downgraded to serial: " << err.what();
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                stats_.nonfinite_downgrades += k;
+                return false;
+            }
+            for (std::size_t g = 0; g < k; ++g) {
+                const std::size_t i = s + g;
+                outcome.chips[i] = results[g];
+                LOG_DEBUG << outcome.policy_name << ": chip " << fleet[i].id
+                          << " rate=" << views[i].effective_fault_rate
+                          << " epochs=" << allocations[i].epochs
+                          << " acc=" << outcome.chips[i].final_accuracy << " (grouped x"
+                          << k << ")";
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                if (g == 0) {
+                    ++stats_.grouped_train_groups;
+                    stats_.grouped_train_chips += k;
+                }
+                ++completed;
+                if (progress_) { progress_(completed, fleet.size(), outcome.chips[i]); }
+                if (sink_) {
+                    pending[i] = gtuner->take_tuned(g);
+                    ready[i] = true;
+                    flush_sinks();
+                }
+            }
+            return true;
+        };
+
         for (;;) {
             // Stop picking up work once any chip has failed — the whole
             // outcome is void, so finishing the fleet would be wasted epochs.
@@ -237,7 +339,7 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
             const std::size_t end = std::min(fleet.size(), begin + group);
             std::vector<double> before;
             try {
-                if (end - begin > 1) {
+                if (end - begin > 1 && cfg_.eval_batch_chips > 1) {
                     if (!evaluator) {
                         evaluator = std::make_unique<multi_mask_evaluator>(
                             model_, pretrained_, test_data_, array_, trainer_cfg_);
@@ -249,34 +351,53 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
                     }
                     before = evaluator->evaluate(grids);
                 }
-                for (std::size_t i = begin; i < end; ++i) {
-                    if (failed.load(std::memory_order_relaxed)) { return; }
-                    outcome.chips[i] = tuner.tune(
-                        fleet[i], allocations[i], constraint,
-                        views[i].effective_fault_rate,
-                        before.empty() ? std::nullopt
-                                       : std::optional<double>(before[i - begin]));
-                    LOG_DEBUG << outcome.policy_name << ": chip " << fleet[i].id
-                              << " rate=" << views[i].effective_fault_rate
-                              << " epochs=" << allocations[i].epochs
-                              << " acc=" << outcome.chips[i].final_accuracy;
-                    // Count, notify, and sink under one lock: the reported
-                    // 'completed' sequence is strictly increasing and sinks
-                    // fire in fleet order regardless of which worker
-                    // finished first.
-                    std::lock_guard<std::mutex> lock(progress_mutex);
-                    ++completed;
-                    if (progress_) {
-                        progress_(completed, fleet.size(), outcome.chips[i]);
-                    }
-                    if (sink_) {
-                        pending[i] = tuner.take_tuned();
-                        ready[i] = true;
-                        while (next_sink < fleet.size() && ready[next_sink]) {
-                            sink_(fleet[next_sink], pending[next_sink]);
-                            pending[next_sink] = model_snapshot{};  // free eagerly
-                            ++next_sink;
+                if (cfg_.train_batch_chips > 1 && end - begin > 1) {
+                    // Carve the block into maximal same-allocation runs —
+                    // lockstep training shares one batch schedule, so only
+                    // chips with identical (epochs, train_to_target) group.
+                    std::size_t s = begin;
+                    while (s < end) {
+                        if (failed.load(std::memory_order_relaxed)) { return; }
+                        std::size_t run_end = s + 1;
+                        while (run_end < end &&
+                               allocations[run_end].epochs == allocations[s].epochs &&
+                               allocations[run_end].train_to_target ==
+                                   allocations[s].train_to_target) {
+                            ++run_end;
                         }
+                        if (run_end - s == 1) {
+                            // Isolated by allocation mismatch: loud serial
+                            // downgrade (logged at debug, counted always).
+                            {
+                                std::lock_guard<std::mutex> lock(progress_mutex);
+                                ++stats_.alloc_downgrades;
+                            }
+                            tune_serial(s, begin, before);
+                            s = run_end;
+                            continue;
+                        }
+                        for (std::size_t c = s; c < run_end;) {
+                            if (failed.load(std::memory_order_relaxed)) { return; }
+                            const std::size_t ce =
+                                std::min(run_end, c + cfg_.train_batch_chips);
+                            bool grouped_ok = false;
+                            if (ce - c >= 2) {
+                                grouped_ok = tune_grouped(c, ce, begin, before);
+                            }
+                            if (!grouped_ok) {
+                                for (std::size_t i = c; i < ce; ++i) {
+                                    if (failed.load(std::memory_order_relaxed)) { return; }
+                                    tune_serial(i, begin, before);
+                                }
+                            }
+                            c = ce;
+                        }
+                        s = run_end;
+                    }
+                } else {
+                    for (std::size_t i = begin; i < end; ++i) {
+                        if (failed.load(std::memory_order_relaxed)) { return; }
+                        tune_serial(i, begin, before);
                     }
                 }
             } catch (...) {
@@ -288,6 +409,14 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
 
     const scoped_intra_op_threads intra(budget.gemm_threads);
     run_workers(workers, worker);
+    if (cfg_.train_batch_chips > 1) {
+        LOG_INFO << outcome.policy_name << ": grouped retraining "
+                 << stats_.grouped_train_chips << "/" << fleet.size() << " chips in "
+                 << stats_.grouped_train_groups << " groups, "
+                 << stats_.serial_train_chips << " serial ("
+                 << stats_.alloc_downgrades << " allocation downgrades, "
+                 << stats_.nonfinite_downgrades << " non-finite downgrades)";
+    }
     return outcome;
 }
 

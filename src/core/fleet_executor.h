@@ -152,6 +152,31 @@ struct fleet_executor_config {
     /// toward the slowest BLOCK (not chip) — keep groups modest (~8) when
     /// per-chip training time varies widely.
     std::size_t eval_batch_chips = 1;
+    /// Chips whose RETRAINING advances in lockstep through one grouped
+    /// trainer (--train-batch-chips). 0 or 1 → serial per-chip training.
+    /// Within a claimed block, only chips with the SAME allocation (epochs
+    /// and train_to_target) share a group — lockstep training shares one
+    /// batch schedule; mismatched chips run serially and are counted in
+    /// fleet_run_stats::alloc_downgrades. Grouping never changes outcomes
+    /// (byte-identical contract of grouped_chip_tuner); a variant that
+    /// diverges to non-finite state makes the whole group fall back to the
+    /// serial path (nonfinite_downgrades) — loudly, never silently wrong.
+    std::size_t train_batch_chips = 1;
+};
+
+/// Observability counters for one run(): how much of the fleet actually
+/// trained grouped vs serially, and why chips fell back. Downgrades are
+/// NEVER silent — they are logged when they happen and tallied here.
+struct fleet_run_stats {
+    std::size_t grouped_train_groups = 0;  ///< lockstep groups executed
+    std::size_t grouped_train_chips = 0;   ///< chips tuned inside those groups
+    std::size_t serial_train_chips = 0;    ///< chips tuned by the serial path
+    /// Chips that could not join a group because their allocation differs
+    /// from every neighbour's in the claimed block.
+    std::size_t alloc_downgrades = 0;
+    /// Chips re-run serially after their group hit non-finite state
+    /// (grouped_nonfinite_error).
+    std::size_t nonfinite_downgrades = 0;
 };
 
 /// Runs a retraining policy over a fleet, one chip_tuner per worker.
@@ -191,6 +216,9 @@ public:
 
     const fleet_executor_config& config() const { return cfg_; }
 
+    /// Counters of the most recent run() (reset at each run's start).
+    const fleet_run_stats& last_run_stats() const { return stats_; }
+
 private:
     sequential& model_;
     const model_snapshot& pretrained_;
@@ -201,6 +229,7 @@ private:
     fleet_executor_config cfg_;
     model_sink sink_;
     progress_sink progress_;
+    fleet_run_stats stats_;
 };
 
 }  // namespace reduce

@@ -51,6 +51,8 @@ public:
     std::unique_ptr<module> clone() const override;
     std::string name() const override { return "max_pool2d"; }
 
+    const pool2d_spec& spec() const { return spec_; }
+
 private:
     pool2d_spec spec_;
     shape_t cached_input_shape_;

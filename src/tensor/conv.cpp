@@ -392,6 +392,53 @@ void im2col_batch_rows(const float* input, std::size_t batch, std::size_t in_h,
     }
 }
 
+void col2im_batch_rows(const float* columns, std::size_t batch, std::size_t in_h,
+                       std::size_t in_w, const conv2d_spec& spec, const std::size_t* rows,
+                       std::size_t nrows, float* dst) {
+    const std::size_t oh = spec.out_h(in_h);
+    const std::size_t ow = spec.out_w(in_w);
+    const std::size_t out_cols = oh * ow;
+    const std::size_t total_cols = batch * out_cols;
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
+    const std::size_t taps = spec.kernel_h * spec.kernel_w;
+    // Same split-by-image law as col2im_batch: every destination pixel's
+    // += chain stays on one thread, visiting the listed patch rows in
+    // ascending order — the serial full adjoint's per-pixel order with the
+    // zero-contribution (all-padding) rows absent.
+    const auto scatter_images = [&](std::size_t n0, std::size_t n1) {
+        for (std::size_t r = 0; r < nrows; ++r) {
+            const std::size_t patch_row = rows[r];
+            const std::size_t c = patch_row / taps;
+            const std::size_t kh = (patch_row % taps) / spec.kernel_w;
+            const std::size_t kw = patch_row % spec.kernel_w;
+            const float* prow = columns + r * total_cols;
+            for (std::size_t n = n0; n < n1; ++n) {
+                float* img = dst + n * image_elems;
+                const float* srow = prow + n * out_cols;
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * spec.stride + kh) -
+                        static_cast<std::ptrdiff_t>(spec.padding);
+                    if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) { continue; }
+                    float* irow = img + (c * in_h + static_cast<std::size_t>(iy)) * in_w;
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * spec.stride + kw) -
+                            static_cast<std::ptrdiff_t>(spec.padding);
+                        if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) { continue; }
+                        irow[static_cast<std::size_t>(ix)] += srow[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    };
+    if (conv_fan_out(nrows * total_cols) && batch > 1) {
+        parallel_for(batch, scatter_images);
+    } else {
+        scatter_images(0, batch);
+    }
+}
+
 namespace {
 
 /// Shared validation of the grouped forward entry points; returns the raw
@@ -582,66 +629,152 @@ tensor conv2d_forward_grouped(const tensor& input, std::size_t groups,
     return output;
 }
 
-void conv2d_backward_acc(const tensor& input, const tensor& weight, const tensor& grad_output,
-                         const conv2d_spec& spec, tensor& grad_input, tensor& grad_weight,
-                         tensor& grad_bias) {
-    check_conv_inputs(input, weight, spec);
-    const std::size_t batch = input.extent(0);
-    const std::size_t in_h = input.extent(2);
-    const std::size_t in_w = input.extent(3);
-    const std::size_t oh = spec.out_h(in_h);
-    const std::size_t ow = spec.out_w(in_w);
-    REDUCE_CHECK(grad_output.dim() == 4 && grad_output.extent(0) == batch &&
-                     grad_output.extent(1) == spec.out_channels && grad_output.extent(2) == oh &&
-                     grad_output.extent(3) == ow,
-                 "conv2d grad_output " << grad_output.describe() << " does not match geometry");
-    REDUCE_CHECK(grad_input.shape() == input.shape(),
-                 "conv2d grad_input " << grad_input.describe() << " does not match input");
-    REDUCE_CHECK(grad_weight.shape() == weight.shape(),
-                 "conv2d grad_weight " << grad_weight.describe() << " does not match weight");
-    REDUCE_CHECK(grad_bias.dim() == 1 && grad_bias.extent(0) == spec.out_channels,
-                 "conv2d grad_bias " << grad_bias.describe() << " does not match out_channels");
+tensor conv2d_forward_grouped_vb(const tensor& input, std::size_t groups,
+                                 const std::vector<const tensor*>& weights,
+                                 const std::vector<const tensor*>& biases,
+                                 const conv2d_spec& spec, std::uint8_t* relu_keep) {
+    const std::vector<const float*> a_list = check_group_weights(weights, spec);
+    REDUCE_CHECK(biases.size() == weights.size(),
+                 "conv2d_forward_grouped_vb got " << biases.size() << " biases for "
+                                                  << weights.size() << " weights");
+    for (const tensor* b : biases) {
+        REDUCE_CHECK(b != nullptr && b->dim() == 1 && b->extent(0) == spec.out_channels,
+                     "conv2d_forward_grouped_vb bias does not match out_channels");
+    }
+    const group_conv_geometry geo(input, spec);
+    REDUCE_CHECK(groups > 0 && weights.size() == groups,
+                 "conv2d_forward_grouped_vb got " << weights.size() << " weights for "
+                                                  << groups << " groups");
+    const std::size_t total = input.extent(0);
+    REDUCE_CHECK(total % groups == 0, "conv2d_forward_grouped_vb stacked batch "
+                                          << total << " not divisible by " << groups
+                                          << " groups");
+    const std::size_t per_group = total / groups;
+    static const tensor no_bias;
 
-    const std::size_t patch = spec.patch_size();
-    const std::size_t plane = oh * ow;
-    const std::size_t image_elems = spec.in_channels * in_h * in_w;
-    const float* weight2d = weight.raw();  // [O, patch] view, reshape-free
-    float* gw = grad_weight.raw();         // [O, patch] view
-    float* gb = grad_bias.raw();
-    float* gin = grad_input.raw();
+    tensor output({total, spec.out_channels, geo.oh, geo.ow});
+    float* out_ptr = output.raw();
 
     workspace& ws = workspace::local();
+    const std::size_t chunk =
+        images_per_chunk(geo.rows.size() + spec.out_channels, geo.plane, total);
+    for (std::size_t n0 = 0; n0 < total; n0 += chunk) {
+        const std::size_t nb = std::min(chunk, total - n0);
+        const std::size_t cols = nb * geo.plane;
+        workspace::buffer colbuf = ws.acquire(geo.rows.size() * cols);
+        geo.lower(input.raw() + n0 * geo.image_elems, nb, spec, colbuf.data());
+        workspace::buffer outbuf = ws.acquire(spec.out_channels * cols);
+        // A chunk may span variant boundaries; each variant's span gets its
+        // own epilogue so the per-variant bias folds into the tile store —
+        // the exact placement the serial fused layer uses, bit-identical to
+        // the unfused scatter-side bias.
+        std::size_t s0 = n0;
+        while (s0 < n0 + nb) {
+            const std::size_t g = s0 / per_group;
+            const std::size_t s1 = std::min(n0 + nb, (g + 1) * per_group);
+            const float* a = a_list[g];
+            float* c = outbuf.data() + (s0 - n0) * geo.plane;
+            const float* b = colbuf.data() + (s0 - n0) * geo.plane;
+            gemm_epilogue epi;
+            epi.row_bias = biases[g]->raw();
+            gemm_nn_multi(spec.out_channels, (s1 - s0) * geo.plane, geo.patch, &a, 1,
+                          geo.patch, b, cols, &c, cols, /*accumulate=*/false, ws,
+                          geo.subset_ptr, &epi);
+            s0 = s1;
+        }
+        // Bias already applied; the scatter handles the (optional) fused
+        // ReLU and the stacked-NCHW keep-mask — relu_keep is a base pointer
+        // parallel to out_ptr, so variant blocks land in their own regions.
+        scatter_lowered_output(outbuf.data(), cols, nb, geo.plane, spec.out_channels,
+                               no_bias, out_ptr, n0, relu_keep != nullptr, relu_keep);
+    }
+    return output;
+}
+
+namespace {
+
+/// Backward over one contiguous image block (the serial batch, or one
+/// variant's block of a stacked batch). With `active == nullptr` this IS
+/// the serial conv2d_backward_acc body. With an active-row subset
+/// (n_active < patch) the structurally-zero padding rows are skipped:
+///
+///   * dX: the column gradient is computed only for active rows (compact W
+///     columns via gemm_tn with unchanged k = out_c chains) and scattered
+///     through col2im_batch_rows — byte-identical unconditionally, because
+///     the serial col2im skips every tap of an all-padding row anyway;
+///   * dW: active columns accumulate into a zeroed compact buffer with the
+///     serial per-chunk acc=true chain, then scatter back by ASSIGNMENT.
+///     Requires `gw` zeroed on entry and finite dY: the skipped columns'
+///     serial value is a sum of exact-zero products, which is +0 — the
+///     value zero_grad left there (the accumulator chain starting at +0 can
+///     never produce -0 under round-to-nearest);
+///   * db and chunking are untouched — the chunk split follows the SERIAL
+///     formula (2*patch + out_c) so the dW/db accumulation order matches
+///     the layer path chunk for chunk.
+void conv2d_backward_block(const float* input, std::size_t batch, std::size_t in_h,
+                           std::size_t in_w, const float* weight2d, const float* grad_out,
+                           const conv2d_spec& spec, float* gin, float* gw, float* gb,
+                           const std::size_t* active, std::size_t n_active, workspace& ws) {
+    const std::size_t patch = spec.patch_size();
+    const std::size_t plane = spec.out_h(in_h) * spec.out_w(in_w);
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
+    const std::size_t out_c = spec.out_channels;
+    const bool skip = active != nullptr && n_active < patch;
+    const std::size_t krows = skip ? n_active : patch;
+
+    workspace::buffer wcompact;
+    workspace::buffer dwcompact;
+    if (skip) {
+        wcompact = ws.acquire(out_c * n_active);
+        dwcompact = ws.acquire_zeroed(out_c * n_active);
+        for (std::size_t oc = 0; oc < out_c; ++oc) {
+            for (std::size_t j = 0; j < n_active; ++j) {
+                wcompact.data()[oc * n_active + j] = weight2d[oc * patch + active[j]];
+            }
+        }
+    }
+
     // Three slabs live at once here (columns, lowered dY, column gradient).
-    const std::size_t chunk = images_per_chunk(2 * patch + spec.out_channels, plane, batch);
+    const std::size_t chunk = images_per_chunk(2 * patch + out_c, plane, batch);
     for (std::size_t n0 = 0; n0 < batch; n0 += chunk) {
         const std::size_t nb = std::min(chunk, batch - n0);
         const std::size_t cols = nb * plane;
-        workspace::buffer colbuf = ws.acquire(patch * cols);
-        im2col_batch(input.raw() + n0 * image_elems, nb, in_h, in_w, spec, colbuf.data());
+        workspace::buffer colbuf = ws.acquire(krows * cols);
+        if (skip) {
+            im2col_batch_rows(input + n0 * image_elems, nb, in_h, in_w, spec, active,
+                              n_active, colbuf.data());
+        } else {
+            im2col_batch(input + n0 * image_elems, nb, in_h, in_w, spec, colbuf.data());
+        }
 
         // Gather dY from [N, O, plane] into the lowered [O, nb*plane]
         // layout. Channels write disjoint rows — parallel-safe.
-        workspace::buffer gobuf = ws.acquire(spec.out_channels * cols);
+        workspace::buffer gobuf = ws.acquire(out_c * cols);
         const auto gather_rows = [&](std::size_t oc0, std::size_t oc1) {
             for (std::size_t oc = oc0; oc < oc1; ++oc) {
                 float* drow = gobuf.data() + oc * cols;
                 for (std::size_t n = 0; n < nb; ++n) {
-                    const float* src =
-                        grad_output.raw() + ((n0 + n) * spec.out_channels + oc) * plane;
+                    const float* src = grad_out + ((n0 + n) * out_c + oc) * plane;
                     std::memcpy(drow + n * plane, src, plane * sizeof(float));
                 }
             }
         };
-        if (conv_fan_out(spec.out_channels * cols) && spec.out_channels > 1) {
-            parallel_for(spec.out_channels, gather_rows);
+        if (conv_fan_out(out_c * cols) && out_c > 1) {
+            parallel_for(out_c, gather_rows);
         } else {
-            gather_rows(0, spec.out_channels);
+            gather_rows(0, out_c);
         }
 
         // dW += dY · colsᵀ — one GEMM for the whole chunk, straight into
-        // the parameter gradient.
-        gemm_nt(spec.out_channels, patch, cols, gobuf.data(), cols, colbuf.data(), cols, gw,
-                patch, /*accumulate=*/true, ws);
+        // the parameter gradient (or the compact accumulator when skipping;
+        // the k = cols chain per output element is identical either way).
+        if (skip) {
+            gemm_nt(out_c, n_active, cols, gobuf.data(), cols, colbuf.data(), cols,
+                    dwcompact.data(), n_active, /*accumulate=*/true, ws);
+        } else {
+            gemm_nt(out_c, patch, cols, gobuf.data(), cols, colbuf.data(), cols, gw, patch,
+                    /*accumulate=*/true, ws);
+        }
 
         // db += row sums of dY. Each channel's sum is an independent serial
         // chain, so splitting channels across threads changes no bit.
@@ -653,18 +786,108 @@ void conv2d_backward_acc(const tensor& input, const tensor& weight, const tensor
                 gb[oc] += acc;
             }
         };
-        if (conv_fan_out(spec.out_channels * cols) && spec.out_channels > 1) {
-            parallel_for(spec.out_channels, bias_rows);
+        if (conv_fan_out(out_c * cols) && out_c > 1) {
+            parallel_for(out_c, bias_rows);
         } else {
-            bias_rows(0, spec.out_channels);
+            bias_rows(0, out_c);
         }
 
         // dX += col2im(Wᵀ · dY); the column gradient reuses the im2col slab
-        // shape, and col2im_batch accumulates in place.
-        workspace::buffer gradcols = ws.acquire(patch * cols);
-        gemm_tn(patch, cols, spec.out_channels, weight2d, patch, gobuf.data(), cols,
-                gradcols.data(), cols, /*accumulate=*/false, ws);
-        col2im_batch(gradcols.data(), nb, in_h, in_w, spec, gin + n0 * image_elems);
+        // shape, and col2im accumulates in place.
+        workspace::buffer gradcols = ws.acquire(krows * cols);
+        if (skip) {
+            gemm_tn(n_active, cols, out_c, wcompact.data(), n_active, gobuf.data(), cols,
+                    gradcols.data(), cols, /*accumulate=*/false, ws);
+            col2im_batch_rows(gradcols.data(), nb, in_h, in_w, spec, active, n_active,
+                              gin + n0 * image_elems);
+        } else {
+            gemm_tn(patch, cols, out_c, weight2d, patch, gobuf.data(), cols, gradcols.data(),
+                    cols, /*accumulate=*/false, ws);
+            col2im_batch(gradcols.data(), nb, in_h, in_w, spec, gin + n0 * image_elems);
+        }
+    }
+
+    if (skip) {
+        for (std::size_t oc = 0; oc < out_c; ++oc) {
+            for (std::size_t j = 0; j < n_active; ++j) {
+                gw[oc * patch + active[j]] = dwcompact.data()[oc * n_active + j];
+            }
+        }
+    }
+}
+
+void check_conv_backward_shapes(const tensor& input, const tensor& weight,
+                                const tensor& grad_output, const conv2d_spec& spec,
+                                const tensor& grad_input) {
+    check_conv_inputs(input, weight, spec);
+    const std::size_t batch = input.extent(0);
+    const std::size_t oh = spec.out_h(input.extent(2));
+    const std::size_t ow = spec.out_w(input.extent(3));
+    REDUCE_CHECK(grad_output.dim() == 4 && grad_output.extent(0) == batch &&
+                     grad_output.extent(1) == spec.out_channels && grad_output.extent(2) == oh &&
+                     grad_output.extent(3) == ow,
+                 "conv2d grad_output " << grad_output.describe() << " does not match geometry");
+    REDUCE_CHECK(grad_input.shape() == input.shape(),
+                 "conv2d grad_input " << grad_input.describe() << " does not match input");
+}
+
+}  // namespace
+
+void conv2d_backward_acc(const tensor& input, const tensor& weight, const tensor& grad_output,
+                         const conv2d_spec& spec, tensor& grad_input, tensor& grad_weight,
+                         tensor& grad_bias) {
+    check_conv_backward_shapes(input, weight, grad_output, spec, grad_input);
+    REDUCE_CHECK(grad_weight.shape() == weight.shape(),
+                 "conv2d grad_weight " << grad_weight.describe() << " does not match weight");
+    REDUCE_CHECK(grad_bias.dim() == 1 && grad_bias.extent(0) == spec.out_channels,
+                 "conv2d grad_bias " << grad_bias.describe() << " does not match out_channels");
+    conv2d_backward_block(input.raw(), input.extent(0), input.extent(2), input.extent(3),
+                          weight.raw(), grad_output.raw(), spec, grad_input.raw(),
+                          grad_weight.raw(), grad_bias.raw(), /*active=*/nullptr,
+                          /*n_active=*/0, workspace::local());
+}
+
+void conv2d_backward_grouped(const tensor& input, std::size_t groups,
+                             const std::vector<const tensor*>& weights,
+                             const tensor& grad_output, const conv2d_spec& spec,
+                             tensor& grad_input,
+                             const std::vector<tensor*>& grad_weights,
+                             const std::vector<tensor*>& grad_biases) {
+    REDUCE_CHECK(groups > 0 && weights.size() == groups && grad_weights.size() == groups &&
+                     grad_biases.size() == groups,
+                 "conv2d_backward_grouped variant counts do not match " << groups
+                                                                        << " groups");
+    const std::size_t total = input.extent(0);
+    REDUCE_CHECK(input.dim() == 4 && total % groups == 0,
+                 "conv2d_backward_grouped stacked batch " << input.describe()
+                                                          << " not divisible by " << groups);
+    const std::size_t per_group = total / groups;
+    const std::size_t in_h = input.extent(2);
+    const std::size_t in_w = input.extent(3);
+    check_conv_backward_shapes(input, *weights[0], grad_output, spec, grad_input);
+    for (std::size_t g = 0; g < groups; ++g) {
+        REDUCE_CHECK(weights[g]->shape() == weights[0]->shape() &&
+                         grad_weights[g]->shape() == weights[0]->shape(),
+                     "conv2d_backward_grouped variant " << g << " weight/grad shape mismatch");
+        REDUCE_CHECK(grad_biases[g]->dim() == 1 &&
+                         grad_biases[g]->extent(0) == spec.out_channels,
+                     "conv2d_backward_grouped variant " << g << " grad_bias mismatch");
+    }
+    const std::vector<std::size_t> rows = conv_active_patch_rows(spec, in_h, in_w);
+    const bool skip = rows.size() != spec.patch_size();
+    const std::size_t image_elems = spec.in_channels * in_h * in_w;
+    const std::size_t grad_elems = spec.out_channels * spec.out_h(in_h) * spec.out_w(in_w);
+    workspace& ws = workspace::local();
+    // Each block replays the serial layer backward with batch = per_group,
+    // so chunk splits — and with them the dW/db accumulation order — match
+    // the serial chip path chunk for chunk.
+    for (std::size_t g = 0; g < groups; ++g) {
+        conv2d_backward_block(input.raw() + g * per_group * image_elems, per_group, in_h,
+                              in_w, weights[g]->raw(),
+                              grad_output.raw() + g * per_group * grad_elems, spec,
+                              grad_input.raw() + g * per_group * image_elems,
+                              grad_weights[g]->raw(), grad_biases[g]->raw(),
+                              skip ? rows.data() : nullptr, rows.size(), ws);
     }
 }
 

@@ -150,6 +150,54 @@ tensor conv2d_forward_grouped(const tensor& input, std::size_t groups,
                               const std::vector<const tensor*>& weights, const tensor& bias,
                               const conv2d_spec& spec, bool fuse_relu = false);
 
+// ---- grouped conv training drivers (grouped_fat_trainer) --------------------
+//
+// The grouped TRAINING loop advances K divergent variants in lockstep, so
+// unlike the evaluation drivers above both the weights AND the biases differ
+// per variant, and the backward pass must write per-variant parameter
+// gradients. The same finite-operand caveat applies: the active-row skip is
+// byte-identical to the serial layer path only for finite weights (forward)
+// and finite upstream gradients (dW); the grouped trainer guards both with
+// loud non-finite checks and falls back to the serial path.
+
+/// Training-mode grouped conv forward over a variant-stacked batch
+/// [G*N, C, H, W]: block g is convolved with weights[g] and biases[g], the
+/// bias always folded into the GEMM epilogue (the fused-layer law of
+/// conv2d_layer::forward, bit-identical to the unfused scatter placement).
+/// With `relu_keep` non-null the ReLU fuses into the scatter tail and the
+/// keep-mask is recorded in stacked NCHW layout (output-numel entries) for
+/// relu_keep_backward — the exact semantics of conv2d_layer::
+/// forward_fused_relu per variant block.
+tensor conv2d_forward_grouped_vb(const tensor& input, std::size_t groups,
+                                 const std::vector<const tensor*>& weights,
+                                 const std::vector<const tensor*>& biases,
+                                 const conv2d_spec& spec, std::uint8_t* relu_keep);
+
+/// Row-subset adjoint: like col2im_batch but `columns` is the compact
+/// [nrows, batch*oh*ow] matrix holding only the listed patch rows
+/// (strictly ascending). Skipped rows are the all-padding taps, whose
+/// serial col2im contribution is zero work (every tap lands out of bounds),
+/// so each input pixel's += chain is byte-identical to the full adjoint —
+/// unconditionally, for any gradient values.
+void col2im_batch_rows(const float* columns, std::size_t batch, std::size_t in_h,
+                       std::size_t in_w, const conv2d_spec& spec, const std::size_t* rows,
+                       std::size_t nrows, float* dst);
+
+/// Grouped conv backward over variant-stacked tensors: input/grad_output
+/// are [G*N, ...] with block g belonging to variant g; grad_weights[g]/
+/// grad_biases[g] receive block g's parameter gradients. Each block runs
+/// the exact serial conv2d_backward_acc chunk sequence (batch = N), so
+/// per-variant results are byte-identical to the layer path at any
+/// --gemm-threads. REQUIRES zeroed grad_weights (the active-row dW skip
+/// writes compacted results back by assignment) and finite grad_output
+/// (see gemm_k_subset); grad_biases and grad_input accumulate as usual.
+void conv2d_backward_grouped(const tensor& input, std::size_t groups,
+                             const std::vector<const tensor*>& weights,
+                             const tensor& grad_output, const conv2d_spec& spec,
+                             tensor& grad_input,
+                             const std::vector<tensor*>& grad_weights,
+                             const std::vector<tensor*>& grad_biases);
+
 /// Gradients of conv2d.
 struct conv2d_grads {
     tensor grad_input;   ///< [N, C, H, W]

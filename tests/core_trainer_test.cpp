@@ -43,6 +43,26 @@ TEST(EvalGrid, AlwaysEndsAtBudget) {
     EXPECT_NEAR(grid.back(), 2.3, 1e-9);
 }
 
+TEST(EvalGrid, PointsAreExactStepMultiples) {
+    // Regression: the grid was built by a running sum, so step 0.1 drifted
+    // (0.1 + 0.1 + 0.1 → 0.30000000000000004) and checkpoint values stopped
+    // comparing exactly across trajectories and the grouped/serial paths.
+    // Every fine point must be EXACTLY i * fine_step, bit for bit.
+    const std::vector<double> grid = make_eval_grid(1.0, 1.0, 0.1, 0.5);
+    ASSERT_EQ(grid.size(), 10u);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(grid[i], static_cast<double>(i + 1) * 0.1) << "point " << i;
+    }
+    // Coarse points anchor on the last fine point with one rounded product.
+    const std::vector<double> mixed = make_eval_grid(2.0, 0.3, 0.1, 0.7);
+    EXPECT_EQ(mixed[0], 1.0 * 0.1);
+    EXPECT_EQ(mixed[1], 2.0 * 0.1);
+    EXPECT_EQ(mixed[2], 3.0 * 0.1);
+    EXPECT_EQ(mixed[3], 3.0 * 0.1 + 1.0 * 0.7);
+    EXPECT_EQ(mixed[4], 3.0 * 0.1 + 2.0 * 0.7);
+    EXPECT_EQ(mixed.back(), 2.0);
+}
+
 TEST(EvalGrid, RejectsBadArgs) {
     EXPECT_THROW(make_eval_grid(0.0, 1.0, 0.1, 0.5), error);
     EXPECT_THROW(make_eval_grid(1.0, 1.0, 0.0, 0.5), error);
