@@ -7,9 +7,14 @@
 // needed to recover, plus the FAM advantage (clustered column damage gives
 // saliency-driven mapping more healthy columns to exploit).
 //
+// A third, line-structured model (whole PE rows/columns fail at once — a
+// broken word/bit line or clock spine) joins the comparison: line damage
+// wipes entire mapping columns, the worst case for FAP masking.
+//
 // Output: CSV (model, fault_rate, acc_no_retrain, epochs_to_target_max).
 // Options: --rates ... (default 0.1,0.2,0.3), --target 91, --repeats 3,
-//          --clusters 4, --spread 2.0.
+//          --clusters 4, --spread 2.0, --row-fraction 0.5,
+//          --models uniform,clustered,line.
 
 #include <iostream>
 
@@ -18,6 +23,7 @@
 #include "fault/mask_builder.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/error.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -35,8 +41,11 @@ int main(int argc, char** argv) {
         const std::size_t repeats = static_cast<std::size_t>(args.get_int("repeats", 3));
         const std::size_t clusters = static_cast<std::size_t>(args.get_int("clusters", 4));
         const double spread = args.get_double("spread", 2.0);
+        const double row_fraction = args.get_double("row-fraction", 0.5);
         const double budget = args.get_double("budget", 5.0);
         const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 31337));
+        const std::vector<std::string> models =
+            args.get_string_list("models", {"uniform", "clustered", "line"});
 
         workload w = make_standard_workload();
         std::cerr << "[fault-model] clean accuracy " << w.clean_accuracy * 100.0 << "%\n";
@@ -48,7 +57,18 @@ int main(int argc, char** argv) {
                        "epochs_to_target_max", "censored"});
         out.set_precision(4);
 
-        for (const bool clustered : {false, true}) {
+        // Per-model seed offsets keep historical maps stable: "uniform" and
+        // "clustered" reproduce the exact maps of the original two-model
+        // ablation, "line" gets its own stream.
+        const auto model_offset = [](const std::string& name) -> std::uint64_t {
+            if (name == "uniform") { return 0; }
+            if (name == "clustered") { return 500; }
+            if (name == "line") { return 1000; }
+            throw invalid_argument_error("unknown fault model '" + name +
+                                         "' (uniform|clustered|line)");
+        };
+        for (const std::string& model_name : models) {
+            const std::uint64_t offset = model_offset(model_name);
             for (std::size_t rate_idx = 0; rate_idx < rates.size(); ++rate_idx) {
                 const double rate = rates[rate_idx];
                 std::vector<double> accs;
@@ -56,14 +76,19 @@ int main(int argc, char** argv) {
                 std::size_t censored = 0;
                 for (std::size_t rep = 0; rep < repeats; ++rep) {
                     const std::uint64_t map_seed =
-                        mix_seed(seed, (clustered ? 500 : 0) + rate_idx * 10 + rep);
+                        mix_seed(seed, offset + rate_idx * 10 + rep);
                     fault_grid faults(w.array.rows, w.array.cols);
-                    if (clustered) {
+                    if (model_name == "clustered") {
                         clustered_fault_config cc;
                         cc.fault_rate = rate;
                         cc.cluster_count = clusters;
                         cc.spread = spread;
                         faults = generate_clustered_faults(w.array, cc, map_seed);
+                    } else if (model_name == "line") {
+                        line_fault_config lc;
+                        lc.fault_rate = rate;
+                        lc.row_fraction = row_fraction;
+                        faults = generate_line_faults(w.array, lc, map_seed);
                     } else {
                         random_fault_config rc;
                         rc.fault_rate = rate;
@@ -84,16 +109,15 @@ int main(int argc, char** argv) {
                 }
                 const summary_stats acc_stats = summarize(accs);
                 const summary_stats epoch_stats = summarize(epochs);
-                out.add_row({std::string(clustered ? "clustered" : "uniform"), rate,
-                             acc_stats.mean * 100.0, epoch_stats.max,
+                out.add_row({model_name, rate, acc_stats.mean * 100.0, epoch_stats.max,
                              static_cast<long long>(censored)});
-                std::cerr << "[fault-model] " << (clustered ? "clustered" : "uniform")
-                          << " rate " << rate << " done (" << timer.seconds() << " s)\n";
+                std::cerr << "[fault-model] " << model_name << " rate " << rate
+                          << " done (" << timer.seconds() << " s)\n";
             }
         }
         restore_parameters(w.model->parameters(), w.pretrained);
 
-        std::cout << "# Fault-model ablation: uniform vs clustered defects, target "
+        std::cout << "# Fault-model ablation: uniform vs clustered vs line defects, target "
                   << target * 100.0 << "%\n";
         out.write(std::cout);
         std::cerr << "[fault-model] done in " << timer.seconds() << " s\n";

@@ -17,6 +17,10 @@
 //   --eval-group K     same-rate cells per grouped epoch-0 eval pass
 //                      (default 1; never changes the table, only wall-clock)
 //   --shard I/N           run shard I of N cells (CSV covers the shard only)
+//   --scenario SPEC       fault-event timeline inside every cell's episode
+//                         (grammar of fault/scenario.h, e.g.
+//                         "strike@0.5:0.05;mode=recover;rollback=2"); feeds
+//                         the fingerprint, so scenario tables cache apart
 //   --cache-dir P         reuse/store the Step-1 table under P
 //   --cache-gc            prune the Step-1 cache first (stale schemas, plus
 //                         oldest entries beyond --cache-gc-max-mb)
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
         cfg.eval_grid = levels;  // evaluate exactly at the series levels
         cfg.seed = seed;
         cfg.context = workload_context();
+        if (args.has("scenario")) { cfg.scenario = parse_scenario(args.get("scenario", "")); }
 
         const resilience_table table = [&]() -> resilience_table {
             // A warm cache answers before the workload is even built — no

@@ -85,6 +85,9 @@ int main(int argc, char** argv) {
             cfg.eval_grid = make_eval_grid(budget, 1.0, 0.05, 0.25);
             cfg.seed = seed;
             cfg.context = workload_context();
+            if (args.has("scenario")) {
+                cfg.scenario = parse_scenario(args.get("scenario", ""));
+            }
 
             // A warm cache answers before the workload is even built — no
             // dataset synthesis, no pretraining.

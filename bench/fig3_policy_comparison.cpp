@@ -34,6 +34,10 @@
 //   --rate-lo/--rate-hi   fleet fault-rate range (default 0.01..0.3)
 //   --budget E       resilience budget        (default 6)
 //   --repeats N      resilience repeats       (default 5)
+//   --scenario SPEC  fault-event timeline applied to every chip's retraining
+//                    AND every Step-1 sweep cell (grammar of fault/scenario.h);
+//                    forces per-chip serial training and feeds the Step-1
+//                    fingerprint, so scenario tables cache apart
 //   --list-policies  print the registry and exit
 
 #include <iostream>
@@ -111,11 +115,14 @@ int main(int argc, char** argv) {
 
         const std::size_t eval_batch_chips =
             static_cast<std::size_t>(args.get_int("eval-batch-chips", 1));
+        const scenario_config scenario =
+            args.has("scenario") ? parse_scenario(args.get("scenario", "")) : scenario_config{};
         fleet_executor executor(
             *w.model, w.pretrained, w.train_data, w.test_data, w.array, w.trainer_cfg,
             fleet_executor_config{.threads = threads,
                                   .gemm_threads = gemm_threads,
-                                  .eval_batch_chips = eval_batch_chips});
+                                  .eval_batch_chips = eval_batch_chips,
+                                  .scenario = scenario});
 
         // Step 1 (shared by every table-driven policy) — parallel, and
         // reusable across invocations via the fingerprint-keyed cache.
@@ -125,6 +132,7 @@ int main(int argc, char** argv) {
         rc.max_epochs = budget;
         rc.seed = seed;
         rc.context = w.context;
+        rc.scenario = scenario;
         sweep_options sweep;
         sweep.threads =
             static_cast<std::size_t>(args.get_int("sweep-threads", args.get_int("threads", 1)));

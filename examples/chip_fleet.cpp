@@ -10,6 +10,12 @@
 //          [--distribution uniform|lognormal|fixed] [--policy reduce]
 //          [--threads 1] [--gemm-threads 1] [--fixed-epochs 1.0]
 //          [--eval-batch-chips 1] [--train-batch-chips 1]
+//          [--scenario "strike@0.5:0.05;mode=recover;rollback=2"]
+//
+// --scenario applies a fault-event timeline (fault/scenario.h grammar) to
+// every chip's retraining episode: strikes/aging land mid-run, the tuner
+// recovers (or restarts, per mode=) and continues. Timeline chips train
+// serially — the run log counts the downgrades, events, and rollbacks.
 //
 // The policy under test is resolved by name from the policy registry
 // (reduce, reduce-mean, oracle, binned, ...) and compared against the
@@ -74,12 +80,15 @@ int main(int argc, char** argv) {
                   << fc.rate_lo << ".." << fc.rate_hi << " ("
                   << args.get("distribution", "uniform") << ")\n\n";
 
+        const scenario_config scenario =
+            args.has("scenario") ? parse_scenario(args.get("scenario", "")) : scenario_config{};
         fleet_executor executor(*w.model, w.pretrained, w.train_data, w.test_data, w.array,
                                 w.trainer_cfg,
                                 fleet_executor_config{.threads = threads,
                                                       .gemm_threads = gemm_threads,
                                                       .eval_batch_chips = eval_batch_chips,
-                                                      .train_batch_chips = train_batch_chips});
+                                                      .train_batch_chips = train_batch_chips,
+                                                      .scenario = scenario});
 
         // Step 1 once for the whole lot.
         resilience_config rc;
@@ -106,6 +115,14 @@ int main(int argc, char** argv) {
         ctx.fixed_epochs = fixed_epochs;
         const auto policy = policy_registry::global().make(policy_name, ctx);
         const policy_outcome reduce_run = executor.run(*policy, fleet);
+        if (!scenario.empty()) {
+            const fleet_run_stats& stats = executor.last_run_stats();
+            std::cout << "fault timeline: " << stats.timeline_events << " events, "
+                      << stats.timeline_rollbacks << " rollbacks, "
+                      << stats.timeline_restarts << " restarts, "
+                      << stats.serial_nonfinite_chips << " non-finite chips, "
+                      << stats.scenario_downgrades << " grouped-path downgrades\n";
+        }
         executor.set_model_sink(nullptr);
         const policy_outcome fixed_run = executor.run(
             fixed_policy(fixed_epochs, constraint), fleet,

@@ -33,8 +33,20 @@ inline workload make_cli_workload(const cli_args& args) {
     return make_standard_workload();
 }
 
+/// The fault-event timeline, parsed from --scenario (the scenario grammar
+/// of fault/scenario.h, e.g. "strike@0.5:0.05;mode=recover;rollback=2").
+/// Empty when the flag is absent. Shared by the distributed binaries and
+/// the figure harnesses so one spelling drives every path.
+inline scenario_config make_cli_scenario(const cli_args& args) {
+    const std::string spec = args.get("scenario", "");
+    if (spec.empty()) { return scenario_config{}; }
+    return parse_scenario(spec);
+}
+
 /// The Step-1 sweep grid. Every value here feeds the fingerprint, so a
-/// worker started with different flags is rejected at handshake.
+/// worker started with different flags is rejected at handshake — including
+/// --scenario, which appends to the fingerprint only when non-empty (legacy
+/// scenario-free jobs keep their historical fingerprints and journals).
 inline resilience_config make_cli_sweep_config(const cli_args& args, const workload& w) {
     resilience_config cfg;
     cfg.fault_rates = args.get_double_list("rates", {0.0, 0.1, 0.2, 0.3});
@@ -42,6 +54,7 @@ inline resilience_config make_cli_sweep_config(const cli_args& args, const workl
     cfg.max_epochs = args.get_double("budget", 4.0);
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 20230305));
     cfg.context = w.context;
+    cfg.scenario = make_cli_scenario(args);
     return cfg;
 }
 

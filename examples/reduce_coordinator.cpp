@@ -19,6 +19,7 @@
 //
 // Usage: reduce_coordinator [--mode sweep|fleet] [--tiny]
 //          [--rates 0,0.1,...] [--repeats 3] [--budget 4] [--seed S]
+//          [--scenario "strike@0.5:0.05;mode=recover;rollback=2"]
 //          [--port 0] [--port-file P] [--save out.json] [--cache-dir D]
 //          [--cells-per-lease 4] [--heartbeat-ms 500] [--lease-timeout-ms 10000]
 //          [--drain-timeout-ms 1000] [--journal D] [--chaos-seed S]
@@ -181,7 +182,8 @@ int main(int argc, char** argv) {
                 fleet_executor_config{
                     .threads = static_cast<std::size_t>(args.get_int("threads", 1)),
                     .gemm_threads =
-                        static_cast<std::size_t>(args.get_int("gemm-threads", 1))});
+                        static_cast<std::size_t>(args.get_int("gemm-threads", 1)),
+                    .scenario = sweep_cfg.scenario});
             const policy_outcome outcome = executor.run(*policy, fleet);
             std::cout << "local fleet run: " << outcome.chips.size() << " chips in "
                       << timer.seconds() << " s\n";

@@ -5,10 +5,28 @@
 
 #include "nn/loss.h"
 #include "nn/metrics.h"
+#include "nn/serialize.h"
 #include "util/error.h"
+#include "util/log.h"
 #include "util/stopwatch.h"
 
 namespace reduce {
+
+namespace {
+
+/// True when every parameter value is finite — the serial twin of the
+/// grouped trainer's check_mapped_finite, run at every stop so divergence
+/// is caught at the same granularity on both paths.
+bool params_finite(const std::vector<parameter*>& params) {
+    for (const parameter* p : params) {
+        for (const float v : p->value.data()) {
+            if (!std::isfinite(v)) { return false; }
+        }
+    }
+    return true;
+}
+
+}  // namespace
 
 std::vector<double> make_eval_grid(double max_epochs, double fine_until, double fine_step,
                                    double coarse_step) {
@@ -94,7 +112,8 @@ double fault_aware_trainer::evaluate() {
 }
 
 fat_result fault_aware_trainer::train(double epoch_budget, const std::vector<double>& eval_grid,
-                                      const std::optional<double>& epoch0_accuracy) {
+                                      const std::optional<double>& epoch0_accuracy,
+                                      const train_event_hooks* hooks) {
     REDUCE_CHECK(epoch_budget >= 0.0, "epoch budget must be non-negative");
     stopwatch timer;
 
@@ -106,6 +125,44 @@ fat_result fault_aware_trainer::train(double epoch_budget, const std::vector<dou
     std::sort(checkpoints.begin(), checkpoints.end());
     checkpoints.erase(std::unique(checkpoints.begin(), checkpoints.end()), checkpoints.end());
     if (epoch_budget > 0.0) { checkpoints.push_back(epoch_budget); }
+
+    // Stops: the checkpoint sequence with event epochs merged in. An event
+    // fires at the SAME step boundary (loader.steps_for_epochs) on every
+    // path, so timeline runs stay bit-identical across thread counts,
+    // groupings, and distributed/local execution. Events at or beyond the
+    // budget never fire; an event within 1e-9 of a checkpoint shares its
+    // stop (fire, then one eval covers both).
+    struct stop_point {
+        double epoch = 0.0;
+        std::ptrdiff_t event = -1;  ///< index into hooks->event_epochs, or -1
+    };
+    const bool scenario_active =
+        hooks != nullptr && !hooks->event_epochs.empty() && epoch_budget > 0.0;
+    std::vector<stop_point> stops;
+    stops.reserve(checkpoints.size() + (scenario_active ? hooks->event_epochs.size() : 0));
+    for (const double c : checkpoints) { stops.push_back({c, -1}); }
+    if (scenario_active) {
+        REDUCE_CHECK(static_cast<bool>(hooks->on_event),
+                     "event hooks carry epochs but no on_event callback");
+        for (std::size_t i = 0; i < hooks->event_epochs.size(); ++i) {
+            const double e = hooks->event_epochs[i];
+            REDUCE_CHECK(e > 0.0, "event epoch must be positive, got " << e);
+            REDUCE_CHECK(i == 0 || e > hooks->event_epochs[i - 1],
+                         "event epochs must be strictly ascending");
+            if (e >= epoch_budget - 1e-9) { break; }
+            bool merged = false;
+            for (stop_point& st : stops) {
+                if (st.event < 0 && std::abs(st.epoch - e) <= 1e-9) {
+                    st.event = static_cast<std::ptrdiff_t>(i);
+                    merged = true;
+                    break;
+                }
+            }
+            if (!merged) { stops.push_back({e, static_cast<std::ptrdiff_t>(i)}); }
+        }
+        std::sort(stops.begin(), stops.end(),
+                  [](const stop_point& a, const stop_point& b) { return a.epoch < b.epoch; });
+    }
 
     fat_result result;
     result.trajectory.push_back(
@@ -122,27 +179,129 @@ fat_result fault_aware_trainer::train(double epoch_budget, const std::vector<dou
     apply_all_masks(optimizer.params());
 
     std::size_t steps_done = 0;
-    for (const double checkpoint : checkpoints) {
-        const std::size_t target_steps = loader.steps_for_epochs(checkpoint);
+    double lr_value = cfg_.learning_rate;
+
+    // Restart baseline: the post-FAP masked pretrained state every event
+    // resets to (cumulative-epoch accounting — the loader keeps running).
+    model_snapshot restart_base;
+    optimizer_state fresh_opt;
+    if (scenario_active && hooks->mode == recovery_mode::restart) {
+        restart_base = snapshot_model(model_);
+        fresh_opt = optimizer.save_state();  // all zeros: just constructed
+    }
+
+    // Recover mode: the rollback anchor — full resumable state of the last
+    // stop where loss and weights were finite. One anchor suffices: ReCycle
+    // rolls back to the LAST finite checkpoint, never further.
+    struct rollback_point {
+        model_snapshot model;       ///< params + state buffers (BN statistics)
+        optimizer_state opt;
+        data_loader::state loader;
+        std::size_t steps_done = 0;
+        std::size_t next_stop = 0;  ///< stop index to resume from
+        std::size_t traj_size = 0;  ///< trajectory length to truncate back to
+        double lr = 0.0;
+    };
+    rollback_point anchor;
+    const bool can_rollback = scenario_active &&
+                              hooks->mode == recovery_mode::recover &&
+                              hooks->rollback_budget > 0;
+    const auto take_anchor = [&](std::size_t next_stop) {
+        anchor.model = snapshot_model(model_);
+        anchor.opt = optimizer.save_state();
+        anchor.loader = loader.save_state();
+        anchor.steps_done = steps_done;
+        anchor.next_stop = next_stop;
+        anchor.traj_size = result.trajectory.size();
+        anchor.lr = lr_value;
+    };
+    if (can_rollback) { take_anchor(0); }
+
+    std::size_t si = 0;
+    while (si < stops.size()) {
+        const stop_point st = stops[si];
+        const std::size_t target_steps = loader.steps_for_epochs(st.epoch);
+        bool diverged = false;
         while (steps_done < target_steps) {
             const batch b = loader.next_batch();
             const tensor logits = model_.forward(b.features);
             const loss_result loss = cross_entropy_loss(logits, b.labels);
+            // Loud non-finite detection, same as the grouped path: a
+            // diverged step never updates the weights.
+            if (!std::isfinite(loss.value)) {
+                diverged = true;
+                break;
+            }
             optimizer.zero_grad();
             model_.backward(loss.grad);
             if (cfg_.grad_clip > 0.0) { clip_grad_norm(optimizer.params(), cfg_.grad_clip); }
             optimizer.step();
             ++steps_done;
         }
+        if (!diverged) { diverged = !params_finite(optimizer.params()); }
+        if (diverged) {
+            if (can_rollback && result.rollbacks < hooks->rollback_budget) {
+                ++result.rollbacks;
+                lr_value *= 0.5;
+                LOG_WARN << "fat: non-finite state before epoch " << st.epoch
+                         << "; rolling back to the last finite checkpoint (retry "
+                         << result.rollbacks << "/" << hooks->rollback_budget << " at lr "
+                         << lr_value << ")";
+                restore_model(model_, anchor.model);
+                optimizer.restore_state(anchor.opt);
+                loader.restore_state(anchor.loader);
+                steps_done = anchor.steps_done;
+                optimizer.set_learning_rate(lr_value);
+                // Continue under the CURRENT (post-event) masks: the anchor
+                // may predate the strike, so re-clamp weights and momentum.
+                apply_all_masks(optimizer.params());
+                optimizer.mask_state();
+                result.trajectory.resize(anchor.traj_size);
+                si = anchor.next_stop;
+                continue;
+            }
+            LOG_WARN << "fat: training diverged to non-finite state before epoch "
+                     << st.epoch << " after " << steps_done
+                     << " steps; stopping early with accuracy 0";
+            result.hit_nonfinite = true;
+            break;
+        }
+        if (st.event >= 0) {
+            // The callback rebuilds the fault grid and masks in place
+            // (newly masked weights are zeroed by the re-attach).
+            hooks->on_event(static_cast<std::size_t>(st.event));
+            ++result.events_applied;
+            if (hooks->mode == recovery_mode::restart) {
+                // Baseline: pretrained weights under the NEW mask, fresh
+                // optimizer, original learning rate — epochs keep
+                // accumulating, so benches can price the restart.
+                restore_model(model_, restart_base);
+                apply_all_masks(optimizer.params());
+                optimizer.restore_state(fresh_opt);
+                lr_value = cfg_.learning_rate;
+                optimizer.set_learning_rate(lr_value);
+                ++result.restarts;
+            } else {
+                // Recover-and-continue: a newly pruned weight loses its
+                // momentum too, or the next step would push it off zero.
+                optimizer.mask_state();
+            }
+        }
         // Label the point with the REQUESTED checkpoint, not the
         // step-quantized epoch count: queries (accuracy_at, epochs_to_reach)
         // are phrased on the checkpoint grid, and the quantization always
         // rounds the actual steps UP (ceil), so the label understates the
-        // training done — the conservative direction.
-        result.trajectory.push_back({checkpoint, evaluate()});
+        // training done — the conservative direction. Event stops record
+        // the post-event accuracy (the eval point recovery continues from).
+        result.trajectory.push_back({st.epoch, evaluate()});
+        if (can_rollback) { take_anchor(si + 1); }
+        ++si;
     }
 
-    result.final_accuracy = result.trajectory.back().test_accuracy;
+    // A non-finite end reports exactly 0.0 — deterministic and guaranteed
+    // to miss any accuracy constraint — never a propagated NaN.
+    result.final_accuracy =
+        result.hit_nonfinite ? 0.0 : result.trajectory.back().test_accuracy;
     result.steps_run = steps_done;
     result.epochs_run =
         static_cast<double>(steps_done) / static_cast<double>(loader.steps_per_epoch());

@@ -14,10 +14,12 @@
 // tensor/gemm.h), only wall-clock time per epoch.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "data/loader.h"
+#include "fault/scenario.h"
 #include "nn/models.h"
 #include "nn/optim.h"
 
@@ -46,6 +48,36 @@ struct fat_result {
     double epochs_run = 0.0;
     std::size_t steps_run = 0;
     double train_seconds = 0.0;
+    /// Timeline accounting (all zero for event-free runs).
+    std::size_t events_applied = 0;  ///< fault-timeline events fired mid-run
+    std::size_t rollbacks = 0;       ///< recoveries to the last finite checkpoint
+    std::size_t restarts = 0;        ///< restart-from-scratch resets at events
+    /// Training diverged to non-finite state and the run stopped early
+    /// (after exhausting any rollback budget). final_accuracy is reported
+    /// as exactly 0.0 — loud and deterministic, never a propagated NaN.
+    bool hit_nonfinite = false;
+};
+
+/// Mid-run fault-event hooks: how a fault timeline plugs into train().
+///
+/// The trainer owns WHEN (event epochs are merged into the checkpoint
+/// sequence and fire at the same step boundaries on every path) and the
+/// recovery discipline; the caller owns WHAT an event does via `on_event`,
+/// which must rebuild the fault grid and re-attach masks in place
+/// (fault_state_guard::swap_masks) — the trainer then re-zeroes optimizer
+/// state under the new masks, takes an eval point, and continues.
+struct train_event_hooks {
+    /// Ascending event epochs, each > 0. Events at or beyond the epoch
+    /// budget never fire. Index i of this list is passed to on_event.
+    std::vector<double> event_epochs;
+    /// Applies event i to the model's masks (and the caller's grid).
+    std::function<void(std::size_t event_index)> on_event;
+    recovery_mode mode = recovery_mode::recover;
+    /// recover mode: rollbacks to the last finite checkpoint allowed
+    /// before the run gives up (hit_nonfinite). Each rollback halves the
+    /// learning rate so the deterministic retry takes a different — tamer —
+    /// trajectory than the one that diverged.
+    std::size_t rollback_budget = 2;
 };
 
 /// Rows one evaluation forward pass covers: large enough to amortize
@@ -94,8 +126,18 @@ public:
     /// injected value that was computed on the same masked weights (and
     /// batch-norm statistics) leaves the result byte-identical to the
     /// uninjected run while skipping one full pass over the test set.
+    ///
+    /// `hooks` (optional) drives fault-timeline events: event epochs join
+    /// the checkpoint sequence, each firing records an eval point, and the
+    /// recovery discipline (recover/rollback vs restart) follows
+    /// hooks->mode. nullptr or an empty event list leaves event-free runs
+    /// byte-identical to the pre-hook trainer. Independent of hooks,
+    /// training that diverges to non-finite loss or weights now stops
+    /// loudly (fat_result::hit_nonfinite) instead of silently training on
+    /// NaNs — the serial twin of the grouped trainer's detection.
     fat_result train(double epoch_budget, const std::vector<double>& eval_grid,
-                     const std::optional<double>& epoch0_accuracy = std::nullopt);
+                     const std::optional<double>& epoch0_accuracy = std::nullopt,
+                     const train_event_hooks* hooks = nullptr);
 
     /// Convenience: train for the budget with a single final evaluation.
     fat_result train(double epoch_budget);

@@ -57,7 +57,30 @@ chip_outcome chip_tuner::tune(const chip& c, const epoch_allocation& alloc,
     // buffers (batch-norm running statistics) on every exit path, so a
     // throwing train() cannot leave the tuner's model corrupted.
     fault_state_guard guard(*model_, pretrained_);
-    const mask_stats stats = attach_fault_masks(*model_, array_, c.faults);
+    // Timeline events mutate a working COPY of the chip's grid; the fleet's
+    // descriptor stays pristine (and with no scenario the copy is inert).
+    fault_grid working = c.faults;
+    const mask_stats stats = attach_fault_masks(*model_, array_, working);
+
+    // Scenario → trainer hooks. The timeline seed is a pure function of
+    // (scenario.seed, chip id), so any worker on any machine replays the
+    // same event contents for this chip.
+    const fault_timeline timeline = timeline_for_chip(scenario_, c.id);
+    train_event_hooks hooks;
+    const train_event_hooks* hooks_ptr = nullptr;
+    if (!scenario_.empty()) {
+        hooks.event_epochs.reserve(scenario_.events.size());
+        for (const fault_event& ev : scenario_.events) {
+            hooks.event_epochs.push_back(ev.epoch);
+        }
+        hooks.mode = scenario_.mode;
+        hooks.rollback_budget = scenario_.rollback_budget;
+        hooks.on_event = [&](std::size_t event_index) {
+            apply_fault_event(working, timeline, event_index);
+            guard.swap_masks(array_, working);
+        };
+        hooks_ptr = &hooks;
+    }
 
     fault_aware_trainer trainer(*model_, train_data_, test_data_, trainer_cfg_);
     chip_outcome outcome;
@@ -79,12 +102,20 @@ chip_outcome chip_tuner::tune(const chip& c, const epoch_allocation& alloc,
         // Oracle accounting: run the budget on the shared checkpoint grid and
         // charge only up to the first checkpoint that meets the target.
         const std::vector<double> grid = make_eval_grid(alloc.epochs, 1.0, 0.05, 0.5);
-        const fat_result result = trainer.train(alloc.epochs, grid, epoch0);
+        const fat_result result = trainer.train(alloc.epochs, grid, epoch0, hooks_ptr);
+        outcome.events_applied = result.events_applied;
+        outcome.rollbacks = result.rollbacks;
+        outcome.restarts = result.restarts;
+        outcome.hit_nonfinite = result.hit_nonfinite;
         const std::optional<double> reached =
             epochs_to_reach(result.trajectory, constraint);
         if (reached.has_value()) {
             outcome.epochs_run = *reached;
             outcome.final_accuracy = accuracy_at_epochs(result.trajectory, *reached);
+            // The charge stops at *reached: a divergence past that point is
+            // outside the charged (and replayed) run, so the outcome is the
+            // finite prefix, not the non-finite tail.
+            outcome.hit_nonfinite = false;
             if (capture_tuned_ && *reached < result.epochs_run) {
                 // The model now holds the full-budget weights; re-train to the
                 // charged checkpoint so the distributed snapshot matches the
@@ -93,19 +124,31 @@ chip_outcome chip_tuner::tune(const chip& c, const epoch_allocation& alloc,
                 // included, thanks to the re-reseed).
                 restore_parameters(model_->parameters(), pretrained_);
                 reseed_stochastic_layers(*model_, c.seed);
+                if (hooks_ptr != nullptr) {
+                    // The replay must start from the chip's ORIGINAL grid:
+                    // the timeline re-fires its events (same seeds, same
+                    // contents) from the same step boundaries, so the prefix
+                    // is exact — event evolution included.
+                    working = c.faults;
+                    guard.swap_masks(array_, working);
+                }
                 // The replay's fat_result is discarded — only the weights it
                 // leaves behind matter — so inject the known epoch-0 value
                 // rather than paying another full test-set pass.
-                (void)trainer.train(*reached, {}, epoch0);
+                (void)trainer.train(*reached, {}, epoch0, hooks_ptr);
             }
         } else {
             outcome.epochs_run = result.epochs_run;
             outcome.final_accuracy = result.final_accuracy;
         }
     } else {
-        const fat_result result = trainer.train(alloc.epochs, {}, epoch0);
+        const fat_result result = trainer.train(alloc.epochs, {}, epoch0, hooks_ptr);
         outcome.epochs_run = result.epochs_run;
         outcome.final_accuracy = result.final_accuracy;
+        outcome.events_applied = result.events_applied;
+        outcome.rollbacks = result.rollbacks;
+        outcome.restarts = result.restarts;
+        outcome.hit_nonfinite = result.hit_nonfinite;
     }
     outcome.meets_constraint = outcome.final_accuracy >= constraint;
 
@@ -216,6 +259,16 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
     // worker would deep-clone a tuner model just to find the queue empty.
     const std::size_t workers =
         std::min(worker_budget, (fleet.size() + group - 1) / group);
+    // Timeline chips cannot train in lockstep — a mid-run mask swap would
+    // desynchronize the group's shared batch schedule — so a non-empty
+    // scenario downgrades the whole fleet to the serial path, loudly.
+    const bool scenario_serial = cfg_.train_batch_chips > 1 && !cfg_.scenario.empty();
+    if (scenario_serial) {
+        LOG_WARN << outcome.policy_name << ": fault timeline active ("
+                 << cfg_.scenario.events.size() << " events) — grouped retraining "
+                 << "(--train-batch-chips " << cfg_.train_batch_chips
+                 << ") downgraded to serial for all " << fleet.size() << " chips";
+    }
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::size_t completed = 0;  // guarded by progress_mutex
@@ -228,6 +281,7 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
         // reused for every chip after it.
         workspace& arena = workspace::local();
         tuner.set_capture_tuned(static_cast<bool>(sink_));
+        tuner.set_scenario(cfg_.scenario);
         // Grouped engines are built lazily: a worker that never claims a
         // multi-chip block (ragged tails, tiny fleets) never clones for them.
         std::unique_ptr<multi_mask_evaluator> evaluator;
@@ -258,8 +312,18 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
             // Count, notify, and sink under one lock: the reported
             // 'completed' sequence is strictly increasing and sinks fire in
             // fleet order regardless of which worker finished first.
+            const chip_outcome& co = outcome.chips[i];
+            if (co.hit_nonfinite) {
+                LOG_WARN << outcome.policy_name << ": chip " << fleet[i].id
+                         << " retraining diverged to non-finite state (reported "
+                         << "accuracy 0.0, " << co.rollbacks << " rollbacks used)";
+            }
             std::lock_guard<std::mutex> lock(progress_mutex);
             ++stats_.serial_train_chips;
+            if (co.hit_nonfinite) { ++stats_.serial_nonfinite_chips; }
+            stats_.timeline_events += co.events_applied;
+            stats_.timeline_rollbacks += co.rollbacks;
+            stats_.timeline_restarts += co.restarts;
             ++completed;
             if (progress_) { progress_(completed, fleet.size(), outcome.chips[i]); }
             if (sink_) {
@@ -351,7 +415,7 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
                     }
                     before = evaluator->evaluate(grids);
                 }
-                if (cfg_.train_batch_chips > 1 && end - begin > 1) {
+                if (cfg_.train_batch_chips > 1 && end - begin > 1 && !scenario_serial) {
                     // Carve the block into maximal same-allocation runs —
                     // lockstep training shares one batch schedule, so only
                     // chips with identical (epochs, train_to_target) group.
@@ -397,6 +461,10 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
                 } else {
                     for (std::size_t i = begin; i < end; ++i) {
                         if (failed.load(std::memory_order_relaxed)) { return; }
+                        if (scenario_serial) {
+                            std::lock_guard<std::mutex> lock(progress_mutex);
+                            ++stats_.scenario_downgrades;
+                        }
                         tune_serial(i, begin, before);
                     }
                 }
@@ -415,7 +483,15 @@ policy_outcome fleet_executor::run(const retraining_policy& policy,
                  << stats_.grouped_train_groups << " groups, "
                  << stats_.serial_train_chips << " serial ("
                  << stats_.alloc_downgrades << " allocation downgrades, "
-                 << stats_.nonfinite_downgrades << " non-finite downgrades)";
+                 << stats_.nonfinite_downgrades << " non-finite downgrades, "
+                 << stats_.scenario_downgrades << " scenario downgrades)";
+    }
+    if (!cfg_.scenario.empty()) {
+        LOG_INFO << outcome.policy_name << ": fault timeline fired "
+                 << stats_.timeline_events << " events across the fleet ("
+                 << stats_.timeline_rollbacks << " rollbacks, "
+                 << stats_.timeline_restarts << " restarts, "
+                 << stats_.serial_nonfinite_chips << " non-finite chips)";
     }
     return outcome;
 }

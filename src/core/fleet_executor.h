@@ -46,6 +46,13 @@ struct chip_outcome {
     double final_accuracy = 0.0;
     bool meets_constraint = false;
     bool selection_failed = false;  ///< table deemed the target unreachable
+    /// Fault-timeline accounting (all zero when no scenario is active).
+    std::size_t events_applied = 0;  ///< timeline events fired mid-retraining
+    std::size_t rollbacks = 0;       ///< recoveries to the last finite checkpoint
+    std::size_t restarts = 0;        ///< restart-from-scratch resets at events
+    /// Retraining diverged to non-finite state and stopped early;
+    /// final_accuracy is reported as exactly 0.0, never a propagated NaN.
+    bool hit_nonfinite = false;
 };
 
 /// Fleet-level summary of a policy run (one panel of Fig. 3).
@@ -116,6 +123,15 @@ public:
     /// Moves the last tune()'s captured weights out of the tuner.
     model_snapshot take_tuned() { return std::move(last_tuned_); }
 
+    /// Installs a fault-event timeline scenario: every subsequent tune()
+    /// derives the chip's timeline as timeline_for_chip(scenario, c.id) —
+    /// a pure function of the scenario and the chip id, so distributed
+    /// workers and the local path replay identical event sequences — and
+    /// runs the trainer with mid-run event hooks (events mutate a working
+    /// COPY of the chip's fault grid; the fleet descriptor is never
+    /// touched). An empty scenario (the default) disables timelines.
+    void set_scenario(scenario_config scenario) { scenario_ = std::move(scenario); }
+
 private:
     std::unique_ptr<sequential> model_;
     const model_snapshot& pretrained_;
@@ -125,6 +141,7 @@ private:
     fat_config trainer_cfg_;
     bool capture_tuned_ = false;
     model_snapshot last_tuned_;
+    scenario_config scenario_;
 };
 
 /// Executor knobs.
@@ -162,6 +179,13 @@ struct fleet_executor_config {
     /// diverges to non-finite state makes the whole group fall back to the
     /// serial path (nonfinite_downgrades) — loudly, never silently wrong.
     std::size_t train_batch_chips = 1;
+    /// Fault-event timeline applied to every chip (per-chip event contents
+    /// derive from timeline_for_chip(scenario, chip.id)). Non-empty
+    /// scenarios force timeline chips OFF the grouped-training path —
+    /// lockstep groups cannot swap masks mid-run — with the downgrade
+    /// logged and counted in fleet_run_stats::scenario_downgrades. Grouped
+    /// accuracy_before evaluation is unaffected (epoch-0 is pre-event).
+    scenario_config scenario{};
 };
 
 /// Observability counters for one run(): how much of the fleet actually
@@ -177,6 +201,16 @@ struct fleet_run_stats {
     /// Chips re-run serially after their group hit non-finite state
     /// (grouped_nonfinite_error).
     std::size_t nonfinite_downgrades = 0;
+    /// Timeline-carrying chips forced off the grouped-training path (a
+    /// non-empty executor scenario downgrades the whole fleet to serial).
+    std::size_t scenario_downgrades = 0;
+    /// Serial tunes that ended hit_nonfinite (diverged after exhausting any
+    /// rollback budget; outcome reports final_accuracy 0.0, never NaN).
+    std::size_t serial_nonfinite_chips = 0;
+    /// Fleet-wide timeline accounting, summed over chip outcomes.
+    std::size_t timeline_events = 0;
+    std::size_t timeline_rollbacks = 0;
+    std::size_t timeline_restarts = 0;
 };
 
 /// Runs a retraining policy over a fleet, one chip_tuner per worker.

@@ -369,6 +369,10 @@ std::string resilience_fingerprint(const resilience_config& cfg) {
     canon += "|fault=" + std::to_string(static_cast<int>(cfg.fault_model.count_mode)) + "," +
              std::to_string(static_cast<int>(cfg.fault_model.kind_mix));
     canon += "|seed=" + std::to_string(cfg.seed);
+    // Appended ONLY when a timeline is active: scenario-free configs keep
+    // their historical fingerprints, so existing caches, journals, and
+    // coordinator/worker handshakes stay valid bit for bit.
+    if (!cfg.scenario.empty()) { canon += "|scenario=" + scenario_to_string(cfg.scenario); }
 
     const std::uint64_t h1 = fnv1a(canon, 14695981039346656037ULL);
     const std::uint64_t h2 = mix_seed(h1, canon.size());
@@ -708,11 +712,36 @@ resilience_table resilience_analyzer::analyze_cells(const resilience_config& cfg
                 // cell, not of the worker's history.
                 reseed_stochastic_layers(*model, cell.map_seed);
                 fault_state_guard guard(*model, pretrained_);
-                const mask_stats stats = attach_fault_masks(*model, array_, faults[i - begin]);
+                // Timeline events mutate a working copy of the cell's grid;
+                // without a scenario the copy is inert (the block's shared
+                // `faults` vector is read-only either way).
+                fault_grid working = faults[i - begin];
+                const mask_stats stats = attach_fault_masks(*model, array_, working);
+                // Cell-local timeline: seeded from the cell's grid
+                // coordinates, so any shard split, worker count, or
+                // distributed lease replays identical event contents.
+                const fault_timeline timeline =
+                    timeline_for_cell(cfg.scenario, cell.rate_index, cell.repeat);
+                train_event_hooks hooks;
+                const train_event_hooks* hooks_ptr = nullptr;
+                if (!cfg.scenario.empty()) {
+                    hooks.event_epochs.reserve(cfg.scenario.events.size());
+                    for (const fault_event& ev : cfg.scenario.events) {
+                        hooks.event_epochs.push_back(ev.epoch);
+                    }
+                    hooks.mode = cfg.scenario.mode;
+                    hooks.rollback_budget = cfg.scenario.rollback_budget;
+                    hooks.on_event = [&](std::size_t event_index) {
+                        apply_fault_event(working, timeline, event_index);
+                        guard.swap_masks(array_, working);
+                    };
+                    hooks_ptr = &hooks;
+                }
                 fat_result fat = trainer.train(
                     cfg.max_epochs, eval_grid,
                     epoch0.empty() ? std::nullopt
-                                   : std::optional<double>(epoch0[i - begin]));
+                                   : std::optional<double>(epoch0[i - begin]),
+                    hooks_ptr);
 
                 resilience_run& run = runs[i];
                 run.fault_rate = cell.fault_rate;

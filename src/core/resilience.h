@@ -191,6 +191,14 @@ struct resilience_config {
     std::vector<double> eval_grid;  ///< empty → make_eval_grid(max,1,0.05,0.5)
     random_fault_config fault_model{};
     std::uint64_t seed = 20230305;
+    /// Fault-event timeline applied inside every cell's retraining episode:
+    /// each cell derives its timeline as timeline_for_cell(scenario,
+    /// rate_index, repeat) — a pure function of the scenario and the cell's
+    /// grid coordinates, so sharded, distributed, and local sweeps replay
+    /// identical event sequences. Empty (the default) disables timelines
+    /// and keeps the fingerprint — and thus every existing cache entry and
+    /// journal — unchanged.
+    scenario_config scenario{};
     /// Names EVERYTHING the config alone cannot see that shapes the sweep's
     /// numbers: model architecture, dataset, pretraining, trainer
     /// hyper-parameters, and accelerator geometry (`workload::context`

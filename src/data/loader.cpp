@@ -47,4 +47,18 @@ void data_loader::reset() {
     start_epoch();
 }
 
+data_loader::state data_loader::save_state() const {
+    return state{gen_, order_, cursor_, steps_taken_};
+}
+
+void data_loader::restore_state(const state& s) {
+    REDUCE_CHECK(s.order.size() == data_.size(),
+                 "loader state is from a different dataset (order size "
+                     << s.order.size() << " vs " << data_.size() << ")");
+    gen_ = s.gen;
+    order_ = s.order;
+    cursor_ = s.cursor;
+    steps_taken_ = s.steps_taken;
+}
+
 }  // namespace reduce

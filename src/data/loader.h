@@ -39,6 +39,24 @@ public:
     /// across policies.
     void reset();
 
+    /// Resumable position in the batch stream (shuffle RNG, current epoch
+    /// order, cursor, step counter) — copyable, so event-driven training
+    /// can checkpoint and roll back to an exact point of the stream and
+    /// replay the identical batch sequence.
+    struct state {
+        rng gen;
+        std::vector<std::size_t> order;
+        std::size_t cursor = 0;
+        std::size_t steps_taken = 0;
+    };
+
+    /// Captures the current position.
+    state save_state() const;
+
+    /// Restores a position captured from this loader (same dataset/batch
+    /// size); the stream continues exactly as it would have from there.
+    void restore_state(const state& s);
+
 private:
     void start_epoch();
 

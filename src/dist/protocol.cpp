@@ -468,6 +468,16 @@ json_value chip_outcome_to_json(const chip_outcome& outcome) {
     obj.set("final_accuracy", json_value(outcome.final_accuracy));
     obj.set("meets_constraint", json_value(outcome.meets_constraint));
     obj.set("selection_failed", json_value(outcome.selection_failed));
+    // Timeline fields are emitted only when a timeline touched the chip, so
+    // scenario-free runs keep their historical message bytes (journals of
+    // old runs replay unchanged).
+    if (outcome.events_applied != 0 || outcome.rollbacks != 0 || outcome.restarts != 0 ||
+        outcome.hit_nonfinite) {
+        obj.set("events_applied", json_value(outcome.events_applied));
+        obj.set("rollbacks", json_value(outcome.rollbacks));
+        obj.set("restarts", json_value(outcome.restarts));
+        obj.set("hit_nonfinite", json_value(outcome.hit_nonfinite));
+    }
     return json_value(std::move(obj));
 }
 
@@ -484,6 +494,14 @@ chip_outcome chip_outcome_from_json(const json_value& value) {
     outcome.final_accuracy = obj.at("final_accuracy").as_number();
     outcome.meets_constraint = obj.at("meets_constraint").as_bool();
     outcome.selection_failed = obj.at("selection_failed").as_bool();
+    // Optional timeline fields (absent in scenario-free messages and in
+    // journals recorded before fault timelines existed).
+    if (obj.contains("events_applied")) {
+        outcome.events_applied = static_cast<std::size_t>(obj.at("events_applied").as_int());
+        outcome.rollbacks = static_cast<std::size_t>(obj.at("rollbacks").as_int());
+        outcome.restarts = static_cast<std::size_t>(obj.at("restarts").as_int());
+        outcome.hit_nonfinite = obj.at("hit_nonfinite").as_bool();
+    }
     return outcome;
 }
 

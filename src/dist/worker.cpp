@@ -297,6 +297,10 @@ worker_report worker::run() {
                                                              test_data_, array_,
                                                              trainer_cfg_);
                         tuner->set_capture_tuned(want_snapshots);
+                        // The timeline rides the shared sweep config (part
+                        // of the fingerprint handshake), so a worker and the
+                        // --local path replay identical per-chip events.
+                        tuner->set_scenario(sweep_cfg_.scenario);
                     }
                     const scoped_intra_op_threads intra(budget.gemm_threads);
                     const chip_outcome outcome =

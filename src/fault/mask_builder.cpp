@@ -83,6 +83,18 @@ fault_state_guard::fault_state_guard(sequential& model, const model_snapshot& re
     for (const tensor* t : buffers_) { saved_state_.push_back(*t); }
 }
 
+mask_stats fault_state_guard::swap_masks(const array_config& array,
+                                         const fault_grid& faults) {
+    // Old masks go first: attach only touches mapped layers, and a swap
+    // must never leave a stale mask behind on a layer the new grid no
+    // longer prunes. The weights keep their current (trained) values —
+    // attach re-applies the new masks, zeroing newly pruned weights, which
+    // is exactly the recover-and-continue semantics.
+    clear_fault_masks(model_);
+    ++swaps_;
+    return attach_fault_masks(model_, array, faults);
+}
+
 fault_state_guard::~fault_state_guard() {
     // Masks first, then weights: restore_parameters leaves masks untouched,
     // so the reverse order would re-expose pruned weights through stale masks.

@@ -73,11 +73,22 @@ public:
 
     ~fault_state_guard();
 
+    /// Mid-episode mask swap (timeline events): replaces every attached
+    /// mask with the masks of `faults` and re-masks the weights, WITHOUT
+    /// weakening the restore-to-pristine guarantee — the destructor still
+    /// clears whatever masks are attached at exit before restoring the
+    /// snapshot and state buffers. Returns the new masks' statistics.
+    mask_stats swap_masks(const array_config& array, const fault_grid& faults);
+
+    /// Number of swap_masks calls so far (observability for tests).
+    std::size_t swaps() const { return swaps_; }
+
 private:
     sequential& model_;
     const model_snapshot& snapshot_;
     std::vector<tensor*> buffers_;    ///< the model's live state buffers
     std::vector<tensor> saved_state_; ///< their at-construction values
+    std::size_t swaps_ = 0;
 };
 
 /// Effective fault-rate estimators for Step 2 of Reduce (ablation knobs).

@@ -8,9 +8,7 @@
 
 namespace reduce {
 
-namespace {
-
-pe_fault sample_kind(fault_kind_mix mix, rng& gen) {
+pe_fault sample_fault_kind(fault_kind_mix mix, rng& gen) {
     switch (mix) {
         case fault_kind_mix::all_bypassed: return pe_fault::bypassed;
         case fault_kind_mix::all_stuck_zero: return pe_fault::stuck_weight_zero;
@@ -24,7 +22,21 @@ pe_fault sample_kind(fault_kind_mix mix, rng& gen) {
     throw invalid_argument_error("unknown fault_kind_mix");
 }
 
-}  // namespace
+std::string to_string(fault_kind_mix mix) {
+    switch (mix) {
+        case fault_kind_mix::all_bypassed: return "bypassed";
+        case fault_kind_mix::all_stuck_zero: return "stuck-zero";
+        case fault_kind_mix::random_stuck: return "random-stuck";
+    }
+    throw invalid_argument_error("unknown fault_kind_mix");
+}
+
+fault_kind_mix fault_kind_mix_from_string(const std::string& name) {
+    if (name == "bypassed") { return fault_kind_mix::all_bypassed; }
+    if (name == "stuck-zero") { return fault_kind_mix::all_stuck_zero; }
+    if (name == "random-stuck") { return fault_kind_mix::random_stuck; }
+    throw invalid_argument_error("unknown fault kind mix '" + name + "'");
+}
 
 fault_grid generate_random_faults(const array_config& array, const random_fault_config& cfg,
                                   std::uint64_t seed) {
@@ -38,13 +50,13 @@ fault_grid generate_random_faults(const array_config& array, const random_fault_
         const std::vector<std::size_t> picks =
             gen.sample_without_replacement(array.pe_count(), target);
         for (const std::size_t flat : picks) {
-            grid.set(flat / array.cols, flat % array.cols, sample_kind(cfg.kind_mix, gen));
+            grid.set(flat / array.cols, flat % array.cols, sample_fault_kind(cfg.kind_mix, gen));
         }
     } else {
         for (std::size_t r = 0; r < array.rows; ++r) {
             for (std::size_t c = 0; c < array.cols; ++c) {
                 if (gen.bernoulli(cfg.fault_rate)) {
-                    grid.set(r, c, sample_kind(cfg.kind_mix, gen));
+                    grid.set(r, c, sample_fault_kind(cfg.kind_mix, gen));
                 }
             }
         }
@@ -89,7 +101,7 @@ fault_grid generate_clustered_faults(const array_config& array,
         const auto row = static_cast<std::size_t>(r);
         const auto col = static_cast<std::size_t>(c);
         if (is_faulty(grid.at(row, col))) { continue; }
-        grid.set(row, col, sample_kind(cfg.kind_mix, gen));
+        grid.set(row, col, sample_fault_kind(cfg.kind_mix, gen));
         ++placed;
     }
     // Dense clusters can saturate: fall back to uniform fill for the rest.
@@ -98,8 +110,48 @@ fault_grid generate_clustered_faults(const array_config& array,
         const std::size_t row = flat / array.cols;
         const std::size_t col = flat % array.cols;
         if (is_faulty(grid.at(row, col))) { continue; }
-        grid.set(row, col, sample_kind(cfg.kind_mix, gen));
+        grid.set(row, col, sample_fault_kind(cfg.kind_mix, gen));
         ++placed;
+    }
+    return grid;
+}
+
+fault_grid generate_line_faults(const array_config& array, const line_fault_config& cfg,
+                                std::uint64_t seed) {
+    REDUCE_CHECK(cfg.fault_rate >= 0.0 && cfg.fault_rate <= 1.0,
+                 "fault rate must be in [0,1], got " << cfg.fault_rate);
+    REDUCE_CHECK(cfg.row_fraction >= 0.0 && cfg.row_fraction <= 1.0,
+                 "row fraction must be in [0,1], got " << cfg.row_fraction);
+    fault_grid grid(array.rows, array.cols);
+    rng gen(seed);
+    const std::size_t target = static_cast<std::size_t>(
+        std::llround(cfg.fault_rate * static_cast<double>(array.pe_count())));
+    if (target == 0) { return grid; }
+
+    // Unpicked line pools; a pick removes the line (swap-with-last keeps the
+    // draw O(1) and the stream deterministic). Lines may cross already
+    // faulty intersections — only newly faulty PEs count toward the target.
+    std::vector<std::size_t> rows_left(array.rows);
+    std::vector<std::size_t> cols_left(array.cols);
+    for (std::size_t r = 0; r < array.rows; ++r) { rows_left[r] = r; }
+    for (std::size_t c = 0; c < array.cols; ++c) { cols_left[c] = c; }
+    std::size_t placed = 0;
+    while (placed < target && (!rows_left.empty() || !cols_left.empty())) {
+        const bool pick_row =
+            cols_left.empty() || (!rows_left.empty() && gen.bernoulli(cfg.row_fraction));
+        std::vector<std::size_t>& pool = pick_row ? rows_left : cols_left;
+        const std::size_t slot = static_cast<std::size_t>(gen.uniform_index(pool.size()));
+        const std::size_t line = pool[slot];
+        pool[slot] = pool.back();
+        pool.pop_back();
+        const std::size_t span = pick_row ? array.cols : array.rows;
+        for (std::size_t i = 0; i < span; ++i) {
+            const std::size_t r = pick_row ? line : i;
+            const std::size_t c = pick_row ? i : line;
+            if (is_faulty(grid.at(r, c))) { continue; }
+            grid.set(r, c, sample_fault_kind(cfg.kind_mix, gen));
+            ++placed;
+        }
     }
     return grid;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "accel/array_config.h"
 #include "accel/fault_grid.h"
@@ -27,6 +28,17 @@ enum class fault_kind_mix {
     all_stuck_zero,   ///< unrepaired, benign stuck-at-zero weights
     random_stuck,     ///< unrepaired, random stuck kind per PE (worst case)
 };
+
+/// Names for serialization/CLI ("bypassed", "stuck-zero", "random-stuck").
+std::string to_string(fault_kind_mix mix);
+fault_kind_mix fault_kind_mix_from_string(const std::string& name);
+
+class rng;
+
+/// Draws one concrete fault behaviour from a mix (consumes one rng value
+/// only for random_stuck). Shared by the samplers here and the timeline
+/// engine (fault/scenario.h) so injected kinds come from one vocabulary.
+pe_fault sample_fault_kind(fault_kind_mix mix, rng& gen);
 
 /// Uniform random fault-map model.
 struct random_fault_config {
@@ -51,5 +63,21 @@ struct clustered_fault_config {
 /// Samples a clustered fault map; deterministic given `seed`.
 fault_grid generate_clustered_faults(const array_config& array,
                                      const clustered_fault_config& cfg, std::uint64_t seed);
+
+/// Row/column-structured fault model: whole PE rows or columns fail at
+/// once, the signature of a broken shared bus (word/bit line, clock spine)
+/// rather than an isolated PE defect. Lines are sampled until the target
+/// faulty fraction is covered, so the achieved rate quantizes UP to whole
+/// lines — the structural point of the model.
+struct line_fault_config {
+    double fault_rate = 0.05;   ///< target faulty fraction of all PEs
+    /// Probability each sampled line is a row (vs a column).
+    double row_fraction = 0.5;
+    fault_kind_mix kind_mix = fault_kind_mix::all_bypassed;
+};
+
+/// Samples a line-structured fault map; deterministic given `seed`.
+fault_grid generate_line_faults(const array_config& array, const line_fault_config& cfg,
+                                std::uint64_t seed);
 
 }  // namespace reduce

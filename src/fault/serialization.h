@@ -10,6 +10,7 @@
 
 #include "accel/fault_grid.h"
 #include "fault/chip.h"
+#include "fault/models.h"
 #include "util/json.h"
 
 namespace reduce {
@@ -19,6 +20,12 @@ json_value fault_grid_to_json(const fault_grid& grid);
 
 /// JSON → fault_grid; throws io_error on malformed documents.
 fault_grid fault_grid_from_json(const json_value& value);
+
+/// line_fault_config ⇄ JSON ({"fault_rate","row_fraction","kind_mix"}) —
+/// the model descriptor that travels alongside a line-fault map so the
+/// receiving end can regenerate or extend the map deterministically.
+json_value line_fault_config_to_json(const line_fault_config& cfg);
+line_fault_config line_fault_config_from_json(const json_value& value);
 
 /// chip → JSON (id, seed, nominal rate + embedded fault map).
 json_value chip_to_json(const chip& c);

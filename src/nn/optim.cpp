@@ -46,6 +46,41 @@ void optimizer::set_learning_rate(double lr) {
     lr_ = lr;
 }
 
+void optimizer::restore_state(const optimizer_state& state) {
+    REDUCE_CHECK(state.buffers.empty() && state.step_count == 0,
+                 "optimizer has no internal state to restore into");
+}
+
+namespace {
+
+// Zeroes each state buffer where its parameter's mask is zero. Masks are
+// {0,1} tensors, so multiply is exact and bit-reproducible.
+void mask_buffers_against_params(const std::vector<parameter*>& params,
+                                 std::vector<tensor>* buffers) {
+    for (std::size_t k = 0; k < params.size(); ++k) {
+        const parameter& p = *params[k];
+        if (!p.has_mask()) { continue; }
+        float* b = (*buffers)[k].raw();
+        const float* m = p.mask.raw();
+        for_each_elem(p.value.numel(), [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) { b[i] *= m[i]; }
+        });
+    }
+}
+
+void check_state_shapes(const std::vector<tensor>& buffers,
+                        const std::vector<tensor>& saved) {
+    REDUCE_CHECK(saved.size() == buffers.size(),
+                 "optimizer state snapshot has " << saved.size() << " buffers, expected "
+                                                 << buffers.size());
+    for (std::size_t k = 0; k < buffers.size(); ++k) {
+        REDUCE_CHECK(saved[k].shape() == buffers[k].shape(),
+                     "optimizer state buffer " << k << " shape mismatch");
+    }
+}
+
+}  // namespace
+
 sgd::sgd(std::vector<parameter*> params, config cfg) : optimizer(std::move(params)), cfg_(cfg) {
     REDUCE_CHECK(cfg_.momentum >= 0.0 && cfg_.momentum < 1.0,
                  "momentum must be in [0,1), got " << cfg_.momentum);
@@ -86,6 +121,23 @@ void sgd::step() {
         }
         p.apply_mask();
     }
+}
+
+optimizer_state sgd::save_state() const {
+    optimizer_state state;
+    state.buffers = velocity_;
+    return state;
+}
+
+void sgd::restore_state(const optimizer_state& state) {
+    check_state_shapes(velocity_, state.buffers);
+    REDUCE_CHECK(state.step_count == 0, "sgd snapshots carry no step counter");
+    velocity_ = state.buffers;
+}
+
+void sgd::mask_state() {
+    if (velocity_.empty()) { return; }  // momentum 0: no state to mask
+    mask_buffers_against_params(params_, &velocity_);
 }
 
 adam::adam(std::vector<parameter*> params, config cfg) : optimizer(std::move(params)), cfg_(cfg) {
@@ -132,6 +184,34 @@ void adam::step() {
         });
         p.apply_mask();
     }
+}
+
+optimizer_state adam::save_state() const {
+    optimizer_state state;
+    state.buffers.reserve(m_.size() + v_.size());
+    for (const tensor& t : m_) { state.buffers.push_back(t); }
+    for (const tensor& t : v_) { state.buffers.push_back(t); }
+    state.step_count = t_;
+    return state;
+}
+
+void adam::restore_state(const optimizer_state& state) {
+    REDUCE_CHECK(state.buffers.size() == m_.size() + v_.size(),
+                 "adam state snapshot has " << state.buffers.size() << " buffers, expected "
+                                            << m_.size() + v_.size());
+    for (std::size_t k = 0; k < m_.size(); ++k) {
+        REDUCE_CHECK(state.buffers[k].shape() == m_[k].shape() &&
+                         state.buffers[m_.size() + k].shape() == v_[k].shape(),
+                     "adam state buffer " << k << " shape mismatch");
+        m_[k] = state.buffers[k];
+        v_[k] = state.buffers[m_.size() + k];
+    }
+    t_ = static_cast<std::size_t>(state.step_count);
+}
+
+void adam::mask_state() {
+    mask_buffers_against_params(params_, &m_);
+    mask_buffers_against_params(params_, &v_);
 }
 
 constant_lr::constant_lr(double rate) : rate_(rate) {

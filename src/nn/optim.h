@@ -14,6 +14,17 @@
 
 namespace reduce {
 
+/// Deep copy of an optimizer's internal state, for checkpoint/rollback in
+/// event-driven training (fault timelines). `buffers` holds the optimizer's
+/// per-parameter accumulators in a fixed implementation order (sgd:
+/// velocity; adam: first moments then second moments); `step_count` carries
+/// counters like adam's t. An optimizer without internal state round-trips
+/// an empty snapshot.
+struct optimizer_state {
+    std::vector<tensor> buffers;
+    std::uint64_t step_count = 0;
+};
+
 /// Base optimizer interface over a fixed parameter set.
 class optimizer {
 public:
@@ -37,6 +48,20 @@ public:
     /// The parameters this optimizer updates.
     const std::vector<parameter*>& params() const { return params_; }
 
+    /// Snapshot of the internal state (momentum/moment buffers, counters).
+    virtual optimizer_state save_state() const { return {}; }
+
+    /// Restores a snapshot taken from the SAME optimizer configuration
+    /// (shape-checked); the inverse of save_state().
+    virtual void restore_state(const optimizer_state& state);
+
+    /// Zeroes internal state wherever the owning parameter's fault mask is
+    /// zero. Called when a timeline event re-masks weights mid-run: a
+    /// newly pruned weight must lose its momentum too, or the next step
+    /// would push it off zero before apply_mask clamps it back — changing
+    /// every unmasked weight through shared reductions downstream.
+    virtual void mask_state() {}
+
 protected:
     std::vector<parameter*> params_;
     double lr_ = 0.01;
@@ -55,6 +80,10 @@ public:
     sgd(std::vector<parameter*> params, config cfg);
 
     void step() override;
+
+    optimizer_state save_state() const override;
+    void restore_state(const optimizer_state& state) override;
+    void mask_state() override;
 
 private:
     config cfg_;
@@ -75,6 +104,10 @@ public:
     adam(std::vector<parameter*> params, config cfg);
 
     void step() override;
+
+    optimizer_state save_state() const override;
+    void restore_state(const optimizer_state& state) override;
+    void mask_state() override;
 
 private:
     config cfg_;

@@ -344,5 +344,123 @@ TEST_F(DistFixture, FleetJobMatchesSerialExecutorOutcomesAndSnapshots) {
     EXPECT_EQ(total_chips, fleet.size());
 }
 
+TEST_F(DistFixture, ScenarioSweepIsByteIdenticalDistributedVsLocal) {
+    // A live fault-event timeline must not cost a single byte of the
+    // distributed determinism contract: event contents derive from
+    // (scenario, cell coordinates), never from which worker runs the cell
+    // or how leases interleave.
+    resilience_config cfg = small_config();
+    cfg.scenario = parse_scenario("strike@0.2:0.05;accrue@0.35:0.03;seed=5");
+
+    resilience_analyzer analyzer(*w().model, w().pretrained, w().train_data, w().test_data,
+                                 w().array, w().trainer_cfg);
+    const std::string reference = analyzer.analyze(cfg, {}).to_json().dump();
+
+    dist::coordinator_config cc;
+    cc.cells_per_lease = 1;
+    dist::coordinator coord(cc, dist::sweep_job{cfg, ""});
+    coord.start();
+
+    std::vector<dist::worker_report> reports(2);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        threads.emplace_back([&, i] {
+            dist::worker node(worker_config_for(coord.port(), "s" + std::to_string(i)),
+                              *w().model, w().pretrained, w().train_data, w().test_data,
+                              w().array, w().trainer_cfg, cfg);
+            reports[i] = node.run();
+        });
+    }
+    const resilience_table table = coord.wait_table();
+    for (std::thread& t : threads) { t.join(); }
+
+    EXPECT_EQ(table.to_json().dump(), reference)
+        << "scenario sweep diverged between distributed and local";
+    for (const dist::worker_report& report : reports) { EXPECT_FALSE(report.rejected); }
+
+    // The scenario feeds the fingerprint: a scenario-free worker must be
+    // turned away at the handshake, not silently compute different science.
+    dist::coordinator coord2(cc, dist::sweep_job{cfg, ""});
+    coord2.start();
+    dist::worker_report mismatched;
+    dist::worker_report honest;
+    std::thread wrong([&] {
+        dist::worker node(worker_config_for(coord2.port(), "no-scenario"), *w().model,
+                          w().pretrained, w().train_data, w().test_data, w().array,
+                          w().trainer_cfg, small_config());
+        mismatched = node.run();
+    });
+    std::thread right([&] {
+        dist::worker node(worker_config_for(coord2.port(), "with-scenario"), *w().model,
+                          w().pretrained, w().train_data, w().test_data, w().array,
+                          w().trainer_cfg, cfg);
+        honest = node.run();
+    });
+    const resilience_table table2 = coord2.wait_table();
+    wrong.join();
+    right.join();
+    EXPECT_TRUE(mismatched.rejected);
+    EXPECT_FALSE(honest.rejected);
+    EXPECT_EQ(table2.to_json().dump(), reference);
+}
+
+TEST_F(DistFixture, ScenarioFleetJobMatchesSerialExecutorTimelineCounters) {
+    // Per-chip timelines across the wire: distributed fleet retraining
+    // under a strike scenario must reproduce the local executor's outcomes
+    // bit for bit, INCLUDING the new timeline accounting fields (which ride
+    // the chip_outcome JSON only when nonzero).
+    fleet_config fc;
+    fc.num_chips = 4;
+    fc.rate_lo = 0.05;
+    fc.rate_hi = 0.3;
+    fc.seed = 91;
+    const std::vector<chip> fleet = make_fleet(w().array, fc);
+    const fixed_policy policy(0.5, 0.85);
+    resilience_config cfg = small_config();
+    cfg.scenario = parse_scenario("strike@0.2:0.05");
+
+    fleet_executor executor(*w().model, w().pretrained, w().train_data, w().test_data,
+                            w().array, w().trainer_cfg,
+                            fleet_executor_config{.scenario = cfg.scenario});
+    const policy_outcome serial = executor.run(policy, fleet);
+    EXPECT_GE(executor.last_run_stats().timeline_events, fleet.size());
+
+    dist::fleet_job job = dist::plan_fleet_job(*w().model, w().array, policy, fleet);
+    dist::coordinator_config cc;
+    cc.fingerprint = resilience_fingerprint(cfg);
+    dist::coordinator coord(cc, std::move(job));
+    coord.start();
+
+    std::vector<dist::worker_report> reports(2);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        threads.emplace_back([&, i] {
+            dist::worker node(worker_config_for(coord.port(), "sf" + std::to_string(i)),
+                              *w().model, w().pretrained, w().train_data, w().test_data,
+                              w().array, w().trainer_cfg, cfg);
+            reports[i] = node.run();
+        });
+    }
+    const policy_outcome distributed = coord.wait_fleet();
+    for (std::thread& t : threads) { t.join(); }
+
+    ASSERT_EQ(distributed.chips.size(), serial.chips.size());
+    std::size_t total_events = 0;
+    for (std::size_t i = 0; i < serial.chips.size(); ++i) {
+        const chip_outcome& a = serial.chips[i];
+        const chip_outcome& b = distributed.chips[i];
+        EXPECT_EQ(a.chip_id, b.chip_id) << "chip " << i;
+        EXPECT_EQ(a.accuracy_before, b.accuracy_before) << "chip " << i;
+        EXPECT_EQ(a.final_accuracy, b.final_accuracy) << "chip " << i;
+        EXPECT_EQ(a.epochs_run, b.epochs_run) << "chip " << i;
+        EXPECT_EQ(a.events_applied, b.events_applied) << "chip " << i;
+        EXPECT_EQ(a.rollbacks, b.rollbacks) << "chip " << i;
+        EXPECT_EQ(a.restarts, b.restarts) << "chip " << i;
+        EXPECT_EQ(a.hit_nonfinite, b.hit_nonfinite) << "chip " << i;
+        total_events += b.events_applied;
+    }
+    EXPECT_GE(total_events, fleet.size());  // the strike fired on every chip
+}
+
 }  // namespace
 }  // namespace reduce

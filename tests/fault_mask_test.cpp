@@ -244,5 +244,40 @@ TEST_P(MaskFractionTracksRate, ExactForFullTiling) {
 INSTANTIATE_TEST_SUITE_P(Rates, MaskFractionTracksRate,
                          ::testing::Values(0.0, 0.05, 0.1, 0.25, 0.5, 0.9));
 
+TEST(FaultStateGuard, SwapMasksMidEpisodeKeepsThePristineRestoreGuarantee) {
+    // Timeline events swap masks mid-episode (a strike grows the fault
+    // map); the guard must install the new mask immediately AND still
+    // restore the pristine unmasked snapshot on exit.
+    rng gen(11);
+    sequential model;
+    model.emplace<linear>(4, 4, gen);
+    const model_snapshot snapshot = snapshot_parameters(model.parameters());
+    const array_config cfg = tiny_array(4, 4);
+    fault_grid first(4, 4);
+    first.set(0, 0, pe_fault::bypassed);
+    fault_grid second = first;
+    second.set(1, 1, pe_fault::bypassed);  // the mid-episode strike grows the map
+    {
+        fault_state_guard guard(model, snapshot);
+        attach_fault_masks(model, cfg, first);
+        EXPECT_EQ(guard.swaps(), 0u);
+        const mask_stats stats = guard.swap_masks(cfg, second);
+        EXPECT_EQ(guard.swaps(), 1u);
+        EXPECT_EQ(stats.masked_weights, 2u);
+        // The new mask is live: both fault positions masked and zeroed.
+        parameter* weight = model.parameters()[0];
+        ASSERT_TRUE(weight->has_mask());
+        EXPECT_EQ(weight->mask.at2(0, 0), 0.0f);
+        EXPECT_EQ(weight->mask.at2(1, 1), 0.0f);
+        EXPECT_EQ(weight->value.at2(0, 0), 0.0f);
+        EXPECT_EQ(weight->value.at2(1, 1), 0.0f);
+    }
+    // Destructor: masks cleared, snapshot restored — as if nothing happened.
+    for (parameter* p : model.parameters()) { EXPECT_FALSE(p->has_mask()); }
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        EXPECT_TRUE(model.parameters()[i]->value == snapshot.values[i]);
+    }
+}
+
 }  // namespace
 }  // namespace reduce
